@@ -1,0 +1,255 @@
+//! Explanation support (paper §V-B): derivation proofs for atoms in an
+//! answer set, and identification of the constraints that eliminate a
+//! candidate interpretation. These are the building blocks for
+//! policy-level explanations ("why was this policy generated / not
+//! generated?") in `agenp-core`.
+
+use crate::atom::Atom;
+use crate::ground::{AtomId, GroundProgram};
+use crate::solve::AnswerSet;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A proof tree: the atom, the ground rule instance that derives it, and
+/// the derivations of the rule's positive premises. Negative premises hold
+/// by absence and are listed as assumptions.
+#[derive(Clone, Debug)]
+pub struct Derivation {
+    /// The derived atom.
+    pub atom: Atom,
+    /// The deriving ground rule, rendered.
+    pub rule: String,
+    /// Derivations of the positive body atoms.
+    pub premises: Vec<Derivation>,
+    /// Negative body atoms assumed absent.
+    pub assumptions: Vec<Atom>,
+}
+
+impl Derivation {
+    /// Renders the proof tree with indentation.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        let indent = "  ".repeat(depth);
+        out.push_str(&format!("{indent}{}   [{}]\n", self.atom, self.rule));
+        for a in &self.assumptions {
+            out.push_str(&format!("{indent}  (assuming not {a})\n"));
+        }
+        for p in &self.premises {
+            p.render_into(out, depth + 1);
+        }
+    }
+
+    /// Total number of nodes in the proof.
+    pub fn size(&self) -> usize {
+        1 + self.premises.iter().map(Derivation::size).sum::<usize>()
+    }
+}
+
+impl fmt::Display for Derivation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Explains why `target` is in `model` (an answer set of `program`): a
+/// non-circular proof through the Gelfond–Lifschitz reduct. Returns `None`
+/// if `target` is not in the model (or not an atom of the program).
+///
+/// ```
+/// use agenp_asp::{explain_atom, ground_with, GroundOptions, Program, Solver};
+/// let p: Program = "base. top :- base, not blocked.".parse()?;
+/// // Explanations need the unsimplified grounding.
+/// let g = ground_with(&p, GroundOptions { simplify: false, ..Default::default() })?;
+/// let result = Solver::new().solve(&g);
+/// let proof = explain_atom(&g, &result.models()[0], &"top".parse()?).expect("top holds");
+/// assert_eq!(proof.premises[0].atom.to_string(), "base");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn explain_atom(
+    program: &GroundProgram,
+    model: &AnswerSet,
+    target: &Atom,
+) -> Option<Derivation> {
+    let target_id = program.atoms().get(target)?;
+    if !model.contains(target) {
+        return None;
+    }
+    let in_model = |id: AtomId| model.contains(program.atoms().resolve(id));
+    // Forward chain through the reduct, recording the first supporting rule
+    // per atom (this ordering guarantees acyclic proofs).
+    let mut support: HashMap<AtomId, usize> = HashMap::new();
+    let mut order: HashMap<AtomId, usize> = HashMap::new();
+    let mut derived: Vec<AtomId> = Vec::new();
+    loop {
+        let mut changed = false;
+        for (ri, rule) in program.rules().iter().enumerate() {
+            let Some(h) = rule.head else { continue };
+            if support.contains_key(&h) || !in_model(h) {
+                continue;
+            }
+            let pos_ok = rule.pos.iter().all(|p| support.contains_key(p));
+            let neg_ok = rule.neg.iter().all(|&n| !in_model(n));
+            if pos_ok && neg_ok {
+                support.insert(h, ri);
+                order.insert(h, derived.len());
+                derived.push(h);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    build_proof(program, &support, target_id)
+}
+
+fn build_proof(
+    program: &GroundProgram,
+    support: &HashMap<AtomId, usize>,
+    id: AtomId,
+) -> Option<Derivation> {
+    let &ri = support.get(&id)?;
+    let rule = &program.rules()[ri];
+    let premises: Option<Vec<Derivation>> = rule
+        .pos
+        .iter()
+        .map(|&p| build_proof(program, support, p))
+        .collect();
+    Some(Derivation {
+        atom: program.atoms().resolve(id).clone(),
+        rule: render_rule(program, ri),
+        premises: premises?,
+        assumptions: rule
+            .neg
+            .iter()
+            .map(|&n| program.atoms().resolve(n).clone())
+            .collect(),
+    })
+}
+
+fn render_rule(program: &GroundProgram, ri: usize) -> String {
+    let rule = &program.rules()[ri];
+    let mut parts: Vec<String> = Vec::new();
+    for &p in &rule.pos {
+        parts.push(program.atoms().resolve(p).to_string());
+    }
+    for &n in &rule.neg {
+        parts.push(format!("not {}", program.atoms().resolve(n)));
+    }
+    match rule.head {
+        Some(h) => {
+            let head = program.atoms().resolve(h);
+            if parts.is_empty() {
+                format!("{head}.")
+            } else {
+                format!("{head} :- {}.", parts.join(", "))
+            }
+        }
+        None => format!(":- {}.", parts.join(", ")),
+    }
+}
+
+/// The constraints of `program` whose bodies are satisfied by the given set
+/// of atoms (rendered). A candidate interpretation is eliminated exactly by
+/// these.
+pub fn violated_constraints(program: &GroundProgram, atoms: &[Atom]) -> Vec<String> {
+    let holds = |id: AtomId| atoms.contains(program.atoms().resolve(id));
+    program
+        .rules()
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| {
+            r.is_constraint() && r.pos.iter().all(|&p| holds(p)) && r.neg.iter().all(|&n| !holds(n))
+        })
+        .map(|(ri, _)| render_rule(program, ri))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::{ground_with, GroundOptions};
+    use crate::program::Program;
+    use crate::solve::Solver;
+
+    fn ground(p: &Program) -> Result<GroundProgram, crate::ground::GroundError> {
+        // Explanations need the unsimplified program.
+        ground_with(
+            p,
+            GroundOptions {
+                simplify: false,
+                ..GroundOptions::default()
+            },
+        )
+    }
+
+    #[test]
+    fn explains_chained_derivation() {
+        let p: Program = "
+            base.
+            mid :- base, not blocked.
+            top :- mid.
+        "
+        .parse()
+        .unwrap();
+        let g = ground(&p).unwrap();
+        let r = Solver::new().solve(&g);
+        let m = &r.models()[0];
+        let d = explain_atom(&g, m, &"top".parse().unwrap()).unwrap();
+        assert_eq!(d.atom.to_string(), "top");
+        assert_eq!(d.premises.len(), 1);
+        assert_eq!(d.premises[0].atom.to_string(), "mid");
+        let rendered = d.render();
+        assert!(rendered.contains("base"), "{rendered}");
+        assert!(d.size() >= 3);
+        assert_eq!(d.premises[0].assumptions.len(), 1);
+        assert_eq!(d.premises[0].assumptions[0].to_string(), "blocked");
+    }
+
+    #[test]
+    fn absent_atoms_have_no_explanation() {
+        let p: Program = "a.".parse().unwrap();
+        let g = ground(&p).unwrap();
+        let r = Solver::new().solve(&g);
+        let m = &r.models()[0];
+        assert!(explain_atom(&g, m, &"b".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn proofs_are_noncircular_for_positive_loops() {
+        // a and b support each other, but also a :- e. In the answer set
+        // {e, a, b}, proofs must bottom out at e.
+        let p: Program = "e. a :- b. b :- a. a :- e.".parse().unwrap();
+        let g = ground(&p).unwrap();
+        let r = Solver::new().solve(&g);
+        let m = r.models().iter().find(|m| m.len() == 3).unwrap();
+        let d = explain_atom(&g, m, &"b".parse().unwrap()).unwrap();
+        // b :- a, a :- e, e.
+        assert_eq!(d.size(), 3);
+    }
+
+    #[test]
+    fn violated_constraints_are_reported() {
+        let p: Program = "
+            x :- not y. y :- not x.
+            :- x, not y.
+        "
+        .parse()
+        .unwrap();
+        let g = ground(&p).unwrap();
+        let x: Atom = "x".parse().unwrap();
+        let y: Atom = "y".parse().unwrap();
+        let v1 = violated_constraints(&g, std::slice::from_ref(&x));
+        assert_eq!(v1.len(), 1);
+        assert!(v1[0].contains(":- x"));
+        let v2 = violated_constraints(&g, &[y]);
+        assert!(v2.is_empty());
+        let v3 = violated_constraints(&g, std::slice::from_ref(&x));
+        assert_eq!(v3.len(), 1);
+    }
+}

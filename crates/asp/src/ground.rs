@@ -1,0 +1,1050 @@
+//! Grounding: instantiating a program's variables over its Herbrand universe.
+//!
+//! The grounder computes an over-approximation of the derivable atoms
+//! (treating negation-as-failure literals as always satisfiable), emits the
+//! ground instances of each rule restricted to that approximation, and then
+//! simplifies: positive literals on definite facts are removed, negative
+//! literals on underivable atoms are removed, and rules blocked by definite
+//! facts are dropped.
+
+use crate::atom::{Atom, CmpOp, Literal, Trace};
+use crate::program::{Program, Rule};
+use crate::symbol::Symbol;
+use crate::term::{Bindings, Term};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Identifier of a ground atom inside a [`GroundProgram`].
+pub type AtomId = u32;
+
+/// An error raised while grounding.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GroundError {
+    /// A rule contains a variable not bound by any positive body literal or
+    /// assignment chain.
+    UnsafeRule {
+        /// Rendered rule text.
+        rule: String,
+        /// The offending variable.
+        var: Symbol,
+    },
+    /// Instantiation exceeded the configured atom budget.
+    Budget {
+        /// The configured maximum number of ground atoms.
+        max_atoms: usize,
+    },
+}
+
+impl fmt::Display for GroundError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroundError::UnsafeRule { rule, var } => {
+                write!(f, "unsafe rule `{rule}`: variable {var} is not bound")
+            }
+            GroundError::Budget { max_atoms } => {
+                write!(f, "grounding exceeded the budget of {max_atoms} atoms")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GroundError {}
+
+/// Interning table mapping ground atoms to dense [`AtomId`]s.
+#[derive(Clone, Debug, Default)]
+pub struct AtomTable {
+    atoms: Vec<Atom>,
+    index: HashMap<Atom, AtomId>,
+}
+
+impl AtomTable {
+    /// An empty table.
+    pub fn new() -> AtomTable {
+        AtomTable::default()
+    }
+
+    /// Interns `atom`, returning its id.
+    pub fn intern(&mut self, atom: &Atom) -> AtomId {
+        if let Some(&id) = self.index.get(atom) {
+            return id;
+        }
+        let id = u32::try_from(self.atoms.len()).expect("atom table overflow");
+        self.atoms.push(atom.clone());
+        self.index.insert(atom.clone(), id);
+        id
+    }
+
+    /// Looks up an atom's id without interning.
+    pub fn get(&self, atom: &Atom) -> Option<AtomId> {
+        self.index.get(atom).copied()
+    }
+
+    /// Resolves an id back to its atom.
+    pub fn resolve(&self, id: AtomId) -> &Atom {
+        &self.atoms[id as usize]
+    }
+
+    /// Number of interned atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// True if no atoms are interned.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Iterates over `(id, atom)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (AtomId, &Atom)> {
+        self.atoms.iter().enumerate().map(|(i, a)| (i as AtomId, a))
+    }
+}
+
+/// A ground rule over [`AtomId`]s. `head == None` encodes a constraint.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct GroundRule {
+    /// Head atom id, or `None` for a constraint.
+    pub head: Option<AtomId>,
+    /// Positive body atom ids.
+    pub pos: Vec<AtomId>,
+    /// Negative (naf) body atom ids.
+    pub neg: Vec<AtomId>,
+}
+
+impl GroundRule {
+    /// True for constraints.
+    pub fn is_constraint(&self) -> bool {
+        self.head.is_none()
+    }
+
+    /// True for unconditional facts.
+    pub fn is_fact(&self) -> bool {
+        self.head.is_some() && self.pos.is_empty() && self.neg.is_empty()
+    }
+}
+
+/// A ground weak constraint: penalize models satisfying the body by
+/// `weight` at `level`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct GroundWeak {
+    /// Positive body atom ids.
+    pub pos: Vec<AtomId>,
+    /// Negative body atom ids.
+    pub neg: Vec<AtomId>,
+    /// Penalty.
+    pub weight: i64,
+    /// Priority level.
+    pub level: i64,
+}
+
+/// The result of grounding: interned atoms plus simplified ground rules.
+#[derive(Clone, Debug, Default)]
+pub struct GroundProgram {
+    table: AtomTable,
+    rules: Vec<GroundRule>,
+    weaks: Vec<GroundWeak>,
+    definite_facts: Vec<AtomId>,
+    inconsistent: bool,
+}
+
+impl GroundProgram {
+    /// The atom table.
+    pub fn atoms(&self) -> &AtomTable {
+        &self.table
+    }
+
+    /// The simplified ground rules.
+    pub fn rules(&self) -> &[GroundRule] {
+        &self.rules
+    }
+
+    /// The ground weak constraints.
+    pub fn weak_constraints(&self) -> &[GroundWeak] {
+        &self.weaks
+    }
+
+    /// Atoms established as definitely true during simplification.
+    pub fn definite_facts(&self) -> &[AtomId] {
+        &self.definite_facts
+    }
+
+    /// True if simplification already proved there is no answer set (a
+    /// constraint reduced to the empty body).
+    pub fn proven_inconsistent(&self) -> bool {
+        self.inconsistent
+    }
+
+    /// Number of ground rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if there are no ground rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+impl fmt::Display for GroundProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            if let Some(h) = r.head {
+                write!(f, "{}", self.table.resolve(h))?;
+                if !r.pos.is_empty() || !r.neg.is_empty() {
+                    write!(f, " :- ")?;
+                }
+            } else {
+                write!(f, ":- ")?;
+            }
+            let mut first = true;
+            for &p in &r.pos {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                first = false;
+                write!(f, "{}", self.table.resolve(p))?;
+            }
+            for &n in &r.neg {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                first = false;
+                write!(f, "not {}", self.table.resolve(n))?;
+            }
+            writeln!(f, ".")?;
+        }
+        for w in &self.weaks {
+            write!(f, ":~ ")?;
+            let mut first = true;
+            for &p in &w.pos {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                first = false;
+                write!(f, "{}", self.table.resolve(p))?;
+            }
+            for &n in &w.neg {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                first = false;
+                write!(f, "not {}", self.table.resolve(n))?;
+            }
+            writeln!(f, ". [{}@{}]", w.weight, w.level)?;
+        }
+        Ok(())
+    }
+}
+
+/// Grounding options.
+#[derive(Clone, Copy, Debug)]
+pub struct GroundOptions {
+    /// Abort with [`GroundError::Budget`] once this many distinct ground
+    /// atoms have been created.
+    pub max_atoms: usize,
+    /// Apply fact-folding simplification (default). Disable to preserve the
+    /// full rule structure — e.g. for derivation-based explanations.
+    pub simplify: bool,
+}
+
+impl Default for GroundOptions {
+    fn default() -> GroundOptions {
+        GroundOptions {
+            max_atoms: 4_000_000,
+            simplify: true,
+        }
+    }
+}
+
+/// One scheduled body element, in evaluation order.
+#[derive(Clone, Debug)]
+enum Step {
+    /// Join against derivable instances of this positive atom.
+    Join(Atom),
+    /// Evaluate a comparison whose variables are all bound.
+    Filter(CmpOp, Term, Term),
+    /// Bind `var` to the evaluation of `expr`.
+    Bind(Symbol, Term),
+    /// Instantiate a negative literal (kept in the ground rule).
+    Naf(Atom),
+}
+
+/// A rule with its body scheduled for grounding.
+#[derive(Clone, Debug)]
+struct ScheduledRule {
+    head: Option<Atom>,
+    steps: Vec<Step>,
+}
+
+fn schedule(rule: &Rule) -> Result<ScheduledRule, GroundError> {
+    if let Some(v) = rule.unsafe_var() {
+        return Err(GroundError::UnsafeRule {
+            rule: rule.to_string(),
+            var: v,
+        });
+    }
+    let mut remaining: Vec<&Literal> = rule.body.iter().collect();
+    let mut bound: HashSet<Symbol> = HashSet::new();
+    let mut steps = Vec::with_capacity(remaining.len());
+    let all_bound = |t: &Term, bound: &HashSet<Symbol>| t.vars().iter().all(|v| bound.contains(v));
+    while !remaining.is_empty() {
+        // 1. A comparison with all variables bound is a pure filter.
+        if let Some(i) = remaining.iter().position(|l| match l {
+            Literal::Cmp(_, a, b) => all_bound(a, &bound) && all_bound(b, &bound),
+            _ => false,
+        }) {
+            let Literal::Cmp(op, a, b) = remaining.remove(i) else {
+                unreachable!()
+            };
+            steps.push(Step::Filter(*op, a.clone(), b.clone()));
+            continue;
+        }
+        // 2. An `=` with exactly one unbound variable side is a binder.
+        if let Some(i) = remaining.iter().position(|l| match l {
+            Literal::Cmp(CmpOp::Eq, Term::Var(v), rhs) => {
+                !bound.contains(v) && all_bound(rhs, &bound)
+            }
+            Literal::Cmp(CmpOp::Eq, lhs, Term::Var(v)) => {
+                !bound.contains(v) && all_bound(lhs, &bound)
+            }
+            _ => false,
+        }) {
+            let Literal::Cmp(_, a, b) = remaining.remove(i) else {
+                unreachable!()
+            };
+            match (a, b) {
+                (Term::Var(v), rhs) if !bound.contains(v) => {
+                    bound.insert(*v);
+                    steps.push(Step::Bind(*v, rhs.clone()));
+                }
+                (lhs, Term::Var(v)) => {
+                    bound.insert(*v);
+                    steps.push(Step::Bind(*v, lhs.clone()));
+                }
+                _ => unreachable!(),
+            }
+            continue;
+        }
+        // 3. A positive atom join, preferring maximal already-bound overlap.
+        let best = remaining
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| match l {
+                Literal::Pos(a) => {
+                    let mut vs = Vec::new();
+                    a.collect_vars(&mut vs);
+                    let overlap = vs.iter().filter(|v| bound.contains(v)).count();
+                    Some((i, overlap))
+                }
+                _ => None,
+            })
+            .max_by_key(|&(i, overlap)| (overlap, std::cmp::Reverse(i)));
+        if let Some((i, _)) = best {
+            let Literal::Pos(a) = remaining.remove(i) else {
+                unreachable!()
+            };
+            let mut vs = Vec::new();
+            a.collect_vars(&mut vs);
+            bound.extend(vs);
+            steps.push(Step::Join(a.clone()));
+            continue;
+        }
+        // 4. Negative literals once bound (safety guarantees this succeeds).
+        if let Some(i) = remaining.iter().position(|l| match l {
+            Literal::Neg(a) => {
+                let mut vs = Vec::new();
+                a.collect_vars(&mut vs);
+                vs.iter().all(|v| bound.contains(v))
+            }
+            _ => false,
+        }) {
+            let Literal::Neg(a) = remaining.remove(i) else {
+                unreachable!()
+            };
+            steps.push(Step::Naf(a.clone()));
+            continue;
+        }
+        // Safety said this cannot happen.
+        let lit = remaining[0].clone();
+        let mut vs = Vec::new();
+        lit.collect_vars(&mut vs);
+        let var = vs
+            .into_iter()
+            .find(|v| !bound.contains(v))
+            .unwrap_or(Symbol::new("_"));
+        return Err(GroundError::UnsafeRule {
+            rule: rule.to_string(),
+            var,
+        });
+    }
+    Ok(ScheduledRule {
+        head: rule.head.clone(),
+        steps,
+    })
+}
+
+/// Join index over the current over-approximation, keyed by predicate
+/// signature + trace.
+#[derive(Default)]
+struct PossibleAtoms {
+    by_sig: HashMap<(Symbol, usize, Trace), Vec<AtomId>>,
+    set: HashSet<AtomId>,
+}
+
+impl PossibleAtoms {
+    fn insert(&mut self, id: AtomId, atom: &Atom) -> bool {
+        if !self.set.insert(id) {
+            return false;
+        }
+        self.by_sig
+            .entry((atom.pred, atom.args.len(), atom.trace.clone()))
+            .or_default()
+            .push(id);
+        true
+    }
+
+    fn candidates(&self, pattern: &Atom) -> &[AtomId] {
+        self.by_sig
+            .get(&(pattern.pred, pattern.args.len(), pattern.trace.clone()))
+            .map_or(&[], Vec::as_slice)
+    }
+}
+
+/// Grounds `program` with default options.
+///
+/// # Errors
+///
+/// Returns [`GroundError::UnsafeRule`] if a rule is unsafe, or
+/// [`GroundError::Budget`] if instantiation explodes past the atom budget.
+pub fn ground(program: &Program) -> Result<GroundProgram, GroundError> {
+    ground_with(program, GroundOptions::default())
+}
+
+/// Grounds `program` with explicit [`GroundOptions`].
+///
+/// # Errors
+///
+/// See [`ground`].
+pub fn ground_with(program: &Program, opts: GroundOptions) -> Result<GroundProgram, GroundError> {
+    let scheduled: Vec<ScheduledRule> = program
+        .rules()
+        .iter()
+        .map(schedule)
+        .collect::<Result<_, _>>()?;
+
+    let mut table = AtomTable::new();
+    let mut possible = PossibleAtoms::default();
+    let mut seen_rules: HashSet<GroundRule> = HashSet::new();
+    let mut ground_rules: Vec<GroundRule> = Vec::new();
+
+    // Saturate: keep instantiating until no new atoms or rules appear.
+    loop {
+        let mut changed = false;
+        for rule in &scheduled {
+            let mut bindings = Bindings::new();
+            instantiate(
+                rule,
+                0,
+                &mut bindings,
+                &mut table,
+                &mut possible,
+                &mut seen_rules,
+                &mut ground_rules,
+                &mut changed,
+                opts.max_atoms,
+            )?;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Ground the weak constraints against the final over-approximation.
+    let mut ground_weaks: Vec<GroundWeak> = Vec::new();
+    {
+        let mut seen_weaks: HashSet<GroundWeak> = HashSet::new();
+        for weak in program.weak_constraints() {
+            if let Some(v) = weak.unsafe_var() {
+                return Err(GroundError::UnsafeRule {
+                    rule: weak.to_string(),
+                    var: v,
+                });
+            }
+            let proxy = Rule {
+                head: None,
+                body: weak.body.clone(),
+            };
+            let sched = schedule(&proxy)?;
+            let mut bindings = Bindings::new();
+            instantiate_weak(
+                &sched,
+                &weak.weight,
+                weak.level,
+                0,
+                &mut bindings,
+                &mut table,
+                &possible,
+                &mut seen_weaks,
+                &mut ground_weaks,
+            );
+        }
+    }
+
+    if !opts.simplify {
+        // Keep the instantiation untouched (used by explanation tooling).
+        let mut definite_facts: Vec<AtomId> = ground_rules
+            .iter()
+            .filter(|r| r.is_fact())
+            .map(|r| r.head.expect("facts have heads"))
+            .collect();
+        definite_facts.sort_unstable();
+        definite_facts.dedup();
+        let inconsistent = ground_rules
+            .iter()
+            .any(|r| r.is_constraint() && r.pos.is_empty() && r.neg.is_empty());
+        return Ok(GroundProgram {
+            table,
+            rules: ground_rules,
+            weaks: ground_weaks,
+            definite_facts,
+            inconsistent,
+        });
+    }
+
+    // --- Simplification ---------------------------------------------------
+    // Definite facts: least fixpoint over rules whose negative atoms are
+    // never derivable.
+    let derivable = &possible.set;
+    let mut fact_set: HashSet<AtomId> = HashSet::new();
+    loop {
+        let mut changed = false;
+        for r in &ground_rules {
+            let Some(h) = r.head else { continue };
+            if fact_set.contains(&h) {
+                continue;
+            }
+            if r.pos.iter().all(|p| fact_set.contains(p))
+                && r.neg.iter().all(|n| !derivable.contains(n))
+            {
+                fact_set.insert(h);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut simplified: Vec<GroundRule> = Vec::new();
+    let mut seen_simplified: HashSet<GroundRule> = HashSet::new();
+    let mut inconsistent = false;
+    for r in &ground_rules {
+        // `not a` with `a` a definite fact blocks the rule.
+        if r.neg.iter().any(|n| fact_set.contains(n)) {
+            continue;
+        }
+        // A rule whose head is a definite fact contributes nothing beyond the
+        // fact itself.
+        if r.head.is_some_and(|h| fact_set.contains(&h)) {
+            continue;
+        }
+        let pos: Vec<AtomId> = r
+            .pos
+            .iter()
+            .copied()
+            .filter(|p| !fact_set.contains(p))
+            .collect();
+        let neg: Vec<AtomId> = r
+            .neg
+            .iter()
+            .copied()
+            .filter(|n| derivable.contains(n))
+            .collect();
+        // A positive literal that can never be derived falsifies the body.
+        if pos
+            .iter()
+            .any(|p| !derivable.contains(p) && !fact_set.contains(p))
+        {
+            continue;
+        }
+        let new_rule = GroundRule {
+            head: r.head,
+            pos,
+            neg,
+        };
+        if new_rule.is_constraint() && new_rule.pos.is_empty() && new_rule.neg.is_empty() {
+            inconsistent = true;
+        }
+        if seen_simplified.insert(new_rule.clone()) {
+            simplified.push(new_rule);
+        }
+    }
+    let mut definite_facts: Vec<AtomId> = fact_set.into_iter().collect();
+    definite_facts.sort_unstable();
+    for &f in &definite_facts {
+        let fact = GroundRule {
+            head: Some(f),
+            pos: Vec::new(),
+            neg: Vec::new(),
+        };
+        if seen_simplified.insert(fact.clone()) {
+            simplified.push(fact);
+        }
+    }
+
+    // Simplify weak constraints with the same fact/derivability knowledge.
+    let mut weaks: Vec<GroundWeak> = Vec::new();
+    let mut seen_weaks: HashSet<GroundWeak> = HashSet::new();
+    let fact_lookup: HashSet<AtomId> = definite_facts.iter().copied().collect();
+    for w in ground_weaks {
+        if w.neg.iter().any(|n| fact_lookup.contains(n)) {
+            continue;
+        }
+        if w.pos
+            .iter()
+            .any(|p| !derivable.contains(p) && !fact_lookup.contains(p))
+        {
+            continue;
+        }
+        let pos: Vec<AtomId> = w
+            .pos
+            .iter()
+            .copied()
+            .filter(|p| !fact_lookup.contains(p))
+            .collect();
+        let neg: Vec<AtomId> = w
+            .neg
+            .iter()
+            .copied()
+            .filter(|n| derivable.contains(n))
+            .collect();
+        let new_weak = GroundWeak {
+            pos,
+            neg,
+            weight: w.weight,
+            level: w.level,
+        };
+        if seen_weaks.insert(new_weak.clone()) {
+            weaks.push(new_weak);
+        }
+    }
+
+    Ok(GroundProgram {
+        table,
+        rules: simplified,
+        weaks,
+        definite_facts,
+        inconsistent,
+    })
+}
+
+/// Instantiates one weak constraint over the final over-approximation.
+#[allow(clippy::too_many_arguments)]
+fn instantiate_weak(
+    rule: &ScheduledRule,
+    weight: &Term,
+    level: i64,
+    step: usize,
+    bindings: &mut Bindings,
+    table: &mut AtomTable,
+    possible: &PossibleAtoms,
+    seen: &mut HashSet<GroundWeak>,
+    out: &mut Vec<GroundWeak>,
+) {
+    if step == rule.steps.len() {
+        let Some(Term::Int(w)) = weight.substitute(bindings) else {
+            return;
+        };
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        for s in &rule.steps {
+            match s {
+                Step::Join(a) => {
+                    let g = a.substitute(bindings).expect("join leaves atom ground");
+                    pos.push(table.intern(&g));
+                }
+                Step::Naf(a) => {
+                    let Some(g) = a.substitute(bindings) else {
+                        return;
+                    };
+                    neg.push(table.intern(&g));
+                }
+                Step::Filter(..) | Step::Bind(..) => {}
+            }
+        }
+        pos.sort_unstable();
+        pos.dedup();
+        neg.sort_unstable();
+        neg.dedup();
+        let gw = GroundWeak {
+            pos,
+            neg,
+            weight: w,
+            level,
+        };
+        if seen.insert(gw.clone()) {
+            out.push(gw);
+        }
+        return;
+    }
+    match &rule.steps[step] {
+        Step::Filter(op, a, b) => {
+            let (Some(ga), Some(gb)) = (a.substitute(bindings), b.substitute(bindings)) else {
+                return;
+            };
+            if op.eval(&ga, &gb) {
+                instantiate_weak(
+                    rule,
+                    weight,
+                    level,
+                    step + 1,
+                    bindings,
+                    table,
+                    possible,
+                    seen,
+                    out,
+                );
+            }
+        }
+        Step::Bind(v, expr) => {
+            let Some(val) = expr.substitute(bindings) else {
+                return;
+            };
+            bindings.insert(*v, val);
+            instantiate_weak(
+                rule,
+                weight,
+                level,
+                step + 1,
+                bindings,
+                table,
+                possible,
+                seen,
+                out,
+            );
+            bindings.remove(v);
+        }
+        Step::Naf(_) => instantiate_weak(
+            rule,
+            weight,
+            level,
+            step + 1,
+            bindings,
+            table,
+            possible,
+            seen,
+            out,
+        ),
+        Step::Join(pattern) => {
+            let candidates: Vec<AtomId> = possible.candidates(pattern).to_vec();
+            for id in candidates {
+                let atom = table.resolve(id).clone();
+                let mut trial = bindings.clone();
+                if pattern.match_ground(&atom, &mut trial) {
+                    instantiate_weak(
+                        rule,
+                        weight,
+                        level,
+                        step + 1,
+                        &mut trial,
+                        table,
+                        possible,
+                        seen,
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn instantiate(
+    rule: &ScheduledRule,
+    step: usize,
+    bindings: &mut Bindings,
+    table: &mut AtomTable,
+    possible: &mut PossibleAtoms,
+    seen_rules: &mut HashSet<GroundRule>,
+    out: &mut Vec<GroundRule>,
+    changed: &mut bool,
+    max_atoms: usize,
+) -> Result<(), GroundError> {
+    if table.len() > max_atoms {
+        return Err(GroundError::Budget { max_atoms });
+    }
+    if step == rule.steps.len() {
+        // Complete binding: emit the ground rule.
+        let head = match &rule.head {
+            Some(h) => match h.substitute(bindings) {
+                Some(g) => Some(table.intern(&g)),
+                // Head arithmetic failed (e.g. division by zero): skip.
+                None => return Ok(()),
+            },
+            None => None,
+        };
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        for s in &rule.steps {
+            match s {
+                Step::Join(a) => {
+                    let g = a.substitute(bindings).expect("join leaves atom ground");
+                    pos.push(table.intern(&g));
+                }
+                Step::Naf(a) => {
+                    let Some(g) = a.substitute(bindings) else {
+                        return Ok(());
+                    };
+                    neg.push(table.intern(&g));
+                }
+                Step::Filter(..) | Step::Bind(..) => {}
+            }
+        }
+        pos.sort_unstable();
+        pos.dedup();
+        neg.sort_unstable();
+        neg.dedup();
+        let gr = GroundRule { head, pos, neg };
+        if seen_rules.insert(gr.clone()) {
+            if let Some(h) = gr.head {
+                let atom = table.resolve(h).clone();
+                if possible.insert(h, &atom) {
+                    *changed = true;
+                }
+            }
+            out.push(gr);
+            *changed = true;
+        }
+        return Ok(());
+    }
+    match &rule.steps[step] {
+        Step::Filter(op, a, b) => {
+            let (Some(ga), Some(gb)) = (a.substitute(bindings), b.substitute(bindings)) else {
+                return Ok(());
+            };
+            if op.eval(&ga, &gb) {
+                instantiate(
+                    rule,
+                    step + 1,
+                    bindings,
+                    table,
+                    possible,
+                    seen_rules,
+                    out,
+                    changed,
+                    max_atoms,
+                )?;
+            }
+            Ok(())
+        }
+        Step::Bind(v, expr) => {
+            let Some(val) = expr.substitute(bindings) else {
+                return Ok(());
+            };
+            bindings.insert(*v, val);
+            instantiate(
+                rule,
+                step + 1,
+                bindings,
+                table,
+                possible,
+                seen_rules,
+                out,
+                changed,
+                max_atoms,
+            )?;
+            bindings.remove(v);
+            Ok(())
+        }
+        Step::Naf(_) => instantiate(
+            rule,
+            step + 1,
+            bindings,
+            table,
+            possible,
+            seen_rules,
+            out,
+            changed,
+            max_atoms,
+        ),
+        Step::Join(pattern) => {
+            // Snapshot candidate list: atoms added during this join are
+            // picked up by the next outer fixpoint pass.
+            let candidates: Vec<AtomId> = possible.candidates(pattern).to_vec();
+            for id in candidates {
+                let atom = table.resolve(id).clone();
+                let mut trial = bindings.clone();
+                if pattern.match_ground(&atom, &mut trial) {
+                    instantiate(
+                        rule,
+                        step + 1,
+                        &mut trial,
+                        table,
+                        possible,
+                        seen_rules,
+                        out,
+                        changed,
+                        max_atoms,
+                    )?;
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atoms_of(g: &GroundProgram) -> Vec<String> {
+        let mut v: Vec<String> = g
+            .definite_facts()
+            .iter()
+            .map(|&f| g.atoms().resolve(f).to_string())
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn grounds_transitive_closure() {
+        let p: Program = "
+            edge(1, 2). edge(2, 3). edge(3, 4).
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- edge(X, Y), path(Y, Z).
+        "
+        .parse()
+        .unwrap();
+        let g = ground(&p).unwrap();
+        let facts = atoms_of(&g);
+        assert!(facts.contains(&"path(1, 4)".to_string()));
+        assert!(facts.contains(&"path(2, 4)".to_string()));
+        assert!(!facts.contains(&"path(4, 1)".to_string()));
+        // 3 edges + 6 paths
+        assert_eq!(facts.len(), 9);
+    }
+
+    #[test]
+    fn arithmetic_binders_ground() {
+        let p: Program = "
+            num(0). num(1). num(2).
+            succ(X, Y) :- num(X), Y = X + 1, Y <= 2.
+        "
+        .parse()
+        .unwrap();
+        let g = ground(&p).unwrap();
+        let facts = atoms_of(&g);
+        assert!(facts.contains(&"succ(0, 1)".to_string()));
+        assert!(facts.contains(&"succ(1, 2)".to_string()));
+        assert!(!facts.iter().any(|f| f.starts_with("succ(2")));
+    }
+
+    #[test]
+    fn negation_is_kept_not_evaluated() {
+        let p: Program = "
+            a.
+            b :- not c.
+            c :- not b.
+        "
+        .parse()
+        .unwrap();
+        let g = ground(&p).unwrap();
+        // a is a definite fact; b/c remain as a cycle through negation.
+        assert!(atoms_of(&g).contains(&"a".to_string()));
+        let cyclic: Vec<&GroundRule> = g.rules().iter().filter(|r| !r.neg.is_empty()).collect();
+        assert_eq!(cyclic.len(), 2);
+    }
+
+    #[test]
+    fn simplification_drops_blocked_rules() {
+        let p: Program = "
+            a.
+            b :- not a.
+            c :- not never.
+        "
+        .parse()
+        .unwrap();
+        let g = ground(&p).unwrap();
+        let facts = atoms_of(&g);
+        // b is blocked (a is a fact); c becomes a fact (never underivable).
+        assert!(facts.contains(&"c".to_string()));
+        assert!(!facts.contains(&"b".to_string()));
+        assert!(!g.proven_inconsistent());
+    }
+
+    #[test]
+    fn constraint_violation_detected_during_simplification() {
+        let p: Program = "a. :- a.".parse().unwrap();
+        let g = ground(&p).unwrap();
+        assert!(g.proven_inconsistent());
+    }
+
+    #[test]
+    fn unsafe_rules_are_rejected() {
+        let p: Program = "p(X) :- not q(X).".parse().unwrap();
+        match ground(&p) {
+            Err(GroundError::UnsafeRule { var, .. }) => assert_eq!(var, Symbol::new("X")),
+            other => panic!("expected unsafe-rule error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let p: Program = "
+            n(1..50).
+            p(X, Y, Z) :- n(X), n(Y), n(Z).
+        "
+        .parse()
+        .unwrap();
+        let err = ground_with(
+            &p,
+            GroundOptions {
+                max_atoms: 1000,
+                ..GroundOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, GroundError::Budget { .. }));
+    }
+
+    #[test]
+    fn annotated_atoms_ground_per_trace() {
+        let p: Program = "
+            size(3)@1.
+            size(X) :- size(X)@1.
+        "
+        .parse()
+        .unwrap();
+        let g = ground(&p).unwrap();
+        let facts = atoms_of(&g);
+        assert!(facts.contains(&"size(3)@1".to_string()));
+        assert!(facts.contains(&"size(3)".to_string()));
+    }
+
+    #[test]
+    fn comparison_filters_prune() {
+        let p: Program = "
+            n(1..5).
+            big(X) :- n(X), X >= 4.
+        "
+        .parse()
+        .unwrap();
+        let g = ground(&p).unwrap();
+        let facts = atoms_of(&g);
+        assert_eq!(facts.iter().filter(|f| f.starts_with("big")).count(), 2);
+    }
+
+    #[test]
+    fn symbolic_comparison_uses_term_order() {
+        let p: Program = "
+            item(apple). item(pear).
+            first(X) :- item(X), X < pear.
+        "
+        .parse()
+        .unwrap();
+        let g = ground(&p).unwrap();
+        assert!(atoms_of(&g).contains(&"first(apple)".to_string()));
+        assert!(!atoms_of(&g).contains(&"first(pear)".to_string()));
+    }
+}

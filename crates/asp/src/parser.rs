@@ -1,0 +1,818 @@
+//! Text syntax for the ASP fragment: normal rules, constraints, negation as
+//! failure, builtin comparisons, arithmetic, `@k` child annotations, and
+//! `lo..hi` ranges in facts.
+//!
+//! ```text
+//! num(1..3).
+//! even(0).
+//! even(Y) :- num(X), Y = X + 1, not even(X).
+//! :- even(2), not even(0).
+//! size(X) :- size(X)@1.
+//! ```
+
+use crate::atom::{Atom, CmpOp, Literal, Trace};
+use crate::program::{Program, Rule, WeakConstraint};
+use crate::symbol::Symbol;
+use crate::term::{ArithOp, Term};
+use std::fmt;
+use std::str::FromStr;
+
+/// An error produced while parsing ASP text, with 1-based line/column.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    msg: String,
+    line: usize,
+    col: usize,
+}
+
+impl ParseError {
+    fn new(msg: impl Into<String>, line: usize, col: usize) -> ParseError {
+        ParseError {
+            msg: msg.into(),
+            line,
+            col,
+        }
+    }
+
+    /// 1-based line of the error.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// 1-based column of the error.
+    pub fn col(&self) -> usize {
+        self.col
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, PartialEq, Debug)]
+enum Tok {
+    Ident(String),
+    Var(String),
+    Int(i64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    DotDot,
+    If,     // :-
+    WeakIf, // :~
+    LBracket,
+    RBracket,
+    At,
+    Not,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Backslash,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(msg, self.line, self.col)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.src[self.pos];
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        c
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn skip_trivia(&mut self) {
+        while let Some(c) = self.peek() {
+            if c.is_ascii_whitespace() {
+                self.bump();
+            } else if c == b'%' {
+                while let Some(c) = self.peek() {
+                    self.bump();
+                    if c == b'\n' {
+                        break;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn tokenize(mut self) -> Result<Vec<(Tok, usize, usize)>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let (line, col) = (self.line, self.col);
+            let Some(c) = self.peek() else { break };
+            let tok = match c {
+                b'(' => {
+                    self.bump();
+                    Tok::LParen
+                }
+                b')' => {
+                    self.bump();
+                    Tok::RParen
+                }
+                b',' => {
+                    self.bump();
+                    Tok::Comma
+                }
+                b'@' => {
+                    self.bump();
+                    Tok::At
+                }
+                b'+' => {
+                    self.bump();
+                    Tok::Plus
+                }
+                b'-' => {
+                    self.bump();
+                    Tok::Minus
+                }
+                b'*' => {
+                    self.bump();
+                    Tok::Star
+                }
+                b'/' => {
+                    self.bump();
+                    Tok::Slash
+                }
+                b'\\' => {
+                    self.bump();
+                    Tok::Backslash
+                }
+                b'.' => {
+                    self.bump();
+                    if self.peek() == Some(b'.') {
+                        self.bump();
+                        Tok::DotDot
+                    } else {
+                        Tok::Dot
+                    }
+                }
+                b':' => {
+                    self.bump();
+                    match self.peek() {
+                        Some(b'-') => {
+                            self.bump();
+                            Tok::If
+                        }
+                        Some(b'~') => {
+                            self.bump();
+                            Tok::WeakIf
+                        }
+                        _ => return Err(self.err("expected `:-` or `:~`")),
+                    }
+                }
+                b'[' => {
+                    self.bump();
+                    Tok::LBracket
+                }
+                b']' => {
+                    self.bump();
+                    Tok::RBracket
+                }
+                b'=' => {
+                    self.bump();
+                    Tok::Eq
+                }
+                b'!' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        Tok::Ne
+                    } else {
+                        return Err(self.err("expected `!=`"));
+                    }
+                }
+                b'<' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        Tok::Le
+                    } else {
+                        Tok::Lt
+                    }
+                }
+                b'>' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        Tok::Ge
+                    } else {
+                        Tok::Gt
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    let mut s = String::new();
+                    loop {
+                        match self.peek() {
+                            None => return Err(self.err("unterminated string")),
+                            Some(b'"') => {
+                                self.bump();
+                                break;
+                            }
+                            Some(b'\\') if self.peek2() == Some(b'"') => {
+                                self.bump();
+                                s.push(self.bump() as char);
+                            }
+                            Some(c) => {
+                                self.bump();
+                                s.push(c as char);
+                            }
+                        }
+                    }
+                    Tok::Str(s)
+                }
+                c if c.is_ascii_digit() => {
+                    let mut n: i64 = 0;
+                    while let Some(d) = self.peek() {
+                        if d.is_ascii_digit() {
+                            self.bump();
+                            n = n
+                                .checked_mul(10)
+                                .and_then(|n| n.checked_add(i64::from(d - b'0')))
+                                .ok_or_else(|| self.err("integer literal overflow"))?;
+                        } else {
+                            break;
+                        }
+                    }
+                    Tok::Int(n)
+                }
+                c if c.is_ascii_alphabetic() || c == b'_' => {
+                    let mut s = String::new();
+                    while let Some(d) = self.peek() {
+                        if d.is_ascii_alphanumeric() || d == b'_' {
+                            self.bump();
+                            s.push(d as char);
+                        } else {
+                            break;
+                        }
+                    }
+                    if s == "not" {
+                        Tok::Not
+                    } else if s.starts_with(|c: char| c.is_ascii_uppercase() || c == '_') {
+                        Tok::Var(s)
+                    } else {
+                        Tok::Ident(s)
+                    }
+                }
+                other => return Err(self.err(format!("unexpected character `{}`", other as char))),
+            };
+            out.push((tok, line, col));
+        }
+        Ok(out)
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize, usize)>,
+    pos: usize,
+    anon_counter: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _, _)| t)
+    }
+
+    fn loc(&self) -> (usize, usize) {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map_or((1, 1), |&(_, l, c)| (l, c))
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        let (l, c) = self.loc();
+        ParseError::new(msg, l, c)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn parse_program(&mut self) -> Result<Program, ParseError> {
+        let mut prog = Program::new();
+        while self.peek().is_some() {
+            if self.peek() == Some(&Tok::WeakIf) {
+                prog.push_weak(self.parse_weak()?);
+            } else {
+                for rule in self.parse_rule()? {
+                    prog.push(rule);
+                }
+            }
+        }
+        Ok(prog)
+    }
+
+    /// Parses `:~ body. [weight@level]` (level optional, default 0).
+    fn parse_weak(&mut self) -> Result<WeakConstraint, ParseError> {
+        self.expect(&Tok::WeakIf, "`:~`")?;
+        let mut body = Vec::new();
+        loop {
+            body.push(self.parse_literal()?);
+            if self.peek() == Some(&Tok::Comma) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect(&Tok::Dot, "`.` after weak-constraint body")?;
+        self.expect(&Tok::LBracket, "`[` for weak-constraint weight")?;
+        let weight = self.parse_term()?;
+        let level = if self.peek() == Some(&Tok::At) {
+            self.bump();
+            match self.bump() {
+                Some(Tok::Int(l)) => l,
+                Some(Tok::Minus) => match self.bump() {
+                    Some(Tok::Int(l)) => -l,
+                    _ => return Err(self.err("expected level after `@-`")),
+                },
+                _ => return Err(self.err("expected integer level after `@`")),
+            }
+        } else {
+            0
+        };
+        self.expect(&Tok::RBracket, "`]` after weak-constraint weight")?;
+        Ok(WeakConstraint {
+            body,
+            weight,
+            level,
+        })
+    }
+
+    /// Parses one rule; range facts expand to several rules.
+    fn parse_rule(&mut self) -> Result<Vec<Rule>, ParseError> {
+        let head = if self.peek() == Some(&Tok::If) {
+            None
+        } else {
+            Some(self.parse_atom()?)
+        };
+        let mut body = Vec::new();
+        if self.peek() == Some(&Tok::If) {
+            self.bump();
+            loop {
+                body.push(self.parse_literal()?);
+                if self.peek() == Some(&Tok::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::Dot, "`.` at end of rule")?;
+        let rule = Rule { head, body };
+        expand_ranges(rule).map_err(|m| self.err(m))
+    }
+
+    fn parse_literal(&mut self) -> Result<Literal, ParseError> {
+        if self.peek() == Some(&Tok::Not) {
+            self.bump();
+            return Ok(Literal::Neg(self.parse_atom()?));
+        }
+        // Could be an atom or a comparison; parse a term first and look ahead.
+        let save = self.pos;
+        let lhs = self.parse_term()?;
+        let op = match self.peek() {
+            Some(Tok::Eq) => Some(CmpOp::Eq),
+            Some(Tok::Ne) => Some(CmpOp::Ne),
+            Some(Tok::Lt) => Some(CmpOp::Lt),
+            Some(Tok::Le) => Some(CmpOp::Le),
+            Some(Tok::Gt) => Some(CmpOp::Gt),
+            Some(Tok::Ge) => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.parse_term()?;
+            return Ok(Literal::Cmp(op, lhs, rhs));
+        }
+        // Not a comparison: reparse as an atom (handles annotations).
+        self.pos = save;
+        Ok(Literal::Pos(self.parse_atom()?))
+    }
+
+    fn parse_atom(&mut self) -> Result<Atom, ParseError> {
+        let name = match self.bump() {
+            Some(Tok::Ident(s)) => s,
+            Some(Tok::Str(s)) => s,
+            _ => return Err(self.err("expected predicate name")),
+        };
+        let mut args = Vec::new();
+        if self.peek() == Some(&Tok::LParen) {
+            self.bump();
+            loop {
+                args.push(self.parse_term()?);
+                match self.bump() {
+                    Some(Tok::Comma) => continue,
+                    Some(Tok::RParen) => break,
+                    _ => return Err(self.err("expected `,` or `)` in argument list")),
+                }
+            }
+        }
+        let mut atom = Atom::new(Symbol::new(&name), args);
+        if self.peek() == Some(&Tok::At) {
+            self.bump();
+            // A single child index is the paper's surface syntax; traces
+            // deeper than one level only arise programmatically.
+            let index = match self.bump() {
+                Some(Tok::Int(i)) if (0..=u16::MAX as i64).contains(&i) => i as u16,
+                _ => return Err(self.err("expected child index after `@`")),
+            };
+            atom = atom.with_trace(Trace::from_indices([index]));
+        }
+        Ok(atom)
+    }
+
+    /// term := factor (('+'|'-') factor)*
+    fn parse_term(&mut self) -> Result<Term, ParseError> {
+        let mut t = self.parse_factor()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => ArithOp::Add,
+                Some(Tok::Minus) => ArithOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_factor()?;
+            t = Term::Arith(op, Box::new(t), Box::new(rhs));
+        }
+        Ok(t)
+    }
+
+    /// factor := primary (('*'|'/'|'\') primary)*
+    fn parse_factor(&mut self) -> Result<Term, ParseError> {
+        let mut t = self.parse_primary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => ArithOp::Mul,
+                Some(Tok::Slash) => ArithOp::Div,
+                Some(Tok::Backslash) => ArithOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_primary()?;
+            t = Term::Arith(op, Box::new(t), Box::new(rhs));
+        }
+        Ok(t)
+    }
+
+    fn parse_primary(&mut self) -> Result<Term, ParseError> {
+        match self.bump() {
+            Some(Tok::Int(n)) => self.maybe_range(Term::Int(n)),
+            Some(Tok::Minus) => match self.bump() {
+                Some(Tok::Int(n)) => self.maybe_range(Term::Int(-n)),
+                _ => Err(self.err("expected integer after unary `-`")),
+            },
+            Some(Tok::Str(s)) => Ok(Term::Sym(Symbol::new(&s))),
+            Some(Tok::Var(v)) => {
+                if v == "_" {
+                    self.anon_counter += 1;
+                    Ok(Term::Var(Symbol::new(&format!(
+                        "_Anon{}",
+                        self.anon_counter
+                    ))))
+                } else {
+                    Ok(Term::Var(Symbol::new(&v)))
+                }
+            }
+            Some(Tok::Ident(name)) => {
+                if self.peek() == Some(&Tok::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    loop {
+                        args.push(self.parse_term()?);
+                        match self.bump() {
+                            Some(Tok::Comma) => continue,
+                            Some(Tok::RParen) => break,
+                            _ => return Err(self.err("expected `,` or `)` in term arguments")),
+                        }
+                    }
+                    Ok(Term::Func(Symbol::new(&name), args))
+                } else {
+                    Ok(Term::Sym(Symbol::new(&name)))
+                }
+            }
+            Some(Tok::LParen) => {
+                let t = self.parse_term()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(t)
+            }
+            _ => Err(self.err("expected term")),
+        }
+    }
+
+    /// After an integer, `..` introduces a range `lo..hi`, represented as the
+    /// reserved compound term `..(lo, hi)` and expanded in facts.
+    fn maybe_range(&mut self, lo: Term) -> Result<Term, ParseError> {
+        if self.peek() == Some(&Tok::DotDot) {
+            self.bump();
+            let hi = match self.bump() {
+                Some(Tok::Int(n)) => Term::Int(n),
+                Some(Tok::Minus) => match self.bump() {
+                    Some(Tok::Int(n)) => Term::Int(-n),
+                    _ => return Err(self.err("expected integer range bound")),
+                },
+                _ => return Err(self.err("expected integer range bound")),
+            };
+            Ok(Term::Func(Symbol::new(RANGE_MARKER), vec![lo, hi]))
+        } else {
+            Ok(lo)
+        }
+    }
+}
+
+const RANGE_MARKER: &str = "..";
+
+/// Expands `lo..hi` range terms in a fact into one fact per value (cartesian
+/// product across several ranges). Ranges elsewhere are rejected.
+fn expand_ranges(rule: Rule) -> Result<Vec<Rule>, String> {
+    fn contains_range(t: &Term) -> bool {
+        match t {
+            Term::Func(f, args) => {
+                f.with_name(|n| n == RANGE_MARKER) || args.iter().any(contains_range)
+            }
+            Term::Arith(_, l, r) => contains_range(l) || contains_range(r),
+            _ => false,
+        }
+    }
+    let head_has_range = rule
+        .head
+        .as_ref()
+        .is_some_and(|h| h.args.iter().any(contains_range));
+    let body_has_range = rule.body.iter().any(|l| match l {
+        Literal::Pos(a) | Literal::Neg(a) => a.args.iter().any(contains_range),
+        Literal::Cmp(_, l, r) => contains_range(l) || contains_range(r),
+    });
+    if body_has_range {
+        return Err("ranges are only supported in facts".to_owned());
+    }
+    if !head_has_range {
+        return Ok(vec![rule]);
+    }
+    if !rule.body.is_empty() {
+        return Err("ranges are only supported in facts".to_owned());
+    }
+    let head = rule.head.expect("checked above");
+    // Expand one range at a time until none remain.
+    fn expand_first(t: &Term) -> Option<Vec<Term>> {
+        match t {
+            Term::Func(f, args) => {
+                if f.with_name(|n| n == RANGE_MARKER) {
+                    if let (Term::Int(lo), Term::Int(hi)) = (&args[0], &args[1]) {
+                        return Some((*lo..=*hi).map(Term::Int).collect());
+                    }
+                    return Some(Vec::new());
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if let Some(vals) = expand_first(a) {
+                        return Some(
+                            vals.into_iter()
+                                .map(|v| {
+                                    let mut new_args = args.clone();
+                                    new_args[i] = v;
+                                    Term::Func(*f, new_args)
+                                })
+                                .collect(),
+                        );
+                    }
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+    let mut pending = vec![head];
+    let mut done = Vec::new();
+    while let Some(h) = pending.pop() {
+        let mut expanded = false;
+        for (i, a) in h.args.iter().enumerate() {
+            if let Some(vals) = expand_first(a) {
+                for v in vals {
+                    let mut args = h.args.clone();
+                    args[i] = v;
+                    pending.push(Atom {
+                        pred: h.pred,
+                        args,
+                        trace: h.trace.clone(),
+                    });
+                }
+                expanded = true;
+                break;
+            }
+        }
+        if !expanded {
+            done.push(h);
+        }
+    }
+    done.sort_by(|a, b| format!("{a}").cmp(&format!("{b}")));
+    Ok(done.into_iter().map(Rule::fact).collect())
+}
+
+/// Parses a full program.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let toks = Lexer::new(src).tokenize()?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        anon_counter: 0,
+    };
+    p.parse_program()
+}
+
+/// Parses a single rule (must be terminated with `.`).
+pub fn parse_rule(src: &str) -> Result<Rule, ParseError> {
+    let toks = Lexer::new(src).tokenize()?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        anon_counter: 0,
+    };
+    let rules = p.parse_rule()?;
+    if p.peek().is_some() {
+        return Err(p.err("trailing input after rule"));
+    }
+    match <[Rule; 1]>::try_from(rules) {
+        Ok([r]) => Ok(r),
+        Err(_) => Err(ParseError::new("expected exactly one rule", 1, 1)),
+    }
+}
+
+/// Parses a single (possibly non-ground) atom.
+pub fn parse_atom(src: &str) -> Result<Atom, ParseError> {
+    let toks = Lexer::new(src).tokenize()?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        anon_counter: 0,
+    };
+    let atom = p.parse_atom()?;
+    if p.peek().is_some() {
+        return Err(p.err("trailing input after atom"));
+    }
+    Ok(atom)
+}
+
+impl FromStr for Program {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Program, ParseError> {
+        parse_program(s)
+    }
+}
+
+impl FromStr for Rule {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Rule, ParseError> {
+        parse_rule(s)
+    }
+}
+
+impl FromStr for Atom {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Atom, ParseError> {
+        parse_atom(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_normal_rules_and_constraints() {
+        let p: Program = "p(X) :- q(X), not r(X). :- p(1).".parse().unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(p.rules()[1].is_constraint());
+        assert_eq!(p.rules()[0].to_string(), "p(X) :- q(X), not r(X).");
+    }
+
+    #[test]
+    fn parses_comparisons_and_arithmetic() {
+        let r: Rule = "p(Y) :- q(X), Y = X + 1, Y <= 10.".parse().unwrap();
+        assert_eq!(r.body.len(), 3);
+        assert_eq!(r.to_string(), "p(Y) :- q(X), Y = (X + 1), Y <= 10.");
+    }
+
+    #[test]
+    fn parses_annotations() {
+        let r: Rule = "size(X) :- size(X)@1.".parse().unwrap();
+        let Literal::Pos(a) = &r.body[0] else {
+            panic!()
+        };
+        assert_eq!(a.trace, Trace::from_indices([1]));
+        assert!(r.head.as_ref().unwrap().trace.is_root());
+    }
+
+    #[test]
+    fn expands_ranges_in_facts() {
+        let p: Program = "num(1..3).".parse().unwrap();
+        assert_eq!(p.len(), 3);
+        assert!(p.rules().iter().all(|r| r.is_fact()));
+        let p2: Program = "pair(1..2, 1..2).".parse().unwrap();
+        assert_eq!(p2.len(), 4);
+    }
+
+    #[test]
+    fn rejects_ranges_in_rule_bodies() {
+        assert!("p(X) :- q(1..3).".parse::<Program>().is_err());
+    }
+
+    #[test]
+    fn parses_strings_and_negatives() {
+        let r: Rule = "role(\"data analyst\", -3).".parse().unwrap();
+        let h = r.head.unwrap();
+        assert_eq!(h.args[1], Term::Int(-3));
+        assert_eq!(h.args[0], Term::Sym(Symbol::new("data analyst")));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let p: Program = "% header\np. % trailing\nq.".parse().unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = "p :- .".parse::<Program>().unwrap_err();
+        assert_eq!(err.line(), 1);
+        assert!(err.col() >= 5);
+    }
+
+    #[test]
+    fn anonymous_variables_are_fresh() {
+        let r: Rule = "p :- q(_, _).".parse().unwrap();
+        let Literal::Pos(a) = &r.body[0] else {
+            panic!()
+        };
+        assert_ne!(a.args[0], a.args[1]);
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let src = "p(X) :- q(X), not r(X), X < 5.";
+        let r: Rule = src.parse().unwrap();
+        let again: Rule = r.to_string().parse().unwrap();
+        assert_eq!(r, again);
+    }
+}

@@ -1,0 +1,141 @@
+//! Global string interning for predicate, constant, and variable names.
+//!
+//! Symbols are cheap (`u32`) copyable handles into a process-wide interner.
+//! Interning the same string twice yields the same [`Symbol`], so equality
+//! and hashing are O(1). The interner is never purged; the set of distinct
+//! names in a policy-management workload is small and long-lived.
+
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned name (predicate symbol, constant, or variable name).
+///
+/// ```
+/// use agenp_asp::Symbol;
+/// let a = Symbol::new("permit");
+/// let b = Symbol::new("permit");
+/// assert_eq!(a, b);
+/// assert_eq!(a.name(), "permit");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+#[derive(Default)]
+struct Interner {
+    names: Vec<String>,
+    index: std::collections::HashMap<String, u32>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| RwLock::new(Interner::default()))
+}
+
+impl Symbol {
+    /// Interns `name` and returns its handle.
+    pub fn new(name: &str) -> Symbol {
+        {
+            let guard = interner().read().expect("symbol interner poisoned");
+            if let Some(&id) = guard.index.get(name) {
+                return Symbol(id);
+            }
+        }
+        let mut guard = interner().write().expect("symbol interner poisoned");
+        if let Some(&id) = guard.index.get(name) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(guard.names.len()).expect("symbol table overflow");
+        guard.names.push(name.to_owned());
+        guard.index.insert(name.to_owned(), id);
+        Symbol(id)
+    }
+
+    /// Returns the interned string for this symbol.
+    pub fn name(self) -> String {
+        interner().read().expect("symbol interner poisoned").names[self.0 as usize].clone()
+    }
+
+    /// Applies `f` to the interned string without cloning it.
+    pub fn with_name<R>(self, f: impl FnOnce(&str) -> R) -> R {
+        let guard = interner().read().expect("symbol interner poisoned");
+        f(&guard.names[self.0 as usize])
+    }
+
+    /// Compares two symbols by their interned strings (not by handle id).
+    pub fn cmp_by_name(self, other: Symbol) -> std::cmp::Ordering {
+        if self == other {
+            return std::cmp::Ordering::Equal;
+        }
+        let guard = interner().read().expect("symbol interner poisoned");
+        guard.names[self.0 as usize].cmp(&guard.names[other.0 as usize])
+    }
+
+    /// True if the name is a valid bare ASP constant: `[a-z][A-Za-z0-9_]*`.
+    pub fn is_bare_constant(self) -> bool {
+        self.with_name(|n| {
+            let mut chars = n.chars();
+            match chars.next() {
+                Some(c) if c.is_ascii_lowercase() => {
+                    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+                }
+                _ => false,
+            }
+        })
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.with_name(|n| write!(f, "Symbol({n:?})"))
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.with_name(|n| f.write_str(n))
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(name: &str) -> Symbol {
+        Symbol::new(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let a = Symbol::new("alpha");
+        let b = Symbol::new("alpha");
+        let c = Symbol::new("beta");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.name(), "alpha");
+        assert_eq!(c.name(), "beta");
+    }
+
+    #[test]
+    fn name_ordering_is_lexicographic() {
+        let z = Symbol::new("zz_order_test");
+        let a = Symbol::new("aa_order_test");
+        assert_eq!(a.cmp_by_name(z), std::cmp::Ordering::Less);
+        assert_eq!(z.cmp_by_name(a), std::cmp::Ordering::Greater);
+        assert_eq!(a.cmp_by_name(a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn bare_constant_detection() {
+        assert!(Symbol::new("abc_1").is_bare_constant());
+        assert!(!Symbol::new("Abc").is_bare_constant());
+        assert!(!Symbol::new("with space").is_bare_constant());
+        assert!(!Symbol::new("").is_bare_constant());
+    }
+
+    #[test]
+    fn display_shows_name() {
+        assert_eq!(Symbol::new("shown").to_string(), "shown");
+    }
+}

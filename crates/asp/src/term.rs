@@ -1,0 +1,347 @@
+//! First-order terms: constants, integers, variables, compound terms, and
+//! arithmetic expressions evaluated at grounding time.
+
+use crate::symbol::Symbol;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Binary arithmetic operators usable inside terms (evaluated at grounding).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (integer division; evaluation fails on division by zero)
+    Div,
+    /// `\` (modulo; evaluation fails on modulo by zero)
+    Mod,
+}
+
+impl ArithOp {
+    /// Applies the operator to two integers; `None` on division/modulo by zero
+    /// or overflow.
+    pub fn apply(self, a: i64, b: i64) -> Option<i64> {
+        match self {
+            ArithOp::Add => a.checked_add(b),
+            ArithOp::Sub => a.checked_sub(b),
+            ArithOp::Mul => a.checked_mul(b),
+            ArithOp::Div => {
+                if b == 0 {
+                    None
+                } else {
+                    a.checked_div(b)
+                }
+            }
+            ArithOp::Mod => {
+                if b == 0 {
+                    None
+                } else {
+                    a.checked_rem(b)
+                }
+            }
+        }
+    }
+
+    /// The concrete syntax for the operator.
+    pub fn token(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+            ArithOp::Mod => "\\",
+        }
+    }
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// A first-order term.
+///
+/// Ground terms (no variables, no unevaluated arithmetic) are totally ordered:
+/// integers sort before symbolic constants, which sort before compound terms.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    /// An integer constant, e.g. `42`.
+    Int(i64),
+    /// A symbolic constant, e.g. `permit`.
+    Sym(Symbol),
+    /// A variable, e.g. `X`.
+    Var(Symbol),
+    /// A compound term, e.g. `route(R, 3)`.
+    Func(Symbol, Vec<Term>),
+    /// An arithmetic expression, e.g. `X + 1`; only well-formed when its
+    /// operands evaluate to integers after substitution.
+    Arith(ArithOp, Box<Term>, Box<Term>),
+}
+
+/// A substitution mapping variable names to ground terms.
+pub type Bindings = HashMap<Symbol, Term>;
+
+impl Term {
+    /// Convenience constructor for a symbolic constant.
+    pub fn sym(name: &str) -> Term {
+        Term::Sym(Symbol::new(name))
+    }
+
+    /// Convenience constructor for a variable.
+    pub fn var(name: &str) -> Term {
+        Term::Var(Symbol::new(name))
+    }
+
+    /// Convenience constructor for a compound term.
+    pub fn func(name: &str, args: Vec<Term>) -> Term {
+        Term::Func(Symbol::new(name), args)
+    }
+
+    /// True if the term contains no variables and no unevaluated arithmetic.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Term::Int(_) | Term::Sym(_) => true,
+            Term::Var(_) | Term::Arith(..) => false,
+            Term::Func(_, args) => args.iter().all(Term::is_ground),
+        }
+    }
+
+    /// Collects the variables occurring in the term into `out`.
+    pub fn collect_vars(&self, out: &mut Vec<Symbol>) {
+        match self {
+            Term::Int(_) | Term::Sym(_) => {}
+            Term::Var(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            Term::Func(_, args) => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+            Term::Arith(_, l, r) => {
+                l.collect_vars(out);
+                r.collect_vars(out);
+            }
+        }
+    }
+
+    /// The set of variables in the term.
+    pub fn vars(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    /// Applies `bindings`, then evaluates arithmetic. Returns `None` if a
+    /// variable remains unbound, an arithmetic operand is non-integer, or
+    /// evaluation fails (division by zero, overflow).
+    pub fn substitute(&self, bindings: &Bindings) -> Option<Term> {
+        match self {
+            Term::Int(_) | Term::Sym(_) => Some(self.clone()),
+            Term::Var(v) => bindings.get(v).cloned(),
+            Term::Func(f, args) => {
+                let mut new_args = Vec::with_capacity(args.len());
+                for a in args {
+                    new_args.push(a.substitute(bindings)?);
+                }
+                Some(Term::Func(*f, new_args))
+            }
+            Term::Arith(op, l, r) => {
+                let lv = l.substitute(bindings)?;
+                let rv = r.substitute(bindings)?;
+                match (lv, rv) {
+                    (Term::Int(a), Term::Int(b)) => op.apply(a, b).map(Term::Int),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// Syntactic match of `self` (a pattern, possibly with variables) against
+    /// a ground `value`, extending `bindings`. Returns false (leaving
+    /// `bindings` in an unspecified extended state the caller must discard)
+    /// on mismatch. Arithmetic subterms never match structurally.
+    pub fn match_ground(&self, value: &Term, bindings: &mut Bindings) -> bool {
+        match (self, value) {
+            (Term::Int(a), Term::Int(b)) => a == b,
+            (Term::Sym(a), Term::Sym(b)) => a == b,
+            (Term::Var(v), _) => match bindings.get(v) {
+                Some(bound) => bound == value,
+                None => {
+                    bindings.insert(*v, value.clone());
+                    true
+                }
+            },
+            (Term::Func(f, fargs), Term::Func(g, gargs)) => {
+                f == g
+                    && fargs.len() == gargs.len()
+                    && fargs
+                        .iter()
+                        .zip(gargs)
+                        .all(|(p, v)| p.match_ground(v, bindings))
+            }
+            _ => false,
+        }
+    }
+
+    /// Total order on ground terms: integers < symbols < compound terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either term is non-ground (variables or arithmetic).
+    pub fn ground_cmp(&self, other: &Term) -> Ordering {
+        fn rank(t: &Term) -> u8 {
+            match t {
+                Term::Int(_) => 0,
+                Term::Sym(_) => 1,
+                Term::Func(..) => 2,
+                Term::Var(_) | Term::Arith(..) => {
+                    panic!("ground_cmp called on non-ground term {t:?}")
+                }
+            }
+        }
+        match (self, other) {
+            (Term::Int(a), Term::Int(b)) => a.cmp(b),
+            (Term::Sym(a), Term::Sym(b)) => a.cmp_by_name(*b),
+            (Term::Func(f, fa), Term::Func(g, ga)) => f
+                .cmp_by_name(*g)
+                .then_with(|| fa.len().cmp(&ga.len()))
+                .then_with(|| {
+                    for (x, y) in fa.iter().zip(ga) {
+                        match x.ground_cmp(y) {
+                            Ordering::Equal => continue,
+                            ord => return ord,
+                        }
+                    }
+                    Ordering::Equal
+                }),
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+}
+
+impl From<i64> for Term {
+    fn from(v: i64) -> Term {
+        Term::Int(v)
+    }
+}
+
+impl From<Symbol> for Term {
+    fn from(s: Symbol) -> Term {
+        Term::Sym(s)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Int(v) => write!(f, "{v}"),
+            Term::Sym(s) => {
+                if s.is_bare_constant() {
+                    write!(f, "{s}")
+                } else {
+                    s.with_name(|n| write!(f, "{n:?}"))
+                }
+            }
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Func(g, args) => {
+                write!(f, "{g}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Term::Arith(op, l, r) => write!(f, "({l} {op} {r})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bind(pairs: &[(&str, Term)]) -> Bindings {
+        pairs
+            .iter()
+            .map(|(n, t)| (Symbol::new(n), t.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn substitution_evaluates_arithmetic() {
+        let t = Term::Arith(
+            ArithOp::Add,
+            Box::new(Term::var("X")),
+            Box::new(Term::Int(1)),
+        );
+        let b = bind(&[("X", Term::Int(4))]);
+        assert_eq!(t.substitute(&b), Some(Term::Int(5)));
+    }
+
+    #[test]
+    fn substitution_fails_on_unbound_and_nonint() {
+        let t = Term::Arith(
+            ArithOp::Mul,
+            Box::new(Term::var("X")),
+            Box::new(Term::Int(2)),
+        );
+        assert_eq!(t.substitute(&Bindings::new()), None);
+        let b = bind(&[("X", Term::sym("a"))]);
+        assert_eq!(t.substitute(&b), None);
+    }
+
+    #[test]
+    fn division_by_zero_fails() {
+        let t = Term::Arith(ArithOp::Div, Box::new(Term::Int(3)), Box::new(Term::Int(0)));
+        assert_eq!(t.substitute(&Bindings::new()), None);
+        let m = Term::Arith(ArithOp::Mod, Box::new(Term::Int(3)), Box::new(Term::Int(0)));
+        assert_eq!(m.substitute(&Bindings::new()), None);
+    }
+
+    #[test]
+    fn matching_binds_variables_consistently() {
+        let pat = Term::func("edge", vec![Term::var("X"), Term::var("X")]);
+        let ok = Term::func("edge", vec![Term::Int(1), Term::Int(1)]);
+        let bad = Term::func("edge", vec![Term::Int(1), Term::Int(2)]);
+        let mut b = Bindings::new();
+        assert!(pat.match_ground(&ok, &mut b));
+        assert_eq!(b.get(&Symbol::new("X")), Some(&Term::Int(1)));
+        let mut b2 = Bindings::new();
+        assert!(!pat.match_ground(&bad, &mut b2));
+    }
+
+    #[test]
+    fn ground_ordering_is_total_over_kinds() {
+        let i = Term::Int(99);
+        let s = Term::sym("aardvark");
+        let c = Term::func("f", vec![Term::Int(0)]);
+        assert_eq!(i.ground_cmp(&s), Ordering::Less);
+        assert_eq!(s.ground_cmp(&c), Ordering::Less);
+        assert_eq!(c.ground_cmp(&i), Ordering::Greater);
+        assert_eq!(s.ground_cmp(&Term::sym("aardvark")), Ordering::Equal);
+    }
+
+    #[test]
+    fn display_round_trips_shape() {
+        let t = Term::func("route", vec![Term::sym("north"), Term::Int(3)]);
+        assert_eq!(t.to_string(), "route(north, 3)");
+        let q = Term::Sym(Symbol::new("has space"));
+        assert_eq!(q.to_string(), "\"has space\"");
+    }
+
+    #[test]
+    fn vars_are_deduplicated() {
+        let t = Term::func("f", vec![Term::var("X"), Term::var("Y"), Term::var("X")]);
+        assert_eq!(t.vars().len(), 2);
+    }
+}

@@ -1,0 +1,45 @@
+//! Fuzz-style robustness tests: the parsers must never panic — any input
+//! yields `Ok` or a positioned `Err`.
+
+use agenp_asp::{parse_atom, parse_program, parse_rule};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary ASCII input never panics the program parser.
+    #[test]
+    fn program_parser_never_panics(src in "[ -~\\n]{0,120}") {
+        let _ = parse_program(&src);
+    }
+
+    /// Arbitrary token soup from the ASP alphabet never panics.
+    #[test]
+    fn token_soup_never_panics(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just(":-"), Just(":~"), Just("not"), Just("."), Just(","),
+                Just("("), Just(")"), Just("["), Just("]"), Just("@"),
+                Just("p"), Just("X"), Just("42"), Just("\"s\""), Just("+"),
+                Just("<"), Just("="), Just(".."), Just("%c\n"),
+            ],
+            0..30,
+        )
+    ) {
+        let src = parts.join(" ");
+        let _ = parse_program(&src);
+        let _ = parse_rule(&src);
+        let _ = parse_atom(&src);
+    }
+
+    /// Valid programs survive a print/parse/print fixpoint.
+    #[test]
+    fn print_parse_print_fixpoint(src in "[ -~\\n]{0,80}") {
+        if let Ok(p) = parse_program(&src) {
+            let printed = p.to_string();
+            let reparsed = parse_program(&printed)
+                .expect("printed programs must reparse");
+            prop_assert_eq!(printed, reparsed.to_string());
+        }
+    }
+}

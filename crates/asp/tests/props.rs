@@ -1,0 +1,160 @@
+//! Property-based tests for the ASP engine: every enumerated model must be a
+//! classical model of the program and stable under the Gelfond–Lifschitz
+//! reduct, the stratified fast path must agree with the generic search, and
+//! printing must round-trip through the parser.
+
+use agenp_asp::{ground, Atom, Literal, Program, Rule, Solver, Term};
+use proptest::prelude::*;
+
+/// A small random propositional program over atoms `a0..a5`.
+fn arb_program() -> impl Strategy<Value = Program> {
+    let atom = (0u8..6).prop_map(|i| Atom::prop(&format!("a{i}")));
+    let literal = (atom.clone(), any::<bool>()).prop_map(|(a, neg)| {
+        if neg {
+            Literal::Neg(a)
+        } else {
+            Literal::Pos(a)
+        }
+    });
+    let body = proptest::collection::vec(literal, 0..3);
+    let rule = (proptest::option::of(atom), body).prop_map(|(head, body)| Rule { head, body });
+    proptest::collection::vec(rule, 0..8).prop_map(|rules| {
+        rules
+            .into_iter()
+            .filter(|r| !(r.head.is_none() && r.body.is_empty()))
+            .collect()
+    })
+}
+
+/// Classical satisfaction of a rule by a set of true atom names.
+fn rule_satisfied(rule: &Rule, truth: &dyn Fn(&Atom) -> bool) -> bool {
+    let body_sat = rule.body.iter().all(|l| match l {
+        Literal::Pos(a) => truth(a),
+        Literal::Neg(a) => !truth(a),
+        Literal::Cmp(op, x, y) => op.eval(x, y),
+    });
+    if !body_sat {
+        return true;
+    }
+    match &rule.head {
+        Some(h) => truth(h),
+        None => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn models_are_classical_models(program in arb_program()) {
+        let g = ground(&program).expect("propositional programs ground");
+        let result = Solver::new().solve(&g);
+        prop_assert!(result.complete());
+        for m in result.models() {
+            let truth = |a: &Atom| m.contains(a);
+            for rule in program.rules() {
+                prop_assert!(
+                    rule_satisfied(rule, &truth),
+                    "model {m} violates rule {rule}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn models_are_stable(program in arb_program()) {
+        let g = ground(&program).expect("propositional programs ground");
+        let result = Solver::new().solve(&g);
+        for m in result.models() {
+            let ids: Vec<_> = g
+                .atoms()
+                .iter()
+                .filter(|(_, a)| m.contains(a))
+                .map(|(id, _)| id)
+                .collect();
+            prop_assert!(agenp_asp::is_stable(&g, &ids), "model {m} is not stable");
+        }
+    }
+
+    #[test]
+    fn stratified_path_agrees_with_search(program in arb_program()) {
+        let g = ground(&program).expect("propositional programs ground");
+        let fast = Solver::new().solve(&g);
+        if !fast.stats().used_stratified {
+            return Ok(()); // non-stratified: only one path exists
+        }
+        let slow = Solver::new().force_search(true).solve(&g);
+        let mut a: Vec<String> = fast.models().iter().map(|m| m.to_string()).collect();
+        let mut b: Vec<String> = slow.models().iter().map(|m| m.to_string()).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn models_are_minimal_among_themselves(program in arb_program()) {
+        // No answer set is a strict subset of another (stable models form an
+        // antichain).
+        let g = ground(&program).expect("propositional programs ground");
+        let result = Solver::new().solve(&g);
+        let models = result.models();
+        for (i, m1) in models.iter().enumerate() {
+            for (j, m2) in models.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let subset = m1.atoms().iter().all(|a| m2.contains(a));
+                prop_assert!(
+                    !(subset && m1.len() < m2.len()),
+                    "answer set {m1} is a strict subset of {m2}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn display_parse_round_trip(program in arb_program()) {
+        let text = program.to_string();
+        let reparsed: Program = text.parse().expect("printed program reparses");
+        prop_assert_eq!(program, reparsed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Grounding a rule over a domain of integers enumerates exactly the
+    /// instances satisfying its comparison filters.
+    #[test]
+    fn grounding_respects_filters(lo in 0i64..5, width in 0i64..6, cut in 0i64..10) {
+        let hi = lo + width;
+        let src = format!(
+            "num({lo}..{hi}). keep(X) :- num(X), X < {cut}."
+        );
+        let program: Program = src.parse().unwrap();
+        let g = ground(&program).unwrap();
+        let result = Solver::new().solve(&g);
+        let m = &result.models()[0];
+        let kept = m.with_predicate("keep").count();
+        let expected = (lo..=hi).filter(|&x| x < cut).count();
+        prop_assert_eq!(kept, expected);
+    }
+
+    /// Arithmetic binders compute the expected function.
+    #[test]
+    fn grounding_evaluates_arithmetic(xs in proptest::collection::btree_set(0i64..20, 1..6)) {
+        let mut src = String::new();
+        for x in &xs {
+            src.push_str(&format!("n({x}). "));
+        }
+        src.push_str("d(Y) :- n(X), Y = X * 2 + 1.");
+        let program: Program = src.parse().unwrap();
+        let result = Solver::new().solve(&ground(&program).unwrap());
+        let m = &result.models()[0];
+        for x in &xs {
+            let want = Atom::new("d", vec![Term::Int(x * 2 + 1)]);
+            prop_assert!(m.contains(&want), "missing {want}");
+        }
+        prop_assert_eq!(m.with_predicate("d").count(), xs.len());
+    }
+}

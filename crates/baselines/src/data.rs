@@ -1,0 +1,185 @@
+//! Tabular datasets with mixed categorical/numeric features, the input
+//! format shared by all baseline learners.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One feature value.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum Feature {
+    /// A numeric feature.
+    Num(f64),
+    /// A categorical feature.
+    Cat(String),
+}
+
+impl Feature {
+    /// Categorical constructor.
+    pub fn cat(s: &str) -> Feature {
+        Feature::Cat(s.to_owned())
+    }
+
+    /// Numeric constructor.
+    pub fn num(v: impl Into<f64>) -> Feature {
+        Feature::Num(v.into())
+    }
+
+    /// The numeric value, if numeric.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Feature::Num(v) => Some(*v),
+            Feature::Cat(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Feature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Feature::Num(v) => write!(f, "{v}"),
+            Feature::Cat(s) => f.write_str(s),
+        }
+    }
+}
+
+/// A labelled dataset.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Feature names (column headers).
+    pub feature_names: Vec<String>,
+    /// Rows of feature values (all rows must have `feature_names.len()`
+    /// entries).
+    pub rows: Vec<Vec<Feature>>,
+    /// Class label per row.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub n_classes: usize,
+}
+
+impl Dataset {
+    /// An empty dataset with the given schema.
+    pub fn new(feature_names: Vec<String>, n_classes: usize) -> Dataset {
+        Dataset {
+            feature_names,
+            rows: Vec::new(),
+            labels: Vec::new(),
+            n_classes,
+        }
+    }
+
+    /// Adds one labelled row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width doesn't match the schema or the label is out
+    /// of range.
+    pub fn push(&mut self, row: Vec<Feature>, label: usize) {
+        assert_eq!(row.len(), self.feature_names.len(), "row width mismatch");
+        assert!(label < self.n_classes, "label out of range");
+        self.rows.push(row);
+        self.labels.push(label);
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// The subset with the given row indices.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            feature_names: self.feature_names.clone(),
+            rows: indices.iter().map(|&i| self.rows[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            n_classes: self.n_classes,
+        }
+    }
+
+    /// The first `n` rows (for learning curves).
+    pub fn take(&self, n: usize) -> Dataset {
+        let idx: Vec<usize> = (0..n.min(self.len())).collect();
+        self.subset(&idx)
+    }
+
+    /// The majority class (ties broken toward the lower label), or 0 for an
+    /// empty dataset.
+    pub fn majority_label(&self) -> usize {
+        let mut counts = vec![0usize; self.n_classes.max(1)];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, c)| (c, std::cmp::Reverse(i)))
+            .map_or(0, |(i, _)| i)
+    }
+}
+
+/// A trained classifier.
+pub trait Classifier: fmt::Debug {
+    /// Predicts the class of one row.
+    fn predict(&self, row: &[Feature]) -> usize;
+
+    /// Accuracy on a labelled dataset.
+    fn accuracy(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 1.0;
+        }
+        let correct = data
+            .rows
+            .iter()
+            .zip(&data.labels)
+            .filter(|(row, &label)| self.predict(row) == label)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn xor_dataset() -> Dataset {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()], 2);
+        for (a, b) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+            let label = usize::from((a != 0.0) ^ (b != 0.0));
+            d.push(vec![Feature::Num(a), Feature::Num(b)], label);
+        }
+        d
+    }
+
+    #[test]
+    fn construction_and_subset() {
+        let d = xor_dataset();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.n_features(), 2);
+        let s = d.subset(&[0, 3]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.labels, vec![0, 0]);
+        assert_eq!(d.take(2).len(), 2);
+    }
+
+    #[test]
+    fn majority_label_breaks_ties_low() {
+        let d = xor_dataset();
+        assert_eq!(d.majority_label(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_is_validated() {
+        let mut d = Dataset::new(vec!["a".into()], 2);
+        d.push(vec![Feature::Num(1.0), Feature::Num(2.0)], 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Evaluation utilities: shuffled splits and learning curves, used by the
+//! E6 comparison (ASG-based GPM vs shallow ML, paper §IV-A).
+
+use crate::data::{Classifier, Dataset};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Deterministically shuffles and splits a dataset into (train, test).
+pub fn train_test_split(data: &Dataset, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    idx.shuffle(&mut rng);
+    let cut = ((data.len() as f64) * train_fraction).round() as usize;
+    let cut = cut.min(data.len());
+    (data.subset(&idx[..cut]), data.subset(&idx[cut..]))
+}
+
+/// One learning-curve point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CurvePoint {
+    /// Training-set size used.
+    pub n_train: usize,
+    /// Accuracy on the held-out test set.
+    pub accuracy: f64,
+}
+
+/// Computes a learning curve: for each size in `sizes`, fit on the first `n`
+/// training rows and test on `test`.
+pub fn learning_curve<C: Classifier>(
+    train: &Dataset,
+    test: &Dataset,
+    sizes: &[usize],
+    fit: impl Fn(&Dataset) -> C,
+) -> Vec<CurvePoint> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let sub = train.take(n);
+            let model = fit(&sub);
+            CurvePoint {
+                n_train: sub.len(),
+                accuracy: model.accuracy(test),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Feature;
+    use crate::tree::DecisionTree;
+
+    fn separable(n: usize) -> Dataset {
+        let mut d = Dataset::new(vec!["x".into()], 2);
+        for i in 0..n {
+            d.push(vec![Feature::Num(i as f64)], usize::from(i >= n / 2));
+        }
+        d
+    }
+
+    #[test]
+    fn split_is_deterministic_and_partitioning() {
+        let d = separable(20);
+        let (tr1, te1) = train_test_split(&d, 0.7, 42);
+        let (tr2, te2) = train_test_split(&d, 0.7, 42);
+        assert_eq!(tr1.len(), 14);
+        assert_eq!(te1.len(), 6);
+        assert_eq!(tr1.rows, tr2.rows);
+        assert_eq!(te1.rows, te2.rows);
+        let (tr3, _) = train_test_split(&d, 0.7, 43);
+        assert_ne!(tr1.rows, tr3.rows, "different seeds shuffle differently");
+    }
+
+    #[test]
+    fn curve_improves_with_data() {
+        let d = separable(200);
+        let (train, test) = train_test_split(&d, 0.5, 7);
+        let curve = learning_curve(&train, &test, &[2, 10, 100], DecisionTree::fit);
+        assert_eq!(curve.len(), 3);
+        assert!(curve[2].accuracy >= curve[0].accuracy);
+        assert!(curve[2].accuracy > 0.9);
+    }
+}

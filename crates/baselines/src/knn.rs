@@ -1,0 +1,122 @@
+//! k-nearest-neighbours with a mixed-type distance: normalized absolute
+//! difference for numeric features, 0/1 mismatch for categorical.
+
+use crate::data::{Classifier, Dataset, Feature};
+
+/// A (lazy) k-NN classifier: stores the training data and feature ranges.
+#[derive(Clone, Debug)]
+pub struct Knn {
+    data: Dataset,
+    k: usize,
+    /// Per-feature (min, max) over numeric features, for normalization.
+    ranges: Vec<Option<(f64, f64)>>,
+}
+
+impl Knn {
+    /// "Fits" (stores) the training set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset or `k == 0`.
+    pub fn fit(data: &Dataset, k: usize) -> Knn {
+        assert!(!data.is_empty(), "cannot fit k-NN on an empty dataset");
+        assert!(k > 0, "k must be positive");
+        let mut ranges = vec![None; data.n_features()];
+        for (f, range) in ranges.iter_mut().enumerate() {
+            let nums: Vec<f64> = data.rows.iter().filter_map(|r| r[f].as_num()).collect();
+            if !nums.is_empty() {
+                let min = nums.iter().copied().fold(f64::INFINITY, f64::min);
+                let max = nums.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                *range = Some((min, max));
+            }
+        }
+        Knn {
+            data: data.clone(),
+            k,
+            ranges,
+        }
+    }
+
+    fn distance(&self, a: &[Feature], b: &[Feature]) -> f64 {
+        let mut d = 0.0;
+        for (f, (x, y)) in a.iter().zip(b).enumerate() {
+            d += match (x, y) {
+                (Feature::Num(vx), Feature::Num(vy)) => {
+                    let scale = self.ranges[f].map_or(1.0, |(lo, hi)| (hi - lo).max(1e-9));
+                    ((vx - vy) / scale).abs()
+                }
+                (Feature::Cat(cx), Feature::Cat(cy)) if cx == cy => 0.0,
+                _ => 1.0,
+            };
+        }
+        d
+    }
+}
+
+impl Classifier for Knn {
+    fn predict(&self, row: &[Feature]) -> usize {
+        let mut dists: Vec<(f64, usize)> = self
+            .data
+            .rows
+            .iter()
+            .zip(&self.data.labels)
+            .map(|(r, &l)| (self.distance(row, r), l))
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("distances are finite"));
+        let mut counts = vec![0usize; self.data.n_classes.max(1)];
+        for &(_, l) in dists.iter().take(self.k) {
+            counts[l] += 1;
+        }
+        counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, c)| (c, std::cmp::Reverse(i)))
+            .map_or(0, |(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_neighbour_memorizes() {
+        let mut d = Dataset::new(vec!["x".into()], 2);
+        d.push(vec![Feature::Num(0.0)], 0);
+        d.push(vec![Feature::Num(10.0)], 1);
+        let knn = Knn::fit(&d, 1);
+        assert_eq!(knn.predict(&[Feature::Num(1.0)]), 0);
+        assert_eq!(knn.predict(&[Feature::Num(9.0)]), 1);
+        assert_eq!(knn.accuracy(&d), 1.0);
+    }
+
+    #[test]
+    fn k_majority_smooths_noise() {
+        let mut d = Dataset::new(vec!["x".into()], 2);
+        for i in 0..10 {
+            d.push(vec![Feature::Num(i as f64)], usize::from(i >= 5));
+        }
+        // One mislabelled point.
+        d.push(vec![Feature::Num(0.5)], 1);
+        let knn = Knn::fit(&d, 3);
+        assert_eq!(knn.predict(&[Feature::Num(0.4)]), 0);
+    }
+
+    #[test]
+    fn mixed_distance() {
+        let mut d = Dataset::new(vec!["loa".into(), "w".into()], 2);
+        d.push(vec![Feature::Num(0.0), Feature::cat("rain")], 0);
+        d.push(vec![Feature::Num(5.0), Feature::cat("clear")], 1);
+        let knn = Knn::fit(&d, 1);
+        assert_eq!(knn.predict(&[Feature::Num(0.5), Feature::cat("rain")]), 0);
+        assert_eq!(knn.predict(&[Feature::Num(4.5), Feature::cat("clear")]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let mut d = Dataset::new(vec!["x".into()], 1);
+        d.push(vec![Feature::Num(0.0)], 0);
+        let _ = Knn::fit(&d, 0);
+    }
+}

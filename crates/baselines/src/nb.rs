@@ -1,0 +1,164 @@
+//! Naive Bayes: categorical features with Laplace smoothing, numeric
+//! features as Gaussians.
+
+use crate::data::{Classifier, Dataset, Feature};
+use std::collections::HashMap;
+
+#[derive(Clone, Debug)]
+enum FeatureModel {
+    /// value → count per class.
+    Cat(HashMap<String, Vec<usize>>),
+    /// Per-class (mean, variance).
+    Num(Vec<(f64, f64)>),
+}
+
+/// A trained naive-Bayes classifier.
+#[derive(Clone, Debug)]
+pub struct NaiveBayes {
+    class_counts: Vec<usize>,
+    total: usize,
+    features: Vec<FeatureModel>,
+    n_classes: usize,
+}
+
+impl NaiveBayes {
+    /// Fits the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset.
+    pub fn fit(data: &Dataset) -> NaiveBayes {
+        assert!(
+            !data.is_empty(),
+            "cannot fit naive Bayes on an empty dataset"
+        );
+        let n_classes = data.n_classes.max(1);
+        let mut class_counts = vec![0usize; n_classes];
+        for &l in &data.labels {
+            class_counts[l] += 1;
+        }
+        let mut features = Vec::with_capacity(data.n_features());
+        for f in 0..data.n_features() {
+            let numeric = data.rows.iter().all(|r| matches!(r[f], Feature::Num(_)));
+            if numeric {
+                let mut stats = vec![(0.0f64, 0.0f64, 0usize); n_classes]; // (sum, sumsq, n)
+                for (row, &label) in data.rows.iter().zip(&data.labels) {
+                    let v = row[f].as_num().expect("checked numeric");
+                    stats[label].0 += v;
+                    stats[label].1 += v * v;
+                    stats[label].2 += 1;
+                }
+                let params: Vec<(f64, f64)> = stats
+                    .iter()
+                    .map(|&(sum, sumsq, n)| {
+                        if n == 0 {
+                            (0.0, 1.0)
+                        } else {
+                            let mean = sum / n as f64;
+                            let var = (sumsq / n as f64 - mean * mean).max(1e-6);
+                            (mean, var)
+                        }
+                    })
+                    .collect();
+                features.push(FeatureModel::Num(params));
+            } else {
+                let mut counts: HashMap<String, Vec<usize>> = HashMap::new();
+                for (row, &label) in data.rows.iter().zip(&data.labels) {
+                    let key = row[f].to_string();
+                    counts.entry(key).or_insert_with(|| vec![0; n_classes])[label] += 1;
+                }
+                features.push(FeatureModel::Cat(counts));
+            }
+        }
+        NaiveBayes {
+            class_counts,
+            total: data.len(),
+            features,
+            n_classes,
+        }
+    }
+}
+
+impl Classifier for NaiveBayes {
+    fn predict(&self, row: &[Feature]) -> usize {
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for c in 0..self.n_classes {
+            let prior =
+                (self.class_counts[c] as f64 + 1.0) / (self.total as f64 + self.n_classes as f64);
+            let mut log_p = prior.ln();
+            for (f, model) in self.features.iter().enumerate() {
+                match model {
+                    FeatureModel::Cat(counts) => {
+                        let key = row[f].to_string();
+                        let vocab = counts.len().max(1) as f64;
+                        let count = counts.get(&key).map_or(0, |v| v[c]);
+                        let p = (count as f64 + 1.0) / (self.class_counts[c] as f64 + vocab);
+                        log_p += p.ln();
+                    }
+                    FeatureModel::Num(params) => {
+                        if let Some(v) = row[f].as_num() {
+                            let (mean, var) = params[c];
+                            let diff = v - mean;
+                            log_p += -0.5 * (2.0 * std::f64::consts::PI * var).ln()
+                                - diff * diff / (2.0 * var);
+                        }
+                    }
+                }
+            }
+            if log_p > best.1 {
+                best = (c, log_p);
+            }
+        }
+        best.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separable_categorical() {
+        let mut d = Dataset::new(vec!["weather".into()], 2);
+        for _ in 0..10 {
+            d.push(vec![Feature::cat("rain")], 0);
+            d.push(vec![Feature::cat("clear")], 1);
+        }
+        let nb = NaiveBayes::fit(&d);
+        assert_eq!(nb.accuracy(&d), 1.0);
+    }
+
+    #[test]
+    fn gaussian_numeric() {
+        let mut d = Dataset::new(vec!["x".into()], 2);
+        for i in 0..20 {
+            d.push(vec![Feature::Num(i as f64 / 10.0)], 0);
+            d.push(vec![Feature::Num(5.0 + i as f64 / 10.0)], 1);
+        }
+        let nb = NaiveBayes::fit(&d);
+        assert!(nb.accuracy(&d) > 0.95);
+        assert_eq!(nb.predict(&[Feature::Num(0.5)]), 0);
+        assert_eq!(nb.predict(&[Feature::Num(6.0)]), 1);
+    }
+
+    #[test]
+    fn unseen_category_is_smoothed() {
+        let mut d = Dataset::new(vec!["w".into()], 2);
+        d.push(vec![Feature::cat("a")], 0);
+        d.push(vec![Feature::cat("b")], 1);
+        let nb = NaiveBayes::fit(&d);
+        // No panic, some deterministic class.
+        let _ = nb.predict(&[Feature::cat("zzz")]);
+    }
+
+    #[test]
+    fn skewed_priors_matter() {
+        let mut d = Dataset::new(vec!["w".into()], 2);
+        for _ in 0..9 {
+            d.push(vec![Feature::cat("x")], 0);
+        }
+        d.push(vec![Feature::cat("x")], 1);
+        let nb = NaiveBayes::fit(&d);
+        assert_eq!(nb.predict(&[Feature::cat("x")]), 0);
+    }
+}

@@ -1,0 +1,342 @@
+//! A CART-style decision tree (Gini impurity, numeric threshold and
+//! categorical equality splits) — the paper's representative "shallow ML"
+//! comparator (§IV-A).
+
+use crate::data::{Classifier, Dataset, Feature};
+
+/// Decision-tree hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeParams {
+    /// Maximum depth.
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> TreeParams {
+        TreeParams {
+            max_depth: 12,
+            min_samples_split: 2,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf {
+        label: usize,
+    },
+    NumSplit {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+    CatSplit {
+        feature: usize,
+        value: String,
+        matches: Box<Node>,
+        rest: Box<Node>,
+    },
+}
+
+/// A trained decision tree.
+#[derive(Clone, Debug)]
+pub struct DecisionTree {
+    root: Node,
+    n_nodes: usize,
+}
+
+impl DecisionTree {
+    /// Fits a tree on `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset.
+    pub fn fit(data: &Dataset) -> DecisionTree {
+        DecisionTree::fit_with(data, TreeParams::default())
+    }
+
+    /// Fits with explicit hyperparameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset.
+    pub fn fit_with(data: &Dataset, params: TreeParams) -> DecisionTree {
+        assert!(
+            !data.is_empty(),
+            "cannot fit a decision tree on an empty dataset"
+        );
+        let idx: Vec<usize> = (0..data.len()).collect();
+        let mut n_nodes = 0;
+        let root = build(data, &idx, params.max_depth, &params, &mut n_nodes);
+        DecisionTree { root, n_nodes }
+    }
+
+    /// Number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Depth of the tree.
+    pub fn depth(&self) -> usize {
+        fn d(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::NumSplit { left, right, .. } => 1 + d(left).max(d(right)),
+                Node::CatSplit { matches, rest, .. } => 1 + d(matches).max(d(rest)),
+            }
+        }
+        d(&self.root)
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn predict(&self, row: &[Feature]) -> usize {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { label } => return *label,
+                Node::NumSplit {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let v = row[*feature].as_num().unwrap_or(f64::NAN);
+                    node = if v <= *threshold { left } else { right };
+                }
+                Node::CatSplit {
+                    feature,
+                    value,
+                    matches,
+                    rest,
+                } => {
+                    let m = matches_cat(&row[*feature], value);
+                    node = if m { matches } else { rest };
+                }
+            }
+        }
+    }
+}
+
+fn matches_cat(f: &Feature, value: &str) -> bool {
+    matches!(f, Feature::Cat(s) if s == value)
+}
+
+fn gini(data: &Dataset, idx: &[usize]) -> f64 {
+    if idx.is_empty() {
+        return 0.0;
+    }
+    let mut counts = vec![0usize; data.n_classes.max(1)];
+    for &i in idx {
+        counts[data.labels[i]] += 1;
+    }
+    let n = idx.len() as f64;
+    1.0 - counts.iter().map(|&c| (c as f64 / n).powi(2)).sum::<f64>()
+}
+
+fn majority(data: &Dataset, idx: &[usize]) -> usize {
+    let mut counts = vec![0usize; data.n_classes.max(1)];
+    for &i in idx {
+        counts[data.labels[i]] += 1;
+    }
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, c)| (c, std::cmp::Reverse(i)))
+        .map_or(0, |(i, _)| i)
+}
+
+enum Split {
+    Num { feature: usize, threshold: f64 },
+    Cat { feature: usize, value: String },
+}
+
+fn build(
+    data: &Dataset,
+    idx: &[usize],
+    depth_left: usize,
+    params: &TreeParams,
+    n_nodes: &mut usize,
+) -> Node {
+    *n_nodes += 1;
+    let label = majority(data, idx);
+    let impurity = gini(data, idx);
+    if impurity == 0.0 || depth_left == 0 || idx.len() < params.min_samples_split {
+        return Node::Leaf { label };
+    }
+    // Find the best split across features.
+    let mut best: Option<(f64, Split, Vec<usize>, Vec<usize>)> = None;
+    for f in 0..data.n_features() {
+        // Candidate numeric thresholds: midpoints between sorted distinct
+        // values; categorical candidates: each distinct value.
+        let mut nums: Vec<f64> = idx
+            .iter()
+            .filter_map(|&i| data.rows[i][f].as_num())
+            .collect();
+        nums.sort_by(|a, b| a.partial_cmp(b).expect("no NaN features"));
+        nums.dedup();
+        for w in nums.windows(2) {
+            let threshold = (w[0] + w[1]) / 2.0;
+            let (l, r): (Vec<usize>, Vec<usize>) = idx
+                .iter()
+                .partition(|&&i| data.rows[i][f].as_num().is_some_and(|v| v <= threshold));
+            consider(
+                data,
+                f64::NAN,
+                Split::Num {
+                    feature: f,
+                    threshold,
+                },
+                l,
+                r,
+                &mut best,
+            );
+        }
+        let mut cats: Vec<&str> = idx
+            .iter()
+            .filter_map(|&i| match &data.rows[i][f] {
+                Feature::Cat(s) => Some(s.as_str()),
+                Feature::Num(_) => None,
+            })
+            .collect();
+        cats.sort_unstable();
+        cats.dedup();
+        for value in cats {
+            let (l, r): (Vec<usize>, Vec<usize>) = idx
+                .iter()
+                .partition(|&&i| matches_cat(&data.rows[i][f], value));
+            consider(
+                data,
+                f64::NAN,
+                Split::Cat {
+                    feature: f,
+                    value: value.to_owned(),
+                },
+                l,
+                r,
+                &mut best,
+            );
+        }
+    }
+    // Gini is concave, so every split's weighted child impurity is ≤ the
+    // parent's; zero-gain splits (e.g. the first level of XOR) are still
+    // taken — termination is guaranteed because both children are strictly
+    // smaller, and the depth bound caps pathological growth.
+    let Some((_, split, left_idx, right_idx)) = best else {
+        return Node::Leaf { label };
+    };
+    let left = build(data, &left_idx, depth_left - 1, params, n_nodes);
+    let right = build(data, &right_idx, depth_left - 1, params, n_nodes);
+    match split {
+        Split::Num { feature, threshold } => Node::NumSplit {
+            feature,
+            threshold,
+            left: Box::new(left),
+            right: Box::new(right),
+        },
+        Split::Cat { feature, value } => Node::CatSplit {
+            feature,
+            value,
+            matches: Box::new(left),
+            rest: Box::new(right),
+        },
+    }
+}
+
+fn consider(
+    data: &Dataset,
+    _unused: f64,
+    split: Split,
+    left: Vec<usize>,
+    right: Vec<usize>,
+    best: &mut Option<(f64, Split, Vec<usize>, Vec<usize>)>,
+) {
+    if left.is_empty() || right.is_empty() {
+        return;
+    }
+    let n = (left.len() + right.len()) as f64;
+    let weighted =
+        gini(data, &left) * left.len() as f64 / n + gini(data, &right) * right.len() as f64 / n;
+    if best.as_ref().is_none_or(|(b, ..)| weighted < *b) {
+        *best = Some((weighted, split, left, right));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor() -> Dataset {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()], 2);
+        for (a, b) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+            d.push(
+                vec![Feature::Num(a), Feature::Num(b)],
+                usize::from((a != 0.0) ^ (b != 0.0)),
+            );
+        }
+        d
+    }
+
+    #[test]
+    fn learns_xor_exactly() {
+        let d = xor();
+        let t = DecisionTree::fit(&d);
+        assert_eq!(t.accuracy(&d), 1.0);
+        assert!(t.depth() >= 3);
+    }
+
+    #[test]
+    fn categorical_splits_work() {
+        let mut d = Dataset::new(vec!["weather".into()], 2);
+        for _ in 0..5 {
+            d.push(vec![Feature::cat("rain")], 0);
+            d.push(vec![Feature::cat("clear")], 1);
+        }
+        let t = DecisionTree::fit(&d);
+        assert_eq!(t.accuracy(&d), 1.0);
+        assert_eq!(t.predict(&[Feature::cat("rain")]), 0);
+        assert_eq!(t.predict(&[Feature::cat("clear")]), 1);
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let d = xor();
+        let t = DecisionTree::fit_with(
+            &d,
+            TreeParams {
+                max_depth: 1,
+                min_samples_split: 2,
+            },
+        );
+        assert!(t.depth() <= 2);
+        assert!(t.accuracy(&d) < 1.0); // xor is not depth-1 separable
+    }
+
+    #[test]
+    fn pure_nodes_stop_early() {
+        let mut d = Dataset::new(vec!["x".into()], 2);
+        for i in 0..10 {
+            d.push(vec![Feature::Num(i as f64)], 0);
+        }
+        let t = DecisionTree::fit(&d);
+        assert_eq!(t.node_count(), 1);
+    }
+
+    #[test]
+    fn mixed_feature_types() {
+        let mut d = Dataset::new(vec!["loa".into(), "weather".into()], 2);
+        for loa in 0..6 {
+            for w in ["rain", "clear"] {
+                let label = usize::from(loa >= 3 && w == "clear");
+                d.push(vec![Feature::Num(loa as f64), Feature::cat(w)], label);
+            }
+        }
+        let t = DecisionTree::fit(&d);
+        assert_eq!(t.accuracy(&d), 1.0);
+        assert_eq!(t.predict(&[Feature::Num(5.0), Feature::cat("clear")]), 1);
+        assert_eq!(t.predict(&[Feature::Num(5.0), Feature::cat("rain")]), 0);
+    }
+}

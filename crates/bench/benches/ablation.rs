@@ -1,0 +1,60 @@
+//! Ablation benchmarks (experiment E12): stratified fast path vs DPLL,
+//! monotone vs generic learning, batch vs incremental learning.
+
+use agenp_asp::{ground, Solver};
+use agenp_bench::birds_program;
+use agenp_core::scenarios::cav;
+use agenp_learn::{LearnOptions, Learner};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    let g = ground(&birds_program(200)).expect("grounds");
+    group.bench_function("solver_stratified", |b| {
+        b.iter(|| Solver::new().solve(&g).models().len())
+    });
+    group.bench_function("solver_forced_dpll", |b| {
+        b.iter(|| Solver::new().force_search(true).solve(&g).models().len())
+    });
+
+    // The generic subset search is exponential; keep sizes small.
+    for n in [4usize, 6] {
+        let train = cav::samples(n, 7);
+        let task = cav::learning_task(&train, None);
+        group.bench_with_input(BenchmarkId::new("learner_monotone", n), &task, |b, task| {
+            b.iter(|| Learner::new().learn(task).expect("learnable").cost)
+        });
+        group.bench_with_input(BenchmarkId::new("learner_generic", n), &task, |b, task| {
+            b.iter(|| {
+                Learner::with_options(LearnOptions {
+                    force_generic: true,
+                    max_nodes: 50_000_000,
+                    ..Default::default()
+                })
+                .learn(task)
+                .expect("learnable")
+                .cost
+            })
+        });
+    }
+
+    let train = cav::samples(64, 7);
+    let task = cav::learning_task(&train, None);
+    group.bench_function("learner_batch_64", |b| {
+        b.iter(|| Learner::new().learn(&task).expect("learnable").cost)
+    });
+    group.bench_function("learner_incremental_64", |b| {
+        b.iter(|| {
+            Learner::new()
+                .learn_incremental(&task)
+                .expect("learnable")
+                .0
+                .cost
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! ASG membership benchmarks: `s ∈ L(G)` cost vs string length on the
+//! context-sensitive showcase grammar, and per-decision cost on the CAV
+//! grammar (experiment E7; the paper's real-time concern in §IV-A).
+
+use agenp_bench::{anbncn_grammar, anbncn_string};
+use agenp_core::scenarios::cav;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_membership(c: &mut Criterion) {
+    let mut group = c.benchmark_group("asg_membership");
+    group.sample_size(20);
+    let g = anbncn_grammar();
+    for n in [2usize, 6, 10] {
+        let s = anbncn_string(n);
+        group.bench_with_input(BenchmarkId::new("anbncn", n), &s, |b, s| {
+            b.iter(|| g.accepts(s).expect("membership succeeds"))
+        });
+    }
+    // Per-decision latency of a learned CAV model.
+    let train = cav::samples(64, 7);
+    let task = cav::learning_task(&train, None);
+    let h = agenp_learn::Learner::new().learn(&task).expect("learnable");
+    let gpm = h.apply(&task.grammar);
+    let ctx = cav::CavContext {
+        loa: 3,
+        limit: 4,
+        rain: true,
+        emergency: false,
+    };
+    group.bench_function("cav_decision", |b| {
+        b.iter(|| {
+            gpm.with_context(&ctx.to_program())
+                .accepts("accept overtake")
+                .expect("decision succeeds")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_membership);
+criterion_main!(benches);

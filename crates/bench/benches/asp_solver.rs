@@ -1,0 +1,46 @@
+//! Solver benchmarks: answer-set enumeration and satisfiability on
+//! stratified and non-stratified programs (experiment E7).
+
+use agenp_asp::{ground, Solver};
+use agenp_bench::{birds_program, coloring_program};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("asp_solver");
+    group.sample_size(20);
+    for n in [8usize, 12, 16] {
+        let g = ground(&coloring_program(n)).expect("grounds");
+        group.bench_with_input(BenchmarkId::new("coloring_all_models", n), &g, |b, g| {
+            b.iter(|| Solver::new().solve(g).models().len())
+        });
+        group.bench_with_input(BenchmarkId::new("coloring_first_model", n), &g, |b, g| {
+            b.iter(|| Solver::new().max_models(1).solve(g).satisfiable())
+        });
+    }
+    for n in [100usize, 400] {
+        let g = ground(&birds_program(n)).expect("grounds");
+        group.bench_with_input(BenchmarkId::new("stratified_birds", n), &g, |b, g| {
+            b.iter(|| Solver::new().solve(g).models().len())
+        });
+    }
+    // Branch-and-bound optimization over weak constraints.
+    for n in [6usize, 10] {
+        let mut src = String::new();
+        for i in 0..n {
+            src.push_str(&format!(
+                "a{i} :- not b{i}. b{i} :- not a{i}. :~ a{i}. [{}]\n",
+                i + 1
+            ));
+        }
+        src.push_str(":- b0, b1.\n");
+        let p: agenp_asp::Program = src.parse().expect("parses");
+        let g = ground(&p).expect("grounds");
+        group.bench_with_input(BenchmarkId::new("optimize_bnb", n), &g, |b, g| {
+            b.iter(|| Solver::new().optimize(g).cost().cloned())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! The E6 comparison as a benchmark: symbolic learning vs decision-tree
+//! fitting at matched training sizes.
+
+use agenp_baselines::DecisionTree;
+use agenp_core::scenarios::cav;
+use agenp_learn::Learner;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_curve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cav_learning_curve");
+    group.sample_size(10);
+    for n in [16usize, 64] {
+        let train = cav::samples(n, 7);
+        let task = cav::learning_task(&train, None);
+        group.bench_with_input(BenchmarkId::new("asg_gpm", n), &task, |b, task| {
+            b.iter(|| Learner::new().learn(task).expect("learnable").rules.len())
+        });
+        let tab = cav::to_dataset(&train);
+        group.bench_with_input(BenchmarkId::new("decision_tree", n), &tab, |b, tab| {
+            b.iter(|| DecisionTree::fit(tab).node_count())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_curve);
+criterion_main!(benches);

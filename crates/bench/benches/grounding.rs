@@ -1,0 +1,20 @@
+//! Grounding benchmarks: instantiation cost vs domain size (experiment E7).
+
+use agenp_asp::ground;
+use agenp_bench::transitive_closure_program;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_grounding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grounding");
+    group.sample_size(20);
+    for n in [10usize, 30, 60] {
+        let p = transitive_closure_program(n);
+        group.bench_with_input(BenchmarkId::new("transitive_closure", n), &p, |b, p| {
+            b.iter(|| ground(p).expect("grounds").len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grounding);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Learning scalability: learn time vs number of examples and vs
+//! hypothesis-space size (experiment E7; the paper's §III-B performance
+//! challenge).
+
+use agenp_core::scenarios::cav;
+use agenp_learn::Learner;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_learning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("learning_scale");
+    group.sample_size(10);
+    for n in [8usize, 32, 128] {
+        let train = cav::samples(n, 7);
+        let task = cav::learning_task(&train, None);
+        group.bench_with_input(BenchmarkId::new("cav_examples", n), &task, |b, task| {
+            b.iter(|| Learner::new().learn(task).expect("learnable").cost)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_learning);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Noise-handling benchmark (experiment E5): learning cost under noisy logs
+//! with filtering vs penalties.
+
+use agenp_core::scenarios::xacml::{self, NoiseHandling, SpaceConfig};
+use agenp_learn::Learner;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_noise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noise_sensitivity");
+    group.sample_size(10);
+    for p in [5usize, 15] {
+        let log = xacml::generate_log(80, 13, p as f64 / 100.0);
+        let filtered = xacml::learning_task(&log, SpaceConfig::default(), NoiseHandling::Filter);
+        group.bench_with_input(BenchmarkId::new("filtered", p), &filtered, |b, task| {
+            b.iter(|| Learner::new().learn(task).expect("learnable").cost)
+        });
+        let penalized =
+            xacml::learning_task(&log, SpaceConfig::default(), NoiseHandling::Penalty(1));
+        group.bench_with_input(BenchmarkId::new("penalty", p), &penalized, |b, task| {
+            b.iter(|| Learner::new().learn(task).expect("learnable").cost)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_noise);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Policy-quality assessment benchmark (experiment E8): PCP assessment cost
+//! vs request-space size.
+
+use agenp_core::scenarios::xacml;
+use agenp_policy::{QualityChecker, Request};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_quality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quality_metrics");
+    group.sample_size(20);
+    let policy = xacml::ground_truth_policy();
+    for n in [50usize, 200, 800] {
+        let mut rng = StdRng::seed_from_u64(42);
+        let space: Vec<Request> = (0..n)
+            .map(|_| xacml::XacmlRequest::random(&mut rng).to_request())
+            .collect();
+        group.bench_with_input(BenchmarkId::new("assess", n), &space, |b, space| {
+            b.iter(|| {
+                QualityChecker::new()
+                    .assess(std::slice::from_ref(&policy), space)
+                    .assessed
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quality);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! XACML policy-learning benchmark (experiment E2): learn time vs log size.
+
+use agenp_core::scenarios::xacml::{self, NoiseHandling, SpaceConfig};
+use agenp_learn::Learner;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_xacml(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xacml_learning");
+    group.sample_size(10);
+    for n in [40usize, 120] {
+        let log = xacml::generate_log(n, 7, 0.0);
+        let task = xacml::learning_task(&log, SpaceConfig::default(), NoiseHandling::Filter);
+        group.bench_with_input(BenchmarkId::new("clean_log", n), &task, |b, task| {
+            b.iter(|| Learner::new().learn(task).expect("learnable").cost)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_xacml);
+criterion_main!(benches);

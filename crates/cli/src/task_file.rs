@@ -1,0 +1,227 @@
+//! The `.task` file format: a self-contained context-dependent ASG learning
+//! task (Definition 3) in one file, with `%%`-delimited sections.
+//!
+//! ```text
+//! %% grammar
+//! policy -> "allow" { act(allow). }
+//! policy -> "deny"  { act(deny). }
+//!
+//! %% space
+//! 0 :- weather(rain).
+//! 1 :- weather(clear).
+//!
+//! %% pos
+//! allow | weather(clear).
+//! deny  | weather(rain).
+//!
+//! %% neg
+//! allow | weather(rain).
+//! allow [2] | weather(rain). storm.   % soft example with penalty 2
+//! ```
+//!
+//! Example lines are `<policy string> [penalty] | <context facts>`; the
+//! context part is ordinary ASP fact/rule syntax.
+
+use agenp_grammar::{Asg, ProdId};
+use agenp_learn::{Candidate, Example, HypothesisSpace, LearningTask};
+use std::fmt;
+
+/// An error from parsing a task file.
+#[derive(Debug)]
+pub struct TaskFileError {
+    msg: String,
+    line: usize,
+}
+
+impl TaskFileError {
+    fn new(msg: impl Into<String>, line: usize) -> TaskFileError {
+        TaskFileError {
+            msg: msg.into(),
+            line,
+        }
+    }
+}
+
+impl fmt::Display for TaskFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task file error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for TaskFileError {}
+
+/// Parses a `.task` file into a [`LearningTask`].
+///
+/// # Errors
+///
+/// Reports the offending line for malformed sections, grammars, rules, or
+/// examples.
+pub fn parse_task(src: &str) -> Result<LearningTask, TaskFileError> {
+    #[derive(PartialEq, Clone, Copy)]
+    enum Section {
+        None,
+        Grammar,
+        Space,
+        Pos,
+        Neg,
+    }
+    let mut section = Section::None;
+    let mut grammar_text = String::new();
+    let mut space_lines: Vec<(usize, String)> = Vec::new();
+    let mut pos_lines: Vec<(usize, String)> = Vec::new();
+    let mut neg_lines: Vec<(usize, String)> = Vec::new();
+    for (i, raw) in src.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if let Some(rest) = line.strip_prefix("%%") {
+            section = match rest.trim() {
+                "grammar" => Section::Grammar,
+                "space" => Section::Space,
+                "pos" => Section::Pos,
+                "neg" => Section::Neg,
+                other => {
+                    return Err(TaskFileError::new(
+                        format!("unknown section `{other}` (expected grammar/space/pos/neg)"),
+                        lineno,
+                    ))
+                }
+            };
+            continue;
+        }
+        if line.is_empty() || line.starts_with('%') {
+            // Comments are permitted everywhere except inside the grammar,
+            // whose own parser handles them.
+            if section == Section::Grammar {
+                grammar_text.push_str(raw);
+                grammar_text.push('\n');
+            }
+            continue;
+        }
+        match section {
+            Section::None => {
+                return Err(TaskFileError::new(
+                    "content before the first `%%` section header",
+                    lineno,
+                ))
+            }
+            Section::Grammar => {
+                grammar_text.push_str(raw);
+                grammar_text.push('\n');
+            }
+            Section::Space => space_lines.push((lineno, line.to_owned())),
+            Section::Pos => pos_lines.push((lineno, line.to_owned())),
+            Section::Neg => neg_lines.push((lineno, line.to_owned())),
+        }
+    }
+    let grammar: Asg = grammar_text
+        .parse()
+        .map_err(|e| TaskFileError::new(format!("in grammar: {e}"), 1))?;
+    let mut candidates = Vec::new();
+    for (lineno, line) in space_lines {
+        let (idx_text, rule_text) = line
+            .split_once(' ')
+            .ok_or_else(|| TaskFileError::new("expected `<production> <rule>`", lineno))?;
+        let idx: usize = idx_text
+            .parse()
+            .map_err(|_| TaskFileError::new("expected a production index", lineno))?;
+        let rule = rule_text
+            .trim()
+            .parse()
+            .map_err(|e| TaskFileError::new(format!("in rule: {e}"), lineno))?;
+        candidates.push(Candidate::new(ProdId::from_index(idx), rule));
+    }
+    let mut task = LearningTask::new(grammar, HypothesisSpace::from_candidates(candidates));
+    for (lineno, line) in pos_lines {
+        task = task.pos(parse_example(&line, lineno)?);
+    }
+    for (lineno, line) in neg_lines {
+        task = task.neg(parse_example(&line, lineno)?);
+    }
+    Ok(task)
+}
+
+fn parse_example(line: &str, lineno: usize) -> Result<Example, TaskFileError> {
+    let (head, ctx) = line
+        .split_once('|')
+        .ok_or_else(|| TaskFileError::new("expected `<string> | <context>`", lineno))?;
+    let mut head = head.trim().to_owned();
+    let mut penalty = None;
+    // Optional trailing `[k]` penalty on the string side.
+    if let Some(open) = head.rfind('[') {
+        if head.ends_with(']') {
+            let inner = &head[open + 1..head.len() - 1];
+            penalty = Some(inner.trim().parse().map_err(|_| {
+                TaskFileError::new("expected an integer penalty inside `[ ]`", lineno)
+            })?);
+            head.truncate(open);
+            head = head.trim().to_owned();
+        }
+    }
+    let context = ctx
+        .trim()
+        .parse()
+        .map_err(|e| TaskFileError::new(format!("in context: {e}"), lineno))?;
+    let mut e = Example::in_context(head, context);
+    if let Some(p) = penalty {
+        e = e.with_penalty(p);
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TASK: &str = r#"
+%% grammar
+policy -> "allow" { act(allow). }
+policy -> "deny"  { act(deny). }
+
+%% space
+0 :- weather(rain).
+1 :- weather(clear).
+
+%% pos
+allow | weather(clear).
+deny | weather(rain).
+
+%% neg
+allow | weather(rain).
+allow [3] | weather(rain). storm.
+"#;
+
+    #[test]
+    fn parses_full_task() {
+        let task = parse_task(TASK).unwrap();
+        assert_eq!(task.grammar.cfg().production_count(), 2);
+        assert_eq!(task.space.len(), 2);
+        assert_eq!(task.positive.len(), 2);
+        assert_eq!(task.negative.len(), 2);
+        assert_eq!(task.negative[1].penalty, Some(3));
+        assert_eq!(task.negative[1].context.len(), 2);
+        // And it is solvable.
+        let h = agenp_learn::Learner::new().learn(&task).unwrap();
+        assert_eq!(h.rules[0].1.to_string(), ":- weather(rain).");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = "%% grammar\ns -> \"x\"\n%% space\nnot-an-index :- x.\n";
+        let err = parse_task(bad).unwrap_err();
+        assert!(err.to_string().contains("line 4"), "{err}");
+        let bad2 = "junk before sections\n";
+        assert!(parse_task(bad2).is_err());
+        let bad3 = "%% unknown\n";
+        assert!(parse_task(bad3).is_err());
+    }
+
+    #[test]
+    fn example_lines_validate() {
+        assert!(parse_example("allow | weather(rain).", 1).is_ok());
+        assert!(parse_example("no pipe here", 1).is_err());
+        assert!(parse_example("allow [x] | a.", 1).is_err());
+        let soft = parse_example("allow [7] | a.", 1).unwrap();
+        assert_eq!(soft.penalty, Some(7));
+        assert_eq!(soft.text, "allow");
+    }
+}

@@ -1,0 +1,271 @@
+//! CAV capability sharing (paper §IV-A, second half): "CAVs of lower LOA
+//! may be able to utilize capabilities or services from nearby CAVs of
+//! higher LOA … the feasibility of these enhanced capabilities will require
+//! policy sharing and will also be subject to temporal, spatial, and
+//! utility constraints."
+//!
+//! A provider vehicle learns a GPM deciding whether to provide a service to
+//! a requester, constrained spatially (distance), temporally (the mission
+//! window), by capability (the provider's LOA must cover the service's
+//! requirement), and by utility (no point providing what the requester can
+//! already do itself).
+
+use agenp_asp::{CmpOp, Program, Term};
+use agenp_grammar::{Asg, ProdId};
+use agenp_learn::{
+    Example, HypothesisSpace, LearningTask, ModeArg, ModeAtom, ModeBias, ModeCmp, ModeLiteral,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shareable services and the provider LOA they require.
+pub const SERVICES: [(&str, i64); 3] = [("sensing", 3), ("monitoring", 4), ("path_planning", 5)];
+
+/// A service request between two vehicles.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ServiceRequest {
+    /// Index into [`SERVICES`].
+    pub service: usize,
+    /// Provider vehicle LOA (0–5).
+    pub provider_loa: i64,
+    /// Requester vehicle LOA (0–5).
+    pub requester_loa: i64,
+    /// Grid distance between the vehicles (0–6).
+    pub distance: i64,
+    /// Is the request inside the mission's service window?
+    pub in_window: bool,
+}
+
+impl ServiceRequest {
+    /// Samples a random request.
+    pub fn random(rng: &mut StdRng) -> ServiceRequest {
+        ServiceRequest {
+            service: rng.gen_range(0..SERVICES.len()),
+            provider_loa: rng.gen_range(0..=5),
+            requester_loa: rng.gen_range(0..=5),
+            distance: rng.gen_range(0..=6),
+            in_window: rng.gen_bool(0.7),
+        }
+    }
+
+    /// The ASP context facts for the request.
+    pub fn context(&self) -> Program {
+        format!(
+            "provider_loa({}). requester_loa({}). dist({}). in_window({}).",
+            self.provider_loa,
+            self.requester_loa,
+            self.distance,
+            if self.in_window { "yes" } else { "no" },
+        )
+        .parse()
+        .expect("request facts always parse")
+    }
+
+    /// The policy string asking for the service.
+    pub fn policy_text(&self) -> String {
+        format!("provide {}", SERVICES[self.service].0)
+    }
+}
+
+/// The ground-truth oracle: provide iff the provider's LOA covers the
+/// service (capability), the vehicles are within range 2 (spatial), the
+/// request is inside the mission window (temporal), and the requester
+/// cannot perform the service itself (utility).
+pub fn oracle(r: &ServiceRequest) -> bool {
+    let req = SERVICES[r.service].1;
+    r.provider_loa >= req && r.distance <= 2 && r.in_window && r.requester_loa < req
+}
+
+/// The service-sharing grammar.
+pub fn grammar() -> Asg {
+    let mut src = String::from("policy -> \"provide\" service { svc_req(X) :- sreq(X)@2. }\n");
+    for (svc, req) in SERVICES {
+        src.push_str(&format!(
+            "service -> \"{svc}\" {{ svc({svc}). sreq({req}). }}\n"
+        ));
+    }
+    src.parse().expect("service grammar is well-formed")
+}
+
+/// The production id of the provide rule.
+pub fn provide_production() -> ProdId {
+    ProdId::from_index(0)
+}
+
+/// The hypothesis space over capability, distance, window, and requester
+/// LOA.
+pub fn hypothesis_space() -> HypothesisSpace {
+    ModeBias::constraints(
+        vec![provide_production()],
+        vec![
+            ModeLiteral::positive(ModeAtom::local("svc_req", vec![ModeArg::Var])),
+            ModeLiteral::positive(ModeAtom::local("provider_loa", vec![ModeArg::Var])),
+            ModeLiteral::positive(ModeAtom::local("requester_loa", vec![ModeArg::Var])),
+            ModeLiteral::positive(ModeAtom::local("dist", vec![ModeArg::Var])),
+            ModeLiteral::positive(ModeAtom::local(
+                "in_window",
+                vec![ModeArg::Choice(vec![Term::sym("yes"), Term::sym("no")])],
+            )),
+        ],
+    )
+    .max_body(2)
+    .max_vars(2)
+    .with_comparisons(vec![ModeCmp {
+        ops: vec![CmpOp::Ge],
+        constants: vec![Term::Int(2), Term::Int(3), Term::Int(4)],
+    }])
+    .with_var_comparisons(vec![CmpOp::Lt, CmpOp::Le])
+    .generate()
+}
+
+/// Builds the learning task from `n` labelled requests.
+pub fn learning_task(n: usize, seed: u64) -> LearningTask {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut task = LearningTask::new(grammar(), hypothesis_space());
+    for _ in 0..n {
+        let r = ServiceRequest::random(&mut rng);
+        let e = Example::in_context(r.policy_text(), r.context());
+        if oracle(&r) {
+            task = task.pos(e);
+        } else {
+            task = task.neg(e);
+        }
+    }
+    task
+}
+
+/// Accuracy of a learned GPM on fresh requests.
+pub fn gpm_accuracy(gpm: &Asg, n: usize, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let correct = (0..n)
+        .filter(|_| {
+            let r = ServiceRequest::random(&mut rng);
+            let predicted = gpm
+                .with_context(&r.context())
+                .accepts(&r.policy_text())
+                .unwrap_or(false);
+            predicted == oracle(&r)
+        })
+        .count();
+    correct as f64 / n.max(1) as f64
+}
+
+/// Outcome of a fleet simulation: how many tasks low-LOA vehicles completed
+/// with and without capability sharing.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetOutcome {
+    /// Tasks completed using a shared service under the learned policy.
+    pub shared_completions: usize,
+    /// Tasks completed without any sharing (own capability only).
+    pub solo_completions: usize,
+    /// Total tasks attempted.
+    pub attempts: usize,
+    /// Shares the learned policy granted that the oracle would refuse.
+    pub improper_shares: usize,
+}
+
+/// Simulates a fleet: each round a random low-LOA vehicle needs a service;
+/// a random nearby vehicle may provide it under the learned GPM.
+pub fn simulate_fleet(gpm: &Asg, rounds: usize, seed: u64) -> FleetOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut shared = 0;
+    let mut solo = 0;
+    let mut improper = 0;
+    for _ in 0..rounds {
+        let service = rng.gen_range(0..SERVICES.len());
+        let req = SERVICES[service].1;
+        let requester_loa = rng.gen_range(0..=5);
+        if requester_loa >= req {
+            solo += 1;
+            continue;
+        }
+        let r = ServiceRequest {
+            service,
+            provider_loa: rng.gen_range(0..=5),
+            requester_loa,
+            distance: rng.gen_range(0..=6),
+            in_window: rng.gen_bool(0.7),
+        };
+        let granted = gpm
+            .with_context(&r.context())
+            .accepts(&r.policy_text())
+            .unwrap_or(false);
+        if granted {
+            shared += 1;
+            if !oracle(&r) {
+                improper += 1;
+            }
+        }
+    }
+    FleetOutcome {
+        shared_completions: shared,
+        solo_completions: solo,
+        attempts: rounds,
+        improper_shares: improper,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agenp_learn::Learner;
+
+    #[test]
+    fn oracle_encodes_all_four_constraint_kinds() {
+        let base = ServiceRequest {
+            service: 0, // sensing, req 3
+            provider_loa: 4,
+            requester_loa: 1,
+            distance: 1,
+            in_window: true,
+        };
+        assert!(oracle(&base));
+        assert!(!oracle(&ServiceRequest {
+            provider_loa: 2,
+            ..base
+        })); // capability
+        assert!(!oracle(&ServiceRequest {
+            distance: 4,
+            ..base
+        })); // spatial
+        assert!(!oracle(&ServiceRequest {
+            in_window: false,
+            ..base
+        })); // temporal
+        assert!(!oracle(&ServiceRequest {
+            requester_loa: 5,
+            ..base
+        })); // utility
+    }
+
+    #[test]
+    fn learns_service_sharing_policy() {
+        let task = learning_task(100, 31);
+        let h = Learner::new().learn(&task).expect("learnable");
+        let gpm = h.apply(&task.grammar);
+        let acc = gpm_accuracy(&gpm, 400, 77);
+        assert!(acc > 0.93, "accuracy {acc}; hypothesis:\n{h}");
+    }
+
+    #[test]
+    fn governed_fleet_shares_properly() {
+        let task = learning_task(120, 5);
+        let h = Learner::new().learn(&task).expect("learnable");
+        let gpm = h.apply(&task.grammar);
+        let outcome = simulate_fleet(&gpm, 300, 99);
+        assert!(outcome.shared_completions > 0, "{outcome:?}");
+        assert!(
+            (outcome.improper_shares as f64) < 0.1 * outcome.shared_completions as f64 + 3.0,
+            "{outcome:?}"
+        );
+        assert!(outcome.solo_completions > 0);
+    }
+
+    #[test]
+    fn ungoverned_grammar_overshares() {
+        // The unconstrained grammar grants everything: many improper shares.
+        let gpm = grammar();
+        let outcome = simulate_fleet(&gpm, 300, 99);
+        assert!(outcome.improper_shares > 50, "{outcome:?}");
+    }
+}

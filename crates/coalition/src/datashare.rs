@@ -1,0 +1,357 @@
+//! Data sharing in coalitions (paper §IV-D, after Verma et al. \[33\]):
+//! generative policies deciding what data to share with which partner,
+//! with "helper" microservices computing the values the policy conditions
+//! test, and trust that varies per partner and over time.
+//!
+//! Also exercises the paper's §V-C argument: a purely statistical policy
+//! trained while a partner behaved one way becomes "useless without
+//! warning" when the coalition changes, whereas the symbolic policy
+//! conditions on trust facts and transfers unchanged.
+
+use crate::trust::TrustModel;
+use agenp_asp::{CmpOp, Program, Term};
+use agenp_baselines::{Classifier, Dataset, DecisionTree, Feature};
+use agenp_grammar::{Asg, ProdId};
+use agenp_learn::{
+    Example, HypothesisSpace, Learner, LearningTask, ModeArg, ModeAtom, ModeBias, ModeCmp,
+    ModeLiteral,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Data types with their sensitivity levels (0 = open … 3 = most
+/// sensitive).
+pub const DATA_TYPES: [(&str, i64); 4] = [
+    ("weather", 0),
+    ("logistics", 1),
+    ("imagery", 2),
+    ("sigint", 3),
+];
+
+/// A raw collected data item; quality is *not* stored — it is computed by
+/// the quality helper microservice.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct DataItem {
+    /// Index into [`DATA_TYPES`].
+    pub dtype: usize,
+    /// Sensor resolution, 1–10.
+    pub resolution: i64,
+    /// Noise floor, 0–5.
+    pub noise: i64,
+}
+
+impl DataItem {
+    /// Samples a random item.
+    pub fn random(rng: &mut StdRng) -> DataItem {
+        DataItem {
+            dtype: rng.gen_range(0..DATA_TYPES.len()),
+            resolution: rng.gen_range(1..=10),
+            noise: rng.gen_range(0..=5),
+        }
+    }
+}
+
+/// A helper microservice: computes derived facts about a data item that
+/// policy conditions can test (paper §IV-D: "helper microservices for
+/// generating values used to evaluate the policy conditions").
+pub trait HelperService: std::fmt::Debug {
+    /// The facts this helper contributes for an item.
+    fn evaluate(&self, item: &DataItem) -> Program;
+}
+
+/// The quality-estimation helper: quality = resolution − noise, clamped to
+/// 0–10.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QualityEstimator;
+
+impl HelperService for QualityEstimator {
+    fn evaluate(&self, item: &DataItem) -> Program {
+        let q = (item.resolution - item.noise).clamp(0, 10);
+        format!("quality({q}).")
+            .parse()
+            .expect("quality fact parses")
+    }
+}
+
+/// The sensitivity helper: looks up the data type's sensitivity.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SensitivityLookup;
+
+impl HelperService for SensitivityLookup {
+    fn evaluate(&self, item: &DataItem) -> Program {
+        let (name, sens) = DATA_TYPES[item.dtype];
+        format!("dtype({name}). sens({sens}).")
+            .parse()
+            .expect("sensitivity facts parse")
+    }
+}
+
+/// The derived quality of an item (what [`QualityEstimator`] computes).
+pub fn quality(item: &DataItem) -> i64 {
+    (item.resolution - item.noise).clamp(0, 10)
+}
+
+/// Builds the full sharing context for an item offered to a partner at a
+/// given (discrete 0–3) trust level, running all helper services.
+pub fn sharing_context(item: &DataItem, trust_level: i64) -> Program {
+    let mut ctx: Program = format!("trust({trust_level}).")
+        .parse()
+        .expect("trust fact parses");
+    let helpers: [&dyn HelperService; 2] = [&QualityEstimator, &SensitivityLookup];
+    for h in helpers {
+        ctx.extend_from(&h.evaluate(item));
+    }
+    ctx
+}
+
+/// The ground-truth sharing oracle: share iff the partner's trust level
+/// covers the data sensitivity and the item quality is at least 4.
+pub fn oracle(item: &DataItem, trust_level: i64) -> bool {
+    trust_level >= DATA_TYPES[item.dtype].1 && quality(item) >= 4
+}
+
+/// The sharing-policy grammar: the single policy string `share`, valid in a
+/// context iff sharing is appropriate there.
+pub fn grammar() -> Asg {
+    "policy -> \"share\" { d(share). }"
+        .parse()
+        .expect("sharing grammar is well-formed")
+}
+
+/// The production id of the share rule.
+pub fn share_production() -> ProdId {
+    ProdId::from_index(0)
+}
+
+/// The hypothesis space over trust, sensitivity, and helper-computed
+/// quality.
+pub fn hypothesis_space() -> HypothesisSpace {
+    ModeBias::constraints(
+        vec![share_production()],
+        vec![
+            ModeLiteral::positive(ModeAtom::local("trust", vec![ModeArg::Var])),
+            ModeLiteral::positive(ModeAtom::local("sens", vec![ModeArg::Var])),
+            ModeLiteral::positive(ModeAtom::local("quality", vec![ModeArg::Var])),
+            ModeLiteral::positive(ModeAtom::local(
+                "dtype",
+                vec![ModeArg::Choice(
+                    DATA_TYPES.iter().map(|(n, _)| Term::sym(n)).collect(),
+                )],
+            )),
+        ],
+    )
+    .max_body(2)
+    .max_vars(2)
+    .with_comparisons(vec![ModeCmp {
+        ops: vec![CmpOp::Lt],
+        constants: vec![Term::Int(2), Term::Int(3), Term::Int(4), Term::Int(5)],
+    }])
+    .with_var_comparisons(vec![CmpOp::Lt])
+    .generate()
+}
+
+/// One sharing experience.
+#[derive(Clone, Debug)]
+pub struct SharingSample {
+    /// The item.
+    pub item: DataItem,
+    /// The partner it was offered to.
+    pub partner: String,
+    /// The partner's trust level at the time.
+    pub trust_level: i64,
+    /// Whether sharing was appropriate.
+    pub share: bool,
+}
+
+/// Samples sharing experiences across the coalition's partners using the
+/// current trust model.
+pub fn samples(n: usize, partners: &[&str], trust: &TrustModel, seed: u64) -> Vec<SharingSample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let item = DataItem::random(&mut rng);
+            let partner = partners[rng.gen_range(0..partners.len())].to_owned();
+            let trust_level = trust.level(&partner);
+            SharingSample {
+                item,
+                partner,
+                trust_level,
+                share: oracle(&item, trust_level),
+            }
+        })
+        .collect()
+}
+
+/// Builds the learning task from experiences.
+pub fn learning_task(samples: &[SharingSample]) -> LearningTask {
+    let mut task = LearningTask::new(grammar(), hypothesis_space());
+    for s in samples {
+        let e = Example::in_context("share", sharing_context(&s.item, s.trust_level));
+        if s.share {
+            task = task.pos(e);
+        } else {
+            task = task.neg(e);
+        }
+    }
+    task
+}
+
+/// Accuracy of a learned GPM under a (possibly changed) trust model.
+pub fn gpm_accuracy(gpm: &Asg, partners: &[&str], trust: &TrustModel, n: usize, seed: u64) -> f64 {
+    let test = samples(n, partners, trust, seed);
+    let correct = test
+        .iter()
+        .filter(|s| {
+            let predicted = gpm
+                .with_context(&sharing_context(&s.item, s.trust_level))
+                .accepts("share")
+                .unwrap_or(false);
+            predicted == s.share
+        })
+        .count();
+    correct as f64 / n.max(1) as f64
+}
+
+/// The §V-C comparison: symbolic vs statistical robustness to coalition
+/// change. Both models train under `train_trust`; accuracy is measured
+/// under `shifted_trust`. The statistical model sees partner identity (not
+/// trust) — the realistic failure: it memorizes partner behaviour.
+#[derive(Clone, Copy, Debug)]
+pub struct ShiftOutcome {
+    /// Symbolic GPM accuracy after the shift.
+    pub symbolic_after: f64,
+    /// Decision-tree accuracy after the shift.
+    pub statistical_after: f64,
+    /// Symbolic GPM accuracy before the shift (sanity).
+    pub symbolic_before: f64,
+    /// Decision-tree accuracy before the shift (sanity).
+    pub statistical_before: f64,
+}
+
+/// Runs the coalition-shift experiment.
+///
+/// # Panics
+///
+/// Panics if the training task is unlearnable (it is by construction).
+pub fn coalition_shift_experiment(
+    partners: &[&str],
+    train_trust: &TrustModel,
+    shifted_trust: &TrustModel,
+    n_train: usize,
+    seed: u64,
+) -> ShiftOutcome {
+    let train = samples(n_train, partners, train_trust, seed);
+    // Symbolic: learn the GPM once.
+    let task = learning_task(&train);
+    let h = Learner::new()
+        .learn(&task)
+        .expect("sharing task is learnable");
+    let gpm = h.apply(&task.grammar);
+    // Statistical: decision tree over (partner, dtype, quality).
+    let mut d = Dataset::new(vec!["partner".into(), "dtype".into(), "quality".into()], 2);
+    for s in &train {
+        d.push(
+            vec![
+                Feature::cat(&s.partner),
+                Feature::cat(DATA_TYPES[s.item.dtype].0),
+                Feature::Num(quality(&s.item) as f64),
+            ],
+            usize::from(s.share),
+        );
+    }
+    let tree = DecisionTree::fit(&d);
+
+    let eval_tree = |trust: &TrustModel, seed: u64| {
+        let test = samples(400, partners, trust, seed);
+        let correct = test
+            .iter()
+            .filter(|s| {
+                let row = vec![
+                    Feature::cat(&s.partner),
+                    Feature::cat(DATA_TYPES[s.item.dtype].0),
+                    Feature::Num(quality(&s.item) as f64),
+                ];
+                (tree.predict(&row) == 1) == s.share
+            })
+            .count();
+        correct as f64 / test.len() as f64
+    };
+
+    ShiftOutcome {
+        symbolic_before: gpm_accuracy(&gpm, partners, train_trust, 400, seed + 1),
+        statistical_before: eval_tree(train_trust, seed + 1),
+        symbolic_after: gpm_accuracy(&gpm, partners, shifted_trust, 400, seed + 2),
+        statistical_after: eval_tree(shifted_trust, seed + 2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_compute_context() {
+        let item = DataItem {
+            dtype: 2,
+            resolution: 9,
+            noise: 2,
+        };
+        let ctx = sharing_context(&item, 2);
+        let text = ctx.to_string();
+        assert!(text.contains("quality(7)."));
+        assert!(text.contains("sens(2)."));
+        assert!(text.contains("dtype(imagery)."));
+        assert!(text.contains("trust(2)."));
+    }
+
+    #[test]
+    fn oracle_spec() {
+        let good = DataItem {
+            dtype: 2,
+            resolution: 9,
+            noise: 2,
+        }; // imagery q7
+        assert!(oracle(&good, 2));
+        assert!(!oracle(&good, 1)); // insufficient trust
+        let junk = DataItem {
+            dtype: 0,
+            resolution: 3,
+            noise: 3,
+        }; // weather q0
+        assert!(!oracle(&junk, 3)); // too low quality
+    }
+
+    #[test]
+    fn learns_sharing_policy() {
+        let mut trust = TrustModel::new();
+        trust.set("amber", 0.9);
+        trust.set("bravo", 0.5);
+        trust.set("delta", 0.1);
+        let partners = ["amber", "bravo", "delta"];
+        let train = samples(80, &partners, &trust, 3);
+        let task = learning_task(&train);
+        let h = Learner::new().learn(&task).expect("learnable");
+        let gpm = h.apply(&task.grammar);
+        let acc = gpm_accuracy(&gpm, &partners, &trust, 300, 71);
+        assert!(acc > 0.92, "accuracy {acc}; hypothesis:\n{h}");
+    }
+
+    #[test]
+    fn symbolic_policy_survives_coalition_change() {
+        let partners = ["amber", "bravo", "delta"];
+        let mut before = TrustModel::new();
+        before.set("amber", 0.95);
+        before.set("bravo", 0.6);
+        before.set("delta", 0.6);
+        // delta's verifier (amber) leaves; delta's trust collapses.
+        let mut after = before.clone();
+        after.set("delta", 0.05);
+        let outcome = coalition_shift_experiment(&partners, &before, &after, 120, 17);
+        assert!(outcome.symbolic_before > 0.9, "{outcome:?}");
+        assert!(outcome.symbolic_after > 0.9, "{outcome:?}");
+        assert!(
+            outcome.symbolic_after > outcome.statistical_after + 0.03,
+            "symbolic should survive the shift better: {outcome:?}"
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! The coalition fabric: multiple AMS parties learning concurrently,
+//! contributing experiences to the shared [`CasWiki`](crate::CasWiki), and
+//! warm-starting newcomers from trusted contributions (paper §III-A-3 and
+//! §IV-A's "collaborative policy management" direction).
+//!
+//! The coalition "network" is an in-process simulation: each party runs on
+//! its own thread and communicates over crossbeam channels, which preserves
+//! the architectural shape (asynchronous parties, shared repository,
+//! trust-filtered exchange) without a real transport.
+
+use crate::caswiki::{CasWiki, Contribution};
+use crate::trust::TrustModel;
+use agenp_core::scenarios::cav;
+use agenp_learn::{Learner, LearningTask};
+use crossbeam::channel;
+use std::thread;
+
+/// The report one coalition party produces after a local learning round.
+#[derive(Clone, Debug)]
+pub struct NodeReport {
+    /// Party name.
+    pub name: String,
+    /// Local training examples used.
+    pub local_examples: usize,
+    /// Learned hypothesis size (rules).
+    pub learned_rules: usize,
+    /// Accuracy on a common held-out test set.
+    pub accuracy: f64,
+}
+
+/// Runs `n_nodes` CAV parties concurrently: each samples local experience,
+/// learns a GPM, evaluates it on a shared test distribution, and
+/// contributes its labelled experiences to the wiki.
+///
+/// # Panics
+///
+/// Panics if a node thread panics.
+pub fn distributed_cav_learning(
+    n_nodes: usize,
+    samples_per_node: usize,
+    seed: u64,
+    wiki: &CasWiki,
+) -> Vec<NodeReport> {
+    let (tx, rx) = channel::unbounded::<NodeReport>();
+    let mut handles = Vec::new();
+    for i in 0..n_nodes {
+        let tx = tx.clone();
+        let wiki = wiki.clone();
+        handles.push(thread::spawn(move || {
+            let name = format!("party-{i}");
+            let local = cav::samples(samples_per_node, seed.wrapping_add(i as u64 * 101));
+            let task = cav::learning_task(&local, None);
+            let report = match Learner::new().learn(&task) {
+                Ok(h) => {
+                    let gpm = h.apply(&task.grammar);
+                    let test = cav::samples(150, 999_999);
+                    let accuracy = cav::gpm_accuracy(&gpm, &test);
+                    wiki.contribute_all(local.iter().map(|s| Contribution {
+                        contributor: name.clone(),
+                        policy: cav::policy_text(s.task),
+                        context: s.context.to_program(),
+                        valid: s.accept,
+                    }));
+                    NodeReport {
+                        name: name.clone(),
+                        local_examples: local.len(),
+                        learned_rules: h.rules.len(),
+                        accuracy,
+                    }
+                }
+                Err(_) => NodeReport {
+                    name: name.clone(),
+                    local_examples: local.len(),
+                    learned_rules: 0,
+                    accuracy: 0.0,
+                },
+            };
+            tx.send(report).expect("collector alive");
+        }));
+    }
+    drop(tx);
+    let mut reports: Vec<NodeReport> = rx.iter().collect();
+    for h in handles {
+        h.join().expect("node thread panicked");
+    }
+    reports.sort_by(|a, b| a.name.cmp(&b.name));
+    reports
+}
+
+/// Outcome of the newcomer warm-start comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct WarmStartOutcome {
+    /// Accuracy learning from local data only.
+    pub cold_accuracy: f64,
+    /// Accuracy learning from local data plus trusted wiki contributions.
+    pub warm_accuracy: f64,
+    /// Wiki contributions used for the warm start.
+    pub shared_used: usize,
+}
+
+/// A newcomer with only `local_n` local samples learns (a) cold — local data
+/// only — and (b) warm — local data plus wiki contributions from partners
+/// whose trust passes `min_trust`, taken as soft examples (penalty 2) to
+/// guard against residual bad data.
+pub fn warm_start_comparison(
+    local_n: usize,
+    wiki: &CasWiki,
+    trust: &TrustModel,
+    min_trust: f64,
+    seed: u64,
+) -> WarmStartOutcome {
+    let local = cav::samples(local_n, seed);
+    let test = cav::samples(200, seed.wrapping_add(31337));
+
+    let cold_task = cav::learning_task(&local, None);
+    let cold_accuracy = accuracy_of(&cold_task, &test);
+
+    let shared = wiki.retrieve(|c| trust.trust(c) >= min_trust);
+    let mut warm_task = cav::learning_task(&local, None);
+    for c in &shared {
+        let e = c.example(Some(2));
+        if c.valid {
+            warm_task = warm_task.pos(e);
+        } else {
+            warm_task = warm_task.neg(e);
+        }
+    }
+    let warm_accuracy = accuracy_of(&warm_task, &test);
+    WarmStartOutcome {
+        cold_accuracy,
+        warm_accuracy,
+        shared_used: shared.len(),
+    }
+}
+
+fn accuracy_of(task: &LearningTask, test: &[cav::Sample]) -> f64 {
+    match Learner::new().learn(task) {
+        Ok(h) => cav::gpm_accuracy(&h.apply(&task.grammar), test),
+        Err(_) => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parties_learn_concurrently_and_contribute() {
+        let wiki = CasWiki::new();
+        let reports = distributed_cav_learning(3, 40, 5, &wiki);
+        assert_eq!(reports.len(), 3);
+        assert_eq!(wiki.len(), 3 * 40);
+        for r in &reports {
+            assert!(r.accuracy > 0.8, "{} accuracy {}", r.name, r.accuracy);
+            assert!(r.learned_rules > 0);
+        }
+    }
+
+    #[test]
+    fn warm_start_beats_cold_start_on_scarce_data() {
+        let wiki = CasWiki::new();
+        let _ = distributed_cav_learning(3, 60, 77, &wiki);
+        let mut trust = TrustModel::new();
+        for i in 0..3 {
+            trust.set(&format!("party-{i}"), 0.9);
+        }
+        // A newcomer with very little local data.
+        let outcome = warm_start_comparison(4, &wiki, &trust, 0.5, 4242);
+        assert!(outcome.shared_used == 180);
+        assert!(
+            outcome.warm_accuracy >= outcome.cold_accuracy,
+            "warm {} < cold {}",
+            outcome.warm_accuracy,
+            outcome.cold_accuracy
+        );
+        assert!(outcome.warm_accuracy > 0.9);
+    }
+
+    #[test]
+    fn trust_filter_excludes_poisoned_contributions() {
+        let wiki = CasWiki::new();
+        let _ = distributed_cav_learning(2, 50, 11, &wiki);
+        // A poisoner contributes inverted labels.
+        let poisoned: Vec<Contribution> = cav::samples(50, 500)
+            .iter()
+            .map(|s| Contribution {
+                contributor: "poisoner".into(),
+                policy: cav::policy_text(s.task),
+                context: s.context.to_program(),
+                valid: !s.accept,
+            })
+            .collect();
+        wiki.contribute_all(poisoned);
+        let mut trust = TrustModel::new();
+        trust.set("party-0", 0.9);
+        trust.set("party-1", 0.9);
+        trust.set("poisoner", 0.1);
+        let filtered = warm_start_comparison(4, &wiki, &trust, 0.5, 321);
+        assert_eq!(filtered.shared_used, 100);
+        assert!(
+            filtered.warm_accuracy > 0.85,
+            "accuracy {}",
+            filtered.warm_accuracy
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! # agenp-coalition — multi-party coalition fabric for AGENP
+//!
+//! The coalition layer of the paper: multiple Autonomous Managed Systems
+//! learning concurrently, sharing policy experiences through a CASWiki-style
+//! community knowledge base \[16\] filtered by an evidence-based trust model,
+//! plus the two coalition application studies that need more than one
+//! party — data sharing with helper microservices (§IV-D, \[33\]) and
+//! federated-learning governance (§IV-E).
+//!
+//! The coalition "network" is an in-process simulation (threads and
+//! channels); the paper's coalition is an architectural abstraction, not a
+//! measured testbed, so this preserves the relevant behaviour.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod caswiki;
+pub mod cav_services;
+pub mod datashare;
+mod fabric;
+pub mod federated;
+mod trust;
+
+pub use caswiki::{CasWiki, Contribution};
+pub use fabric::{distributed_cav_learning, warm_start_comparison, NodeReport, WarmStartOutcome};
+pub use trust::TrustModel;

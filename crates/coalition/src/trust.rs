@@ -1,0 +1,120 @@
+//! A simple evidence-based trust model over coalition partners: trust in a
+//! partner rises when their contributions are validated and falls when they
+//! cause violations (paper §III-A-3: shared policies come from *trusted*
+//! AMSs; §IV-D: "the trust among partners is not absolute").
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Trust scores in `[0, 1]` per partner, with evidence-based updates.
+#[derive(Clone, Debug, Default)]
+pub struct TrustModel {
+    scores: HashMap<String, f64>,
+    /// Score assigned to partners never seen before.
+    pub default_trust: f64,
+}
+
+impl TrustModel {
+    /// A model with a neutral 0.5 default.
+    pub fn new() -> TrustModel {
+        TrustModel {
+            scores: HashMap::new(),
+            default_trust: 0.5,
+        }
+    }
+
+    /// The current trust in a partner.
+    pub fn trust(&self, partner: &str) -> f64 {
+        self.scores
+            .get(partner)
+            .copied()
+            .unwrap_or(self.default_trust)
+    }
+
+    /// Sets trust explicitly (clamped to `[0, 1]`).
+    pub fn set(&mut self, partner: &str, value: f64) {
+        self.scores
+            .insert(partner.to_owned(), value.clamp(0.0, 1.0));
+    }
+
+    /// Positive evidence: move trust toward 1 by `rate`.
+    pub fn reward(&mut self, partner: &str, rate: f64) {
+        let t = self.trust(partner);
+        self.set(partner, t + (1.0 - t) * rate.clamp(0.0, 1.0));
+    }
+
+    /// Negative evidence: move trust toward 0 by `rate`.
+    pub fn penalize(&mut self, partner: &str, rate: f64) {
+        let t = self.trust(partner);
+        self.set(partner, t - t * rate.clamp(0.0, 1.0));
+    }
+
+    /// Partners with trust at or above the threshold.
+    pub fn trusted(&self, threshold: f64) -> Vec<&str> {
+        let mut v: Vec<&str> = self
+            .scores
+            .iter()
+            .filter(|(_, &t)| t >= threshold)
+            .map(|(p, _)| p.as_str())
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// A discrete trust level 0–3 (used in symbolic contexts).
+    pub fn level(&self, partner: &str) -> i64 {
+        (self.trust(partner) * 4.0).floor().min(3.0) as i64
+    }
+}
+
+impl fmt::Display for TrustModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut entries: Vec<_> = self.scores.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        write!(f, "trust{{")?;
+        for (i, (p, t)) in entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}: {t:.2}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evidence_updates_move_trust() {
+        let mut t = TrustModel::new();
+        assert!((t.trust("uk") - 0.5).abs() < 1e-9);
+        t.reward("uk", 0.5);
+        assert!(t.trust("uk") > 0.7);
+        t.penalize("uk", 0.9);
+        assert!(t.trust("uk") < 0.2);
+        t.set("us", 2.0);
+        assert!((t.trust("us") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn levels_are_discrete() {
+        let mut t = TrustModel::new();
+        t.set("a", 0.1);
+        t.set("b", 0.6);
+        t.set("c", 0.99);
+        assert_eq!(t.level("a"), 0);
+        assert_eq!(t.level("b"), 2);
+        assert_eq!(t.level("c"), 3);
+    }
+
+    #[test]
+    fn trusted_filter_sorts() {
+        let mut t = TrustModel::new();
+        t.set("zulu", 0.9);
+        t.set("alpha", 0.8);
+        t.set("mike", 0.2);
+        assert_eq!(t.trusted(0.5), vec!["alpha", "zulu"]);
+    }
+}

@@ -1,0 +1,343 @@
+//! The Autonomous Management System: one coalition party wiring together
+//! PReP, PAdaP, PCP, PIP, the repositories, and the PDP/PEP decision path
+//! (paper Fig. 2).
+
+use crate::arch::goals::{GoalMonitor, GoalPolicy, GoalViolation};
+use crate::arch::padap::{Adaptation, Feedback, Padap};
+use crate::arch::pcp::{Pcp, Verdict};
+use crate::arch::prep::{CanonicalTranslator, PolicyTranslator, Prep};
+use crate::arch::repr::RepresentationsRepository;
+use agenp_asp::Program;
+use agenp_grammar::{Asg, AsgError};
+use agenp_learn::{HypothesisSpace, LearnError};
+use agenp_policy::{
+    CombiningAlg, Decision, Enforcement, Pdp, Pep, PolicyRepository, QualityReport, Request,
+};
+use std::fmt;
+
+/// Errors surfaced by the AMS control loop.
+#[derive(Debug)]
+pub enum AmsError {
+    /// Policy generation failed.
+    Generation(AsgError),
+    /// Adaptation (learning) failed.
+    Learning(LearnError),
+}
+
+impl fmt::Display for AmsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AmsError::Generation(e) => write!(f, "policy generation failed: {e}"),
+            AmsError::Learning(e) => write!(f, "policy adaptation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AmsError {}
+
+impl From<AsgError> for AmsError {
+    fn from(e: AsgError) -> AmsError {
+        AmsError::Generation(e)
+    }
+}
+
+impl From<LearnError> for AmsError {
+    fn from(e: LearnError) -> AmsError {
+        AmsError::Learning(e)
+    }
+}
+
+/// An Autonomous Management System instance.
+#[derive(Debug)]
+pub struct Ams {
+    /// Party name (for coalition interactions and diagnostics).
+    pub name: String,
+    /// The PBMS-provided initial GPM (CFG + high-level constraints); kept
+    /// pristine so adaptation always re-learns from scratch.
+    initial_gpm: Asg,
+    /// The current (possibly learned) GPM.
+    gpm: Asg,
+    space: HypothesisSpace,
+    repr_repo: RepresentationsRepository,
+    policy_repo: PolicyRepository,
+    pdp: Pdp,
+    pep: Pep,
+    prep: Prep,
+    padap: Padap,
+    pcp: Pcp,
+    translator: Box<dyn PolicyTranslator>,
+    context: Program,
+    feedback: Vec<Feedback>,
+    goals: GoalMonitor,
+}
+
+impl Ams {
+    /// Creates an AMS from the PBMS characterization: the initial grammar
+    /// and the hypothesis space the PAdaP may learn within.
+    pub fn new(name: &str, initial_gpm: Asg, space: HypothesisSpace) -> Ams {
+        let mut repr_repo = RepresentationsRepository::new();
+        repr_repo.store(initial_gpm.clone(), "initial");
+        Ams {
+            name: name.to_owned(),
+            gpm: initial_gpm.clone(),
+            initial_gpm,
+            space,
+            repr_repo,
+            policy_repo: PolicyRepository::new(),
+            pdp: Pdp::new(CombiningAlg::DenyOverrides),
+            pep: Pep::default(),
+            prep: Prep::new(),
+            padap: Padap::new(),
+            pcp: Pcp::new(),
+            translator: Box::new(CanonicalTranslator),
+            context: Program::new(),
+            feedback: Vec::new(),
+            goals: GoalMonitor::new(Vec::new(), 32),
+        }
+    }
+
+    /// Installs the PBMS-provided goal policies (paper policy type (ii)),
+    /// assessed over a sliding window of `window` decisions.
+    pub fn set_goals(&mut self, goals: Vec<GoalPolicy>, window: usize) {
+        self.goals = GoalMonitor::new(goals, window);
+    }
+
+    /// The goal monitor (metrics can be fed externally too).
+    pub fn goals_mut(&mut self) -> &mut GoalMonitor {
+        &mut self.goals
+    }
+
+    /// Unmet goals right now.
+    pub fn goal_violations(&self) -> Vec<GoalViolation> {
+        self.goals.violations()
+    }
+
+    /// The Fig. 2 trigger: adapt only when the system is not meeting its
+    /// goals. Returns `None` when all goals are met (no adaptation ran).
+    ///
+    /// # Errors
+    ///
+    /// Propagates adaptation failures.
+    pub fn adapt_if_off_goal(&mut self) -> Result<Option<Adaptation>, AmsError> {
+        if !self.goals.adaptation_needed() {
+            return Ok(None);
+        }
+        let adaptation = self.adapt()?;
+        self.goals.reset();
+        Ok(Some(adaptation))
+    }
+
+    /// Replaces the policy-string translator.
+    pub fn set_translator(&mut self, t: Box<dyn PolicyTranslator>) {
+        self.translator = t;
+    }
+
+    /// The PCP, for registering restrictions.
+    pub fn pcp_mut(&mut self) -> &mut Pcp {
+        &mut self.pcp
+    }
+
+    /// Updates the current context (normally fed by the PIP).
+    pub fn set_context(&mut self, context: Program) {
+        self.context = context;
+    }
+
+    /// The current context.
+    pub fn context(&self) -> &Program {
+        &self.context
+    }
+
+    /// The current GPM.
+    pub fn gpm(&self) -> &Asg {
+        &self.gpm
+    }
+
+    /// Replaces the current GPM directly (e.g. when adopting a model shared
+    /// by a trusted coalition partner) and records it.
+    pub fn adopt_gpm(&mut self, gpm: Asg, note: &str) {
+        self.repr_repo.store(gpm.clone(), note);
+        self.gpm = gpm;
+    }
+
+    /// The representations repository (GPM versions).
+    pub fn representations(&self) -> &RepresentationsRepository {
+        &self.repr_repo
+    }
+
+    /// The policy repository.
+    pub fn policies(&self) -> &PolicyRepository {
+        &self.policy_repo
+    }
+
+    /// PReP step: regenerates the policy repository from the current GPM
+    /// and context, screening candidates through the PCP. Returns the
+    /// generated strings with their verdicts.
+    ///
+    /// # Errors
+    ///
+    /// [`AmsError::Generation`] on grounding failures.
+    pub fn refresh_policies(&mut self) -> Result<Vec<(String, Verdict)>, AmsError> {
+        let strings = self.prep.generate(&self.gpm, &self.context)?;
+        let screened = self.pcp.screen(&self.gpm, &self.context, &strings)?;
+        let accepted: Vec<String> = screened
+            .iter()
+            .filter(|(_, v)| *v == Verdict::Accepted)
+            .map(|(s, _)| s.clone())
+            .collect();
+        let rules: Vec<agenp_policy::PolicyRule> = accepted
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                self.translator
+                    .translate(s, &format!("{}-r{}", self.name, i))
+            })
+            .collect();
+        self.policy_repo.replace_all(vec![agenp_policy::Policy {
+            id: format!("{}-generated", self.name),
+            rules,
+            combining: CombiningAlg::DenyOverrides,
+        }]);
+        Ok(screened)
+    }
+
+    /// PDP step: decides a request against the generated policies. The
+    /// outcome feeds the goal monitor (`grant_rate`, `gap_rate`).
+    pub fn decide(&mut self, request: &Request) -> Decision {
+        let d = self.pdp.decide(&self.policy_repo, request);
+        self.goals.observe_bool("grant_rate", d == Decision::Permit);
+        self.goals.observe_bool(
+            "gap_rate",
+            matches!(d, Decision::NotApplicable | Decision::Indeterminate),
+        );
+        d
+    }
+
+    /// PEP step: decides and enforces.
+    pub fn decide_and_enforce(&mut self, request: &Request) -> (Decision, Enforcement) {
+        let d = self.decide(request);
+        (d, self.pep.enforce(d))
+    }
+
+    /// Records observed feedback for the next adaptation round.
+    pub fn observe(&mut self, feedback: Feedback) {
+        self.feedback.push(feedback);
+    }
+
+    /// Number of buffered feedback observations.
+    pub fn feedback_len(&self) -> usize {
+        self.feedback.len()
+    }
+
+    /// PAdaP step: re-learns the GPM from the initial grammar plus all
+    /// accumulated feedback, stores the new version, and regenerates
+    /// policies.
+    ///
+    /// # Errors
+    ///
+    /// [`AmsError::Learning`] if the feedback admits no hypothesis;
+    /// [`AmsError::Generation`] if regeneration fails.
+    pub fn adapt(&mut self) -> Result<Adaptation, AmsError> {
+        let adaptation = self
+            .padap
+            .adapt(&self.initial_gpm, &self.space, &self.feedback)?;
+        self.gpm = adaptation.gpm.clone();
+        self.repr_repo.store(
+            self.gpm.clone(),
+            &format!("adapted from {} observations", self.feedback.len()),
+        );
+        self.refresh_policies()?;
+        Ok(adaptation)
+    }
+
+    /// Quality assessment of the current policy repository over a request
+    /// space (PCP Quality Checker).
+    pub fn quality(&self, space: &[Request]) -> QualityReport {
+        self.pcp.assess(self.policy_repo.policies(), space)
+    }
+
+    /// Does the current GPM admit `policy` under the current context?
+    ///
+    /// # Errors
+    ///
+    /// [`AmsError::Generation`] on grounding failures.
+    pub fn admits(&self, policy: &str) -> Result<bool, AmsError> {
+        Ok(self.gpm.with_context(&self.context).accepts(policy)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agenp_grammar::ProdId;
+
+    fn gate() -> (Asg, HypothesisSpace) {
+        let g: Asg = r#"
+            policy -> effect "if" "subject" "clearance" "=" level
+            effect -> "permit" { e(permit). }
+            effect -> "deny"   { e(deny). }
+            level -> "low"  { lvl(low). }
+            level -> "high" { lvl(high). }
+        "#
+        .parse()
+        .unwrap();
+        let space = HypothesisSpace::from_texts(&[
+            (ProdId::from_index(1), ":- lockdown."),
+            (ProdId::from_index(2), ":- not lockdown."),
+        ]);
+        (g, space)
+    }
+
+    #[test]
+    fn full_loop_generates_decides_adapts() {
+        let (g, space) = gate();
+        let mut ams = Ams::new("alpha", g, space);
+        // Initially everything is generated.
+        let screened = ams.refresh_policies().unwrap();
+        assert_eq!(screened.len(), 4);
+        let req = Request::new().subject("clearance", "high");
+        let d0 = ams.decide(&req);
+        // Both permit and deny rules exist → deny-overrides → Deny.
+        assert_eq!(d0, Decision::Deny);
+
+        // Feedback: under lockdown, permits are invalid.
+        let lockdown: Program = "lockdown.".parse().unwrap();
+        ams.set_context(lockdown.clone());
+        ams.observe(Feedback::invalid(
+            "permit if subject clearance = high",
+            lockdown.clone(),
+        ));
+        ams.observe(Feedback::invalid(
+            "permit if subject clearance = low",
+            lockdown.clone(),
+        ));
+        ams.observe(Feedback::valid(
+            "deny if subject clearance = high",
+            lockdown.clone(),
+        ));
+        let adaptation = ams.adapt().unwrap();
+        assert!(!adaptation.hypothesis.rules.is_empty());
+        // Under lockdown only deny policies remain.
+        assert!(!ams.admits("permit if subject clearance = high").unwrap());
+        assert!(ams.admits("deny if subject clearance = high").unwrap());
+        let (d, e) = ams.decide_and_enforce(&req);
+        assert_eq!(d, Decision::Deny);
+        assert_eq!(e, Enforcement::Blocked);
+        // Version history: initial + adapted.
+        assert_eq!(ams.representations().len(), 2);
+    }
+
+    #[test]
+    fn quality_assessment_runs() {
+        let (g, space) = gate();
+        let mut ams = Ams::new("beta", g, space);
+        ams.refresh_policies().unwrap();
+        let space = vec![
+            Request::new().subject("clearance", "high"),
+            Request::new().subject("clearance", "low"),
+        ];
+        let report = ams.quality(&space);
+        assert_eq!(report.assessed, 2);
+        // permit and deny rules for the same clearance conflict.
+        assert!(!report.conflicts.is_empty());
+    }
+}

@@ -1,0 +1,244 @@
+//! Goal-based policies (paper §I, policy type (ii)) and the adaptation
+//! trigger of §III-A-1: "Such an update would be triggered if the operation
+//! of the system is not meeting the goals set by the global PBMS, or there
+//! has been a change in context."
+//!
+//! A [`GoalPolicy`] directs the managed party to keep a monitored metric on
+//! the right side of a threshold (e.g. *maintain a minimum threshold of
+//! utilization*); the [`GoalMonitor`] aggregates metric observations over a
+//! sliding window and reports which goals are unmet, which the AMS uses to
+//! decide when the PAdaP must re-learn.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// Which side of the threshold the metric must stay on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GoalDirection {
+    /// The windowed metric must be at least the threshold.
+    AtLeast,
+    /// The windowed metric must be at most the threshold.
+    AtMost,
+}
+
+/// A goal-based policy over a named metric.
+#[derive(Clone, Debug)]
+pub struct GoalPolicy {
+    /// Goal identifier.
+    pub id: String,
+    /// The monitored metric's name (e.g. `"grant_rate"`, `"violations"`).
+    pub metric: String,
+    /// Threshold value.
+    pub threshold: f64,
+    /// Required direction.
+    pub direction: GoalDirection,
+}
+
+impl GoalPolicy {
+    /// A goal requiring the windowed mean of `metric` to be ≥ `threshold`.
+    pub fn at_least(id: &str, metric: &str, threshold: f64) -> GoalPolicy {
+        GoalPolicy {
+            id: id.to_owned(),
+            metric: metric.to_owned(),
+            threshold,
+            direction: GoalDirection::AtLeast,
+        }
+    }
+
+    /// A goal requiring the windowed mean of `metric` to be ≤ `threshold`.
+    pub fn at_most(id: &str, metric: &str, threshold: f64) -> GoalPolicy {
+        GoalPolicy {
+            id: id.to_owned(),
+            metric: metric.to_owned(),
+            threshold,
+            direction: GoalDirection::AtMost,
+        }
+    }
+
+    /// Is a windowed metric value compatible with the goal?
+    pub fn satisfied_by(&self, value: f64) -> bool {
+        match self.direction {
+            GoalDirection::AtLeast => value >= self.threshold,
+            GoalDirection::AtMost => value <= self.threshold,
+        }
+    }
+}
+
+impl fmt::Display for GoalPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dir = match self.direction {
+            GoalDirection::AtLeast => ">=",
+            GoalDirection::AtMost => "<=",
+        };
+        write!(
+            f,
+            "[{}] mean({}) {dir} {}",
+            self.id, self.metric, self.threshold
+        )
+    }
+}
+
+/// One unmet goal with its observed windowed value.
+#[derive(Clone, Debug)]
+pub struct GoalViolation {
+    /// The unmet goal's id.
+    pub goal: String,
+    /// The windowed mean actually observed.
+    pub observed: f64,
+    /// The goal threshold.
+    pub threshold: f64,
+}
+
+impl fmt::Display for GoalViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "goal {} unmet: observed {:.3} vs threshold {:.3}",
+            self.goal, self.observed, self.threshold
+        )
+    }
+}
+
+/// Sliding-window metric aggregation plus goal assessment.
+#[derive(Clone, Debug)]
+pub struct GoalMonitor {
+    goals: Vec<GoalPolicy>,
+    window: usize,
+    samples: HashMap<String, VecDeque<f64>>,
+}
+
+impl GoalMonitor {
+    /// A monitor assessing `goals` over the last `window` observations of
+    /// each metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(goals: Vec<GoalPolicy>, window: usize) -> GoalMonitor {
+        assert!(window > 0, "window must be positive");
+        GoalMonitor {
+            goals,
+            window,
+            samples: HashMap::new(),
+        }
+    }
+
+    /// The monitored goals.
+    pub fn goals(&self) -> &[GoalPolicy] {
+        &self.goals
+    }
+
+    /// Records one observation of a metric.
+    pub fn observe(&mut self, metric: &str, value: f64) {
+        let q = self.samples.entry(metric.to_owned()).or_default();
+        q.push_back(value);
+        while q.len() > self.window {
+            q.pop_front();
+        }
+    }
+
+    /// Convenience for boolean outcomes (e.g. "request granted").
+    pub fn observe_bool(&mut self, metric: &str, happened: bool) {
+        self.observe(metric, if happened { 1.0 } else { 0.0 });
+    }
+
+    /// The windowed mean of a metric, if any observations exist.
+    pub fn mean(&self, metric: &str) -> Option<f64> {
+        let q = self.samples.get(metric)?;
+        if q.is_empty() {
+            return None;
+        }
+        Some(q.iter().sum::<f64>() / q.len() as f64)
+    }
+
+    /// Goals currently violated. Goals whose metric has no observations yet
+    /// are not reported (no evidence either way).
+    pub fn violations(&self) -> Vec<GoalViolation> {
+        self.goals
+            .iter()
+            .filter_map(|g| {
+                let observed = self.mean(&g.metric)?;
+                (!g.satisfied_by(observed)).then(|| GoalViolation {
+                    goal: g.id.clone(),
+                    observed,
+                    threshold: g.threshold,
+                })
+            })
+            .collect()
+    }
+
+    /// True if adaptation should be triggered (some goal is unmet).
+    pub fn adaptation_needed(&self) -> bool {
+        !self.violations().is_empty()
+    }
+
+    /// Clears all recorded samples (e.g. after an adaptation round).
+    pub fn reset(&mut self) {
+        self.samples.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goals_assess_windowed_means() {
+        let mut m = GoalMonitor::new(
+            vec![
+                GoalPolicy::at_least("availability", "grant_rate", 0.5),
+                GoalPolicy::at_most("risk", "violation_rate", 0.1),
+            ],
+            4,
+        );
+        // No data: no violations.
+        assert!(!m.adaptation_needed());
+        for granted in [true, false, false, false] {
+            m.observe_bool("grant_rate", granted);
+        }
+        m.observe("violation_rate", 0.0);
+        let v = m.violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].goal, "availability");
+        assert!((v[0].observed - 0.25).abs() < 1e-9);
+        assert!(m.adaptation_needed());
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut m = GoalMonitor::new(vec![GoalPolicy::at_least("g", "x", 0.9)], 2);
+        m.observe("x", 0.0);
+        m.observe("x", 0.0);
+        assert!(m.adaptation_needed());
+        // Two good observations push the bad ones out of the window.
+        m.observe("x", 1.0);
+        m.observe("x", 1.0);
+        assert!(!m.adaptation_needed());
+        assert_eq!(m.mean("x"), Some(1.0));
+    }
+
+    #[test]
+    fn at_most_direction() {
+        let g = GoalPolicy::at_most("latency", "ms", 100.0);
+        assert!(g.satisfied_by(99.0));
+        assert!(g.satisfied_by(100.0));
+        assert!(!g.satisfied_by(101.0));
+        assert_eq!(g.to_string(), "[latency] mean(ms) <= 100");
+    }
+
+    #[test]
+    fn reset_clears_evidence() {
+        let mut m = GoalMonitor::new(vec![GoalPolicy::at_least("g", "x", 0.5)], 3);
+        m.observe("x", 0.0);
+        assert!(m.adaptation_needed());
+        m.reset();
+        assert!(!m.adaptation_needed());
+        assert_eq!(m.mean("x"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = GoalMonitor::new(vec![], 0);
+    }
+}

@@ -1,0 +1,20 @@
+//! The AGENP architecture (paper §III, Fig. 2): the components an
+//! Autonomous Managed System wires together — Policy Refinement Point,
+//! Policy Adaptation Point, Policy Checking Point, Policy Information
+//! Point, and the repositories.
+
+mod ams;
+mod goals;
+mod padap;
+mod pcp;
+mod pip;
+mod prep;
+mod repr;
+
+pub use ams::{Ams, AmsError};
+pub use goals::{GoalDirection, GoalMonitor, GoalPolicy, GoalViolation};
+pub use padap::{Adaptation, Feedback, Padap};
+pub use pcp::{Pcp, Verdict};
+pub use pip::{ContextProvider, Pip, StaticContext};
+pub use prep::{CanonicalTranslator, FnTranslator, PolicyTranslator, Prep};
+pub use repr::{GpmVersion, RepresentationsRepository};

@@ -1,0 +1,120 @@
+//! The Policy Checking Point (paper §III-A-2): the Quality Checker assesses
+//! generated policies against the four quality requirements; the Violation
+//! Detector screens generated (or externally shared) policy strings against
+//! pre-defined restriction constraints before they reach the repository.
+
+use agenp_asp::{Program, Rule};
+use agenp_grammar::{Asg, AsgError, ProdId};
+use agenp_policy::{Policy, QualityChecker, QualityReport, Request};
+
+/// The verdict on one checked policy string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The policy passes all restrictions.
+    Accepted,
+    /// The policy violates the restrictions (it is not in the restricted
+    /// language under the current context).
+    Violation,
+    /// The policy is not even in the underlying policy language.
+    Malformed,
+}
+
+/// The Policy Checking Point.
+#[derive(Clone, Debug, Default)]
+pub struct Pcp {
+    checker: QualityChecker,
+    /// Restriction rules added on top of any GPM being checked — the
+    /// "pre-defined restrictions" of §IV-C (domain-based and target-based).
+    restrictions: Vec<(ProdId, Rule)>,
+}
+
+impl Pcp {
+    /// A PCP with no restrictions.
+    pub fn new() -> Pcp {
+        Pcp::default()
+    }
+
+    /// Adds a restriction rule to screen policies with.
+    pub fn add_restriction(&mut self, target: ProdId, rule: Rule) {
+        self.restrictions.push((target, rule));
+    }
+
+    /// The registered restrictions.
+    pub fn restrictions(&self) -> &[(ProdId, Rule)] {
+        &self.restrictions
+    }
+
+    /// Screens policy strings against the GPM plus restrictions under a
+    /// context (the Violation Detector).
+    ///
+    /// # Errors
+    ///
+    /// Propagates grounding failures.
+    pub fn screen(
+        &self,
+        gpm: &Asg,
+        context: &Program,
+        policies: &[String],
+    ) -> Result<Vec<(String, Verdict)>, AsgError> {
+        let restricted = gpm
+            .with_added_rules(&self.restrictions)?
+            .with_context(context);
+        let unrestricted = gpm.with_context(context);
+        let mut out = Vec::with_capacity(policies.len());
+        for p in policies {
+            let verdict = if restricted.accepts(p)? {
+                Verdict::Accepted
+            } else if unrestricted.accepts(p)? {
+                Verdict::Violation
+            } else {
+                Verdict::Malformed
+            };
+            out.push((p.clone(), verdict));
+        }
+        Ok(out)
+    }
+
+    /// Assesses enforceable policies against a request space (the Quality
+    /// Checker; see [`QualityChecker::assess`]).
+    pub fn assess(&self, policies: &[Policy], space: &[Request]) -> QualityReport {
+        self.checker.assess(policies, space)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn screening_verdicts() {
+        let gpm: Asg = r#"
+            policy -> "share" level
+            level -> "public" { lvl(0). }
+            level -> "secret" { lvl(2). }
+        "#
+        .parse()
+        .unwrap();
+        let mut pcp = Pcp::new();
+        // Restriction: never share anything above level 1.
+        pcp.add_restriction(
+            ProdId::from_index(0),
+            ":- lvl(X)@2, X > 1.".parse().unwrap(),
+        );
+        let ctx = Program::new();
+        let verdicts = pcp
+            .screen(
+                &gpm,
+                &ctx,
+                &[
+                    "share public".to_owned(),
+                    "share secret".to_owned(),
+                    "share everything".to_owned(),
+                ],
+            )
+            .unwrap();
+        assert_eq!(verdicts[0].1, Verdict::Accepted);
+        assert_eq!(verdicts[1].1, Verdict::Violation);
+        assert_eq!(verdicts[2].1, Verdict::Malformed);
+        assert_eq!(pcp.restrictions().len(), 1);
+    }
+}

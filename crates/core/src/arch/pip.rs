@@ -1,0 +1,103 @@
+//! The Policy Information Point (paper §III-A-3): acquires external context
+//! that influences which policies the AMS generates and enforces.
+
+use agenp_asp::Program;
+use std::fmt;
+
+/// A source of context facts (ASP programs) for the AMS.
+pub trait ContextProvider: fmt::Debug {
+    /// The current context program.
+    fn current_context(&self) -> Program;
+}
+
+/// A fixed context.
+#[derive(Clone, Debug, Default)]
+pub struct StaticContext {
+    program: Program,
+}
+
+impl StaticContext {
+    /// Wraps a context program.
+    pub fn new(program: Program) -> StaticContext {
+        StaticContext { program }
+    }
+
+    /// Parses a context from ASP text.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse failures.
+    pub fn parse(src: &str) -> Result<StaticContext, agenp_asp::ParseError> {
+        Ok(StaticContext {
+            program: src.parse()?,
+        })
+    }
+}
+
+impl ContextProvider for StaticContext {
+    fn current_context(&self) -> Program {
+        self.program.clone()
+    }
+}
+
+/// A Policy Information Point merging several context providers (e.g. local
+/// sensors plus externally shared conditions).
+#[derive(Debug, Default)]
+pub struct Pip {
+    providers: Vec<Box<dyn ContextProvider>>,
+}
+
+impl Pip {
+    /// An empty PIP.
+    pub fn new() -> Pip {
+        Pip::default()
+    }
+
+    /// Registers a provider.
+    pub fn register(&mut self, provider: Box<dyn ContextProvider>) {
+        self.providers.push(provider);
+    }
+
+    /// The merged context of all providers.
+    pub fn context(&self) -> Program {
+        let mut merged = Program::new();
+        for p in &self.providers {
+            merged.extend_from(&p.current_context());
+        }
+        merged
+    }
+
+    /// Number of registered providers.
+    pub fn len(&self) -> usize {
+        self.providers.len()
+    }
+
+    /// True if no providers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.providers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pip_merges_providers() {
+        let mut pip = Pip::new();
+        pip.register(Box::new(StaticContext::parse("weather(rain).").unwrap()));
+        pip.register(Box::new(StaticContext::parse("threat(high).").unwrap()));
+        assert_eq!(pip.len(), 2);
+        let ctx = pip.context();
+        assert_eq!(ctx.len(), 2);
+        let text = ctx.to_string();
+        assert!(text.contains("weather(rain)."));
+        assert!(text.contains("threat(high)."));
+    }
+
+    #[test]
+    fn static_context_round_trip() {
+        let c = StaticContext::parse("a. b.").unwrap();
+        assert_eq!(c.current_context().len(), 2);
+    }
+}

@@ -1,0 +1,497 @@
+//! Policy explainability (paper §V-B): explain *why certain policies are
+//! generated and why others are not*, and produce counterfactual
+//! explanations ("if your LOA had been 4, the task would have been
+//! accepted") of the kind the paper highlights for human trust and the
+//! GDPR's right to explanation.
+
+use agenp_asp::{
+    explain_atom, ground_with, violated_constraints, Atom, Derivation, GroundOptions, Program,
+    Rule, Solver,
+};
+use agenp_grammar::{Asg, AsgError, EarleyParser, ParseOptions};
+use std::fmt;
+
+/// Why a policy string is (not) in the GPM's language under a context.
+#[derive(Debug)]
+pub enum PolicyExplanation {
+    /// The policy is admitted: a witnessing parse tree and its answer set.
+    Accepted {
+        /// Rendering of the admitting parse tree.
+        tree: String,
+        /// The atoms of the witnessing answer set.
+        answer_set: Vec<Atom>,
+    },
+    /// The string is not even in the underlying CFG.
+    NotInLanguage,
+    /// Every parse tree is semantically rejected.
+    Rejected {
+        /// One diagnosis per parse tree.
+        trees: Vec<TreeDiagnosis>,
+    },
+}
+
+/// The diagnosis of one rejected parse tree: for each candidate
+/// interpretation of the unconstrained program, the constraints that
+/// eliminate it — plus the constraints that eliminate *every* candidate
+/// (the decisive ones).
+#[derive(Debug)]
+pub struct TreeDiagnosis {
+    /// Rendering of the parse tree.
+    pub tree: String,
+    /// Violated constraints per candidate interpretation.
+    pub per_candidate: Vec<Vec<String>>,
+    /// Constraints violated by every candidate (the decisive blockers).
+    pub decisive: Vec<String>,
+    /// True if even the constraint-free program has no answer set.
+    pub base_unsatisfiable: bool,
+}
+
+impl fmt::Display for PolicyExplanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyExplanation::Accepted { tree, answer_set } => {
+                writeln!(f, "ACCEPTED via parse tree:\n{tree}")?;
+                write!(f, "witnessing answer set: {{")?;
+                for (i, a) in answer_set.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                writeln!(f, "}}")
+            }
+            PolicyExplanation::NotInLanguage => {
+                writeln!(f, "REJECTED: not a sentence of the policy language")
+            }
+            PolicyExplanation::Rejected { trees } => {
+                writeln!(f, "REJECTED: every parse is blocked")?;
+                for t in trees {
+                    writeln!(f, "parse tree:\n{}", t.tree)?;
+                    if t.base_unsatisfiable {
+                        writeln!(f, "  (no candidate interpretation exists at all)")?;
+                    }
+                    for c in &t.decisive {
+                        writeln!(f, "  decisive constraint: {c}")?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Explains whether and why `policy` is in `L(gpm(context))`.
+///
+/// # Errors
+///
+/// Propagates grounding failures.
+pub fn explain_policy(
+    gpm: &Asg,
+    context: &Program,
+    policy: &str,
+) -> Result<PolicyExplanation, AsgError> {
+    let g = gpm.with_context(context);
+    let parser = EarleyParser::new(g.cfg());
+    let tokens = agenp_grammar::Cfg::tokenize(policy);
+    let trees = parser.parse_with(&tokens, ParseOptions::default());
+    if trees.is_empty() {
+        return Ok(PolicyExplanation::NotInLanguage);
+    }
+    let unsimplified = GroundOptions {
+        simplify: false,
+        ..GroundOptions::default()
+    };
+    let mut diagnoses = Vec::new();
+    for tree in &trees {
+        let program = g.tree_program(tree);
+        let grounded = ground_with(&program, unsimplified).map_err(AsgError::Ground)?;
+        let result = Solver::new().max_models(1).solve(&grounded);
+        if let Some(model) = result.models().first() {
+            return Ok(PolicyExplanation::Accepted {
+                tree: g.explain_tree(tree),
+                answer_set: model.atoms().to_vec(),
+            });
+        }
+        // Rejected: diagnose by dropping the constraints and checking which
+        // of them eliminate each candidate interpretation.
+        let relaxed: Program = program
+            .rules()
+            .iter()
+            .filter(|r| !r.is_constraint())
+            .cloned()
+            .collect();
+        let relaxed_ground = ground_with(&relaxed, unsimplified).map_err(AsgError::Ground)?;
+        let candidates = Solver::new().max_models(16).solve(&relaxed_ground);
+        let mut per_candidate: Vec<Vec<String>> = Vec::new();
+        for m in candidates.models() {
+            per_candidate.push(violated_constraints(&grounded, m.atoms()));
+        }
+        let decisive: Vec<String> = per_candidate
+            .first()
+            .map(|first| {
+                first
+                    .iter()
+                    .filter(|c| per_candidate.iter().all(|v| v.contains(c)))
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default();
+        diagnoses.push(TreeDiagnosis {
+            tree: g.explain_tree(tree),
+            per_candidate,
+            decisive,
+            base_unsatisfiable: !candidates.satisfiable(),
+        });
+    }
+    Ok(PolicyExplanation::Rejected { trees: diagnoses })
+}
+
+/// Explains why `atom` holds in the answer set that admits `policy`
+/// (a derivation proof through the tree program). `None` if the policy is
+/// rejected or the atom is not in the witnessing answer set.
+///
+/// # Errors
+///
+/// Propagates grounding failures.
+pub fn explain_policy_atom(
+    gpm: &Asg,
+    context: &Program,
+    policy: &str,
+    atom: &Atom,
+) -> Result<Option<Derivation>, AsgError> {
+    let g = gpm.with_context(context);
+    let parser = EarleyParser::new(g.cfg());
+    let tokens = agenp_grammar::Cfg::tokenize(policy);
+    let unsimplified = GroundOptions {
+        simplify: false,
+        ..GroundOptions::default()
+    };
+    for tree in parser.parse_with(&tokens, ParseOptions::default()) {
+        let program = g.tree_program(&tree);
+        let grounded = ground_with(&program, unsimplified).map_err(AsgError::Ground)?;
+        let result = Solver::new().max_models(1).solve(&grounded);
+        if let Some(model) = result.models().first() {
+            return Ok(explain_atom(&grounded, model, atom));
+        }
+    }
+    Ok(None)
+}
+
+/// One mutable context fact and its admissible alternatives, for
+/// counterfactual search.
+#[derive(Clone, Debug)]
+pub struct MutableFact {
+    /// The fact as it currently stands.
+    pub current: Rule,
+    /// Alternative facts it could be replaced by.
+    pub alternatives: Vec<Rule>,
+}
+
+impl MutableFact {
+    /// Parses a mutable fact and its alternatives from ASP fact syntax.
+    ///
+    /// # Panics
+    ///
+    /// Panics on parse errors (intended for statically known facts).
+    pub fn parse(current: &str, alternatives: &[&str]) -> MutableFact {
+        MutableFact {
+            current: current.parse().expect("current fact parses"),
+            alternatives: alternatives
+                .iter()
+                .map(|a| a.parse().expect("alternative fact parses"))
+                .collect(),
+        }
+    }
+}
+
+/// A counterfactual explanation: the minimal set of context-fact changes
+/// that flips the policy's membership.
+#[derive(Clone, Debug)]
+pub struct Counterfactual {
+    /// `(from, to)` fact replacements.
+    pub changes: Vec<(Rule, Rule)>,
+}
+
+impl fmt::Display for Counterfactual {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (from, to)) in self.changes.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; and ")?;
+            }
+            let from_text = from.to_string();
+            let to_text = to.to_string();
+            write!(
+                f,
+                "if `{}` had been `{}`",
+                from_text.trim_end_matches('.'),
+                to_text.trim_end_matches('.')
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Searches for a minimal counterfactual: the fewest replacements among
+/// `mutable` facts (each fact changed at most once) such that the policy's
+/// membership in `L(gpm(context'))` becomes `want_accept`. Facts in
+/// `context` that equal a `MutableFact::current` are replaced; all other
+/// context facts are kept. Returns `None` if no combination within
+/// `max_changes` flips the outcome.
+///
+/// # Errors
+///
+/// Propagates grounding failures.
+pub fn counterfactual(
+    gpm: &Asg,
+    context: &Program,
+    policy: &str,
+    mutable: &[MutableFact],
+    want_accept: bool,
+    max_changes: usize,
+) -> Result<Option<Counterfactual>, AsgError> {
+    // Quick exit: already the desired outcome.
+    if gpm.with_context(context).accepts(policy)? == want_accept {
+        return Ok(Some(Counterfactual {
+            changes: Vec::new(),
+        }));
+    }
+    // Enumerate subsets of mutable facts by increasing size, then
+    // alternatives per chosen fact (cartesian).
+    let n = mutable.len();
+    for size in 1..=max_changes.min(n) {
+        for combo in combinations(n, size) {
+            if let Some(cf) = try_combo(gpm, context, policy, mutable, &combo, want_accept)? {
+                return Ok(Some(cf));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// All `k`-element index combinations of `0..n`, in lexicographic order.
+fn combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(k);
+    fn rec(n: usize, k: usize, start: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if current.len() == k {
+            out.push(current.clone());
+            return;
+        }
+        for i in start..n {
+            current.push(i);
+            rec(n, k, i + 1, current, out);
+            current.pop();
+        }
+    }
+    rec(n, k, 0, &mut current, &mut out);
+    out
+}
+
+fn try_combo(
+    gpm: &Asg,
+    context: &Program,
+    policy: &str,
+    mutable: &[MutableFact],
+    combo: &[usize],
+    want_accept: bool,
+) -> Result<Option<Counterfactual>, AsgError> {
+    // Cartesian product over alternatives of the chosen facts.
+    let mut choice = vec![0usize; combo.len()];
+    loop {
+        let mut ctx = Program::new();
+        let mut changes = Vec::new();
+        for rule in context.rules() {
+            let replaced = combo
+                .iter()
+                .enumerate()
+                .find_map(|(k, &mi)| (mutable[mi].current == *rule).then_some((k, mi)));
+            match replaced {
+                Some((k, mi)) => {
+                    let alt = &mutable[mi].alternatives[choice[k]];
+                    ctx.push(alt.clone());
+                    changes.push((mutable[mi].current.clone(), alt.clone()));
+                }
+                None => ctx.push(rule.clone()),
+            }
+        }
+        if changes.len() == combo.len() && gpm.with_context(&ctx).accepts(policy)? == want_accept {
+            return Ok(Some(Counterfactual { changes }));
+        }
+        // Advance the cartesian counter.
+        let mut k = 0;
+        loop {
+            if k == choice.len() {
+                return Ok(None);
+            }
+            choice[k] += 1;
+            if choice[k] < mutable[combo[k]].alternatives.len() {
+                break;
+            }
+            choice[k] = 0;
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::cav;
+    use agenp_learn::Learner;
+
+    fn learned_cav() -> Asg {
+        let train = cav::samples(64, 7);
+        let task = cav::learning_task(&train, None);
+        let h = Learner::new().learn(&task).expect("learnable");
+        h.apply(&task.grammar)
+    }
+
+    #[test]
+    fn accepted_policies_are_explained_with_answer_sets() {
+        let gpm = learned_cav();
+        let ctx = cav::CavContext {
+            loa: 5,
+            limit: 5,
+            rain: false,
+            emergency: false,
+        };
+        let e = explain_policy(&gpm, &ctx.to_program(), "accept park").unwrap();
+        match e {
+            PolicyExplanation::Accepted { tree, answer_set } => {
+                assert!(tree.contains("policy"));
+                assert!(answer_set
+                    .iter()
+                    .any(|a| a.to_string().contains("task_req(4)")));
+            }
+            other => panic!("expected Accepted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejections_name_the_decisive_constraint() {
+        let gpm = learned_cav();
+        let ctx = cav::CavContext {
+            loa: 2,
+            limit: 5,
+            rain: false,
+            emergency: false,
+        };
+        let e = explain_policy(&gpm, &ctx.to_program(), "accept park").unwrap();
+        match e {
+            PolicyExplanation::Rejected { trees } => {
+                assert_eq!(trees.len(), 1);
+                let decisive = &trees[0].decisive;
+                assert!(
+                    decisive
+                        .iter()
+                        .any(|c| c.contains("task_req(4)") && c.contains("loa(2)")),
+                    "decisive: {decisive:?}"
+                );
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_is_not_in_language() {
+        let gpm = learned_cav();
+        let ctx = cav::CavContext {
+            loa: 2,
+            limit: 5,
+            rain: false,
+            emergency: false,
+        };
+        let e = explain_policy(&gpm, &ctx.to_program(), "launch rockets").unwrap();
+        assert!(matches!(e, PolicyExplanation::NotInLanguage));
+    }
+
+    #[test]
+    fn atom_derivations_cross_the_tree() {
+        let gpm = learned_cav();
+        let ctx = cav::CavContext {
+            loa: 5,
+            limit: 5,
+            rain: false,
+            emergency: false,
+        };
+        let atom: Atom = "task_req(4)".parse().unwrap();
+        let d = explain_policy_atom(&gpm, &ctx.to_program(), "accept park", &atom)
+            .unwrap()
+            .expect("task_req(4) holds");
+        // Derived from req(4)@2 contributed by the `park` production.
+        assert!(d.render().contains("req(4)@2"), "{}", d.render());
+    }
+
+    #[test]
+    fn counterfactual_finds_single_fact_flip() {
+        let gpm = learned_cav();
+        let ctx = cav::CavContext {
+            loa: 2,
+            limit: 5,
+            rain: false,
+            emergency: false,
+        };
+        let mutable = vec![MutableFact::parse(
+            "loa(2).",
+            &["loa(0).", "loa(1).", "loa(3).", "loa(4).", "loa(5)."],
+        )];
+        let cf = counterfactual(
+            &gpm,
+            &ctx.to_program(),
+            "accept overtake",
+            &mutable,
+            true,
+            1,
+        )
+        .unwrap()
+        .expect("a counterfactual exists");
+        assert_eq!(cf.changes.len(), 1);
+        let text = cf.to_string();
+        assert!(text.contains("loa(2)"), "{text}");
+        // The chosen alternative must actually flip the outcome.
+        assert!(
+            cf.changes[0].1.to_string().contains("loa(3)")
+                || cf.changes[0].1.to_string().contains("loa(4)")
+                || cf.changes[0].1.to_string().contains("loa(5)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn counterfactual_for_already_satisfied_goal_is_empty() {
+        let gpm = learned_cav();
+        let ctx = cav::CavContext {
+            loa: 5,
+            limit: 5,
+            rain: false,
+            emergency: false,
+        };
+        let cf = counterfactual(&gpm, &ctx.to_program(), "accept park", &[], true, 2)
+            .unwrap()
+            .expect("already accepted");
+        assert!(cf.changes.is_empty());
+    }
+
+    #[test]
+    fn counterfactual_respects_change_budget() {
+        let gpm = learned_cav();
+        // Both loa and limit are deficient: one change cannot fix it.
+        let ctx = cav::CavContext {
+            loa: 2,
+            limit: 2,
+            rain: false,
+            emergency: false,
+        };
+        let mutable = vec![
+            MutableFact::parse("loa(2).", &["loa(5)."]),
+            MutableFact::parse("limit(2).", &["limit(5)."]),
+        ];
+        let one =
+            counterfactual(&gpm, &ctx.to_program(), "accept park", &mutable, true, 1).unwrap();
+        assert!(one.is_none(), "one change cannot satisfy both constraints");
+        let two = counterfactual(&gpm, &ctx.to_program(), "accept park", &mutable, true, 2)
+            .unwrap()
+            .expect("two changes suffice");
+        assert_eq!(two.changes.len(), 2);
+    }
+}

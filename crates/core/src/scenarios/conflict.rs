@@ -1,0 +1,238 @@
+//! Context-dependent conflict resolution (paper §V-A): when two applicable
+//! policies contradict, "one may need to decide which strategy to adopt
+//! depending on the context. Approaches like learning from human decisions
+//! about conflict resolutions can be adopted or one can specify additional
+//! policies that indicate which conflict resolution strategy to adopt based
+//! on the context."
+//!
+//! This module does exactly that: a *resolution GPM* whose language under a
+//! conflict context is the set of acceptable resolution strategies, learned
+//! from logged administrator decisions, and pluggable into the PDP.
+
+use agenp_asp::{Program, Term};
+use agenp_grammar::{Asg, ProdId};
+use agenp_learn::{
+    Example, HypothesisSpace, LearningTask, ModeArg, ModeAtom, ModeBias, ModeLiteral,
+};
+use agenp_policy::{Decision, Effect, ResolutionStrategy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The situation surrounding a policy conflict.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ConflictContext {
+    /// Is this a life-safety / rescue situation?
+    pub emergency: bool,
+    /// Does the conflict involve a security-sensitive resource?
+    pub sensitive_resource: bool,
+    /// Is the requesting party external to the coalition?
+    pub external_party: bool,
+}
+
+impl ConflictContext {
+    /// Samples a random conflict context.
+    pub fn random(rng: &mut StdRng) -> ConflictContext {
+        ConflictContext {
+            emergency: rng.gen_bool(0.25),
+            sensitive_resource: rng.gen_bool(0.4),
+            external_party: rng.gen_bool(0.3),
+        }
+    }
+
+    /// The ASP facts for the context.
+    pub fn to_program(self) -> Program {
+        let b = |x: bool| if x { "yes" } else { "no" };
+        format!(
+            "emergency({}). sensitive({}). external({}).",
+            b(self.emergency),
+            b(self.sensitive_resource),
+            b(self.external_party),
+        )
+        .parse()
+        .expect("conflict facts always parse")
+    }
+}
+
+/// The strategies, as policy strings.
+pub const STRATEGIES: [(&str, ResolutionStrategy); 2] = [
+    ("resolve deny_overrides", ResolutionStrategy::DenyOverrides),
+    (
+        "resolve permit_overrides",
+        ResolutionStrategy::PermitOverrides,
+    ),
+];
+
+/// The administrator's ground-truth doctrine: emergencies favour permits
+/// (rescue first) *unless* an external party touches a sensitive resource;
+/// everything else is deny-biased.
+pub fn oracle(ctx: ConflictContext) -> ResolutionStrategy {
+    if ctx.emergency && !(ctx.sensitive_resource && ctx.external_party) {
+        ResolutionStrategy::PermitOverrides
+    } else {
+        ResolutionStrategy::DenyOverrides
+    }
+}
+
+/// The resolution-policy grammar: one production per strategy.
+pub fn grammar() -> Asg {
+    r#"
+        policy -> "resolve" "deny_overrides"   { strat(deny). }
+        policy -> "resolve" "permit_overrides" { strat(permit). }
+    "#
+    .parse()
+    .expect("resolution grammar is well-formed")
+}
+
+/// The hypothesis space: constraints over the conflict context per strategy
+/// production.
+pub fn hypothesis_space() -> HypothesisSpace {
+    let yn = || ModeArg::Choice(vec![Term::sym("yes"), Term::sym("no")]);
+    ModeBias::constraints(
+        vec![ProdId::from_index(0), ProdId::from_index(1)],
+        vec![
+            ModeLiteral::positive(ModeAtom::local("emergency", vec![yn()])),
+            ModeLiteral::positive(ModeAtom::local("sensitive", vec![yn()])),
+            ModeLiteral::positive(ModeAtom::local("external", vec![yn()])),
+        ],
+    )
+    .max_body(3)
+    .max_vars(0)
+    .generate()
+}
+
+/// Builds the task from logged administrator decisions: the chosen strategy
+/// is a positive example, the other a negative one.
+pub fn learning_task(n: usize, seed: u64) -> LearningTask {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut task = LearningTask::new(grammar(), hypothesis_space());
+    for _ in 0..n {
+        let ctx = ConflictContext::random(&mut rng);
+        let chosen = oracle(ctx);
+        for (text, strategy) in STRATEGIES {
+            let e = Example::in_context(text, ctx.to_program());
+            if strategy == chosen {
+                task = task.pos(e);
+            } else {
+                task = task.neg(e);
+            }
+        }
+    }
+    task
+}
+
+/// The strategy a learned GPM selects for a context: the unique admitted
+/// strategy, falling back to deny-overrides when ambiguous or empty (safe
+/// default).
+pub fn select_strategy(gpm: &Asg, ctx: ConflictContext) -> ResolutionStrategy {
+    let g = gpm.with_context(&ctx.to_program());
+    let admitted: Vec<ResolutionStrategy> = STRATEGIES
+        .iter()
+        .filter(|(text, _)| g.accepts(text).unwrap_or(false))
+        .map(|(_, s)| *s)
+        .collect();
+    match admitted.as_slice() {
+        [one] => *one,
+        _ => ResolutionStrategy::DenyOverrides,
+    }
+}
+
+/// Fraction of fresh conflict contexts where the learned selector matches
+/// the administrator doctrine.
+pub fn selector_accuracy(gpm: &Asg, n: usize, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let correct = (0..n)
+        .filter(|_| {
+            let ctx = ConflictContext::random(&mut rng);
+            select_strategy(gpm, ctx) == oracle(ctx)
+        })
+        .count();
+    correct as f64 / n.max(1) as f64
+}
+
+/// Resolves a concrete conflicting decision pair with the selected
+/// strategy.
+pub fn resolve_conflict(
+    gpm: &Asg,
+    ctx: ConflictContext,
+    first: Effect,
+    second: Effect,
+) -> Decision {
+    match select_strategy(gpm, ctx).resolve(first, second) {
+        Effect::Permit => Decision::Permit,
+        Effect::Deny => Decision::Deny,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agenp_learn::Learner;
+
+    #[test]
+    fn doctrine_oracle() {
+        let calm = ConflictContext {
+            emergency: false,
+            sensitive_resource: false,
+            external_party: false,
+        };
+        assert_eq!(oracle(calm), ResolutionStrategy::DenyOverrides);
+        let rescue = ConflictContext {
+            emergency: true,
+            ..calm
+        };
+        assert_eq!(oracle(rescue), ResolutionStrategy::PermitOverrides);
+        let spy = ConflictContext {
+            emergency: true,
+            sensitive_resource: true,
+            external_party: true,
+        };
+        assert_eq!(oracle(spy), ResolutionStrategy::DenyOverrides);
+    }
+
+    #[test]
+    fn learns_the_resolution_doctrine() {
+        // Enough logged decisions to include the rare exception case
+        // (emergency + sensitive + external, ~3% of contexts).
+        let task = learning_task(160, 17);
+        let h = Learner::new().learn(&task).expect("doctrine is learnable");
+        let gpm = h.apply(&task.grammar);
+        let acc = selector_accuracy(&gpm, 300, 88);
+        assert!(acc > 0.97, "selector accuracy {acc}; hypothesis:\n{h}");
+    }
+
+    #[test]
+    fn learned_selector_resolves_conflicts() {
+        let task = learning_task(160, 17);
+        let h = Learner::new().learn(&task).expect("learnable");
+        let gpm = h.apply(&task.grammar);
+        let rescue = ConflictContext {
+            emergency: true,
+            sensitive_resource: false,
+            external_party: false,
+        };
+        assert_eq!(
+            resolve_conflict(&gpm, rescue, Effect::Permit, Effect::Deny),
+            Decision::Permit
+        );
+        let calm = ConflictContext {
+            emergency: false,
+            ..rescue
+        };
+        assert_eq!(
+            resolve_conflict(&gpm, calm, Effect::Permit, Effect::Deny),
+            Decision::Deny
+        );
+    }
+
+    #[test]
+    fn ambiguous_grammar_falls_back_to_deny() {
+        // The unconstrained grammar admits both strategies → safe default.
+        let gpm = grammar();
+        let mut rng = StdRng::seed_from_u64(3);
+        let ctx = ConflictContext::random(&mut rng);
+        assert_eq!(
+            select_strategy(&gpm, ctx),
+            ResolutionStrategy::DenyOverrides
+        );
+    }
+}

@@ -1,0 +1,321 @@
+//! Hybrid statistical + symbolic policies (paper §V-C): "statistical
+//! machine learned functions are used to detect 'atomic' concepts … and a
+//! rule model of causation can be used to identify more complex concepts."
+//!
+//! A CAV's raw sensors produce numeric readings (visibility, wiper current,
+//! road reflectivity); a *statistical* classifier maps them to the atomic
+//! symbolic concept `weather(rain|clear)`, which feeds the *symbolic* GPM's
+//! context. The experiment compares:
+//!
+//! * **pure statistical** — one decision tree from raw sensors straight to
+//!   the accept/reject decision;
+//! * **hybrid** — a decision tree for the atomic concept plus the learned
+//!   symbolic GPM for the policy decision.
+//!
+//! Under a *policy shift* (the region tightens its LOA limit — a coalition
+//! context change), the hybrid pipeline keeps working because the symbolic
+//! layer conditions on the changed context facts, while the end-to-end
+//! statistical model silently degrades (§V-C's "the learned function
+//! becomes useless without warning").
+
+use crate::scenarios::cav;
+use agenp_baselines::{Classifier, Dataset, DecisionTree, Feature};
+use agenp_grammar::Asg;
+use agenp_learn::Learner;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Raw sensor readings from which weather must be inferred.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SensorFrame {
+    /// Visibility in arbitrary units (lower in rain).
+    pub visibility: f64,
+    /// Wiper motor current (higher in rain).
+    pub wiper_current: f64,
+    /// Road reflectivity (higher when wet).
+    pub reflectivity: f64,
+}
+
+impl SensorFrame {
+    /// Samples a frame for the given true weather, with sensor noise.
+    pub fn sample(rain: bool, rng: &mut StdRng) -> SensorFrame {
+        let n = |rng: &mut StdRng| rng.gen_range(-1.0..1.0);
+        if rain {
+            SensorFrame {
+                visibility: 3.0 + n(rng),
+                wiper_current: 7.0 + n(rng),
+                reflectivity: 8.0 + n(rng),
+            }
+        } else {
+            SensorFrame {
+                visibility: 8.0 + n(rng),
+                wiper_current: 1.0 + n(rng),
+                reflectivity: 3.0 + n(rng),
+            }
+        }
+    }
+
+    fn features(&self) -> Vec<Feature> {
+        vec![
+            Feature::Num(self.visibility),
+            Feature::Num(self.wiper_current),
+            Feature::Num(self.reflectivity),
+        ]
+    }
+}
+
+/// One raw-sensed driving situation: sensors plus the non-sensor context.
+#[derive(Clone, Copy, Debug)]
+pub struct RawSituation {
+    /// The sensor frame (weather must be inferred from it).
+    pub sensors: SensorFrame,
+    /// The true weather behind the sensors.
+    pub rain: bool,
+    /// Vehicle LOA.
+    pub loa: i64,
+    /// Region limit.
+    pub limit: i64,
+    /// Emergency vehicle nearby.
+    pub emergency: bool,
+    /// Requested task (index into [`cav::TASKS`]).
+    pub task: usize,
+}
+
+impl RawSituation {
+    /// Samples a situation; `limit_range` lets experiments shift the
+    /// regional policy regime.
+    pub fn sample(rng: &mut StdRng, limit_range: (i64, i64)) -> RawSituation {
+        let rain = rng.gen_bool(0.4);
+        RawSituation {
+            sensors: SensorFrame::sample(rain, rng),
+            rain,
+            loa: rng.gen_range(0..=5),
+            limit: rng.gen_range(limit_range.0..=limit_range.1),
+            emergency: rng.gen_bool(0.2),
+            task: rng.gen_range(0..cav::TASKS.len()),
+        }
+    }
+
+    /// The oracle decision (uses the *true* weather).
+    pub fn label(&self) -> bool {
+        cav::oracle(self.to_cav_context(self.rain), cav::TASKS[self.task].0)
+    }
+
+    /// The symbolic context, given an inferred weather value.
+    pub fn to_cav_context(&self, rain: bool) -> cav::CavContext {
+        cav::CavContext {
+            loa: self.loa,
+            limit: self.limit,
+            rain,
+            emergency: self.emergency,
+        }
+    }
+
+    /// The flat feature row for the end-to-end statistical model.
+    fn flat_features(&self) -> Vec<Feature> {
+        let mut f = self.sensors.features();
+        f.push(Feature::Num(self.loa as f64));
+        f.push(Feature::Num(self.limit as f64));
+        f.push(Feature::cat(if self.emergency { "yes" } else { "no" }));
+        f.push(Feature::cat(cav::TASKS[self.task].0));
+        f
+    }
+}
+
+/// The statistical atomic-concept detector: sensors → rain?.
+#[derive(Debug)]
+pub struct WeatherDetector {
+    tree: DecisionTree,
+}
+
+impl WeatherDetector {
+    /// Trains the detector on `n` labelled frames.
+    pub fn train(n: usize, seed: u64) -> WeatherDetector {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new(
+            vec!["visibility".into(), "wiper".into(), "reflectivity".into()],
+            2,
+        );
+        for _ in 0..n {
+            let rain = rng.gen_bool(0.5);
+            d.push(
+                SensorFrame::sample(rain, &mut rng).features(),
+                usize::from(rain),
+            );
+        }
+        WeatherDetector {
+            tree: DecisionTree::fit(&d),
+        }
+    }
+
+    /// Infers the atomic concept from a frame.
+    pub fn detect(&self, frame: &SensorFrame) -> bool {
+        self.tree.predict(&frame.features()) == 1
+    }
+}
+
+/// The hybrid pipeline: a weather detector plus a learned symbolic GPM.
+#[derive(Debug)]
+pub struct HybridPolicy {
+    detector: WeatherDetector,
+    gpm: Asg,
+}
+
+impl HybridPolicy {
+    /// Trains both stages: the detector on labelled frames, the GPM on
+    /// CAV examples (whose weather facts come from the detector, as they
+    /// would in deployment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbolic task is unlearnable (it is learnable by
+    /// construction).
+    pub fn train(n_frames: usize, n_examples: usize, seed: u64) -> HybridPolicy {
+        HybridPolicy::train_with_regime(n_frames, n_examples, seed, (0, 5))
+    }
+
+    /// Like [`HybridPolicy::train`], with explicit training-time regional
+    /// limit regime (for the §V-C policy-shift experiment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbolic task is unlearnable.
+    pub fn train_with_regime(
+        n_frames: usize,
+        n_examples: usize,
+        seed: u64,
+        limit_range: (i64, i64),
+    ) -> HybridPolicy {
+        let detector = WeatherDetector::train(n_frames, seed);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+        let samples: Vec<cav::Sample> = (0..n_examples)
+            .map(|_| {
+                let raw = RawSituation::sample(&mut rng, limit_range);
+                let inferred_rain = detector.detect(&raw.sensors);
+                cav::Sample {
+                    context: raw.to_cav_context(inferred_rain),
+                    task: cav::TASKS[raw.task].0,
+                    accept: raw.label(),
+                }
+            })
+            .collect();
+        let task = cav::learning_task(&samples, Some(5));
+        let h = Learner::new()
+            .learn(&task)
+            .expect("hybrid task is learnable");
+        HybridPolicy {
+            detector,
+            gpm: h.apply(&task.grammar),
+        }
+    }
+
+    /// Decides a raw situation: detect the atomic concept, then ask the GPM.
+    pub fn decide(&self, raw: &RawSituation) -> bool {
+        let rain = self.detector.detect(&raw.sensors);
+        let ctx = raw.to_cav_context(rain);
+        self.gpm
+            .with_context(&ctx.to_program())
+            .accepts(&cav::policy_text(cav::TASKS[raw.task].0))
+            .unwrap_or(false)
+    }
+
+    /// The symbolic layer (for inspection/explanation).
+    pub fn gpm(&self) -> &Asg {
+        &self.gpm
+    }
+}
+
+/// Trains the end-to-end statistical comparator.
+pub fn train_end_to_end(n: usize, seed: u64) -> DecisionTree {
+    train_end_to_end_with_regime(n, seed, (0, 5))
+}
+
+/// Like [`train_end_to_end`], with explicit training-time limit regime.
+pub fn train_end_to_end_with_regime(n: usize, seed: u64, limit_range: (i64, i64)) -> DecisionTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Dataset::new(
+        vec![
+            "visibility".into(),
+            "wiper".into(),
+            "reflectivity".into(),
+            "loa".into(),
+            "limit".into(),
+            "emergency".into(),
+            "task".into(),
+        ],
+        2,
+    );
+    for _ in 0..n {
+        let raw = RawSituation::sample(&mut rng, limit_range);
+        d.push(raw.flat_features(), usize::from(raw.label()));
+    }
+    DecisionTree::fit(&d)
+}
+
+/// Accuracy of both pipelines over situations drawn with the given regional
+/// limit regime.
+pub fn compare(
+    hybrid: &HybridPolicy,
+    end_to_end: &DecisionTree,
+    n: usize,
+    seed: u64,
+    limit_range: (i64, i64),
+) -> (f64, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hybrid_ok = 0;
+    let mut e2e_ok = 0;
+    for _ in 0..n {
+        let raw = RawSituation::sample(&mut rng, limit_range);
+        let label = raw.label();
+        if hybrid.decide(&raw) == label {
+            hybrid_ok += 1;
+        }
+        if (end_to_end.predict(&raw.flat_features()) == 1) == label {
+            e2e_ok += 1;
+        }
+    }
+    (hybrid_ok as f64 / n as f64, e2e_ok as f64 / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detector_learns_the_atomic_concept() {
+        let det = WeatherDetector::train(200, 3);
+        let mut rng = StdRng::seed_from_u64(99);
+        let correct = (0..200)
+            .filter(|_| {
+                let rain = rng.gen_bool(0.5);
+                det.detect(&SensorFrame::sample(rain, &mut rng)) == rain
+            })
+            .count();
+        assert!(correct >= 190, "detector accuracy {correct}/200");
+    }
+
+    #[test]
+    fn hybrid_pipeline_is_accurate() {
+        let hybrid = HybridPolicy::train(200, 96, 7);
+        let e2e = train_end_to_end(96, 7);
+        let (h, s) = compare(&hybrid, &e2e, 300, 42, (0, 5));
+        assert!(h > 0.9, "hybrid accuracy {h}");
+        assert!(s > 0.6, "statistical accuracy {s}");
+    }
+
+    #[test]
+    fn hybrid_survives_policy_regime_shift() {
+        // Train under a permissive regime (limits mostly high), evaluate
+        // under a restrictive one: the symbolic layer reads the limit from
+        // context, the end-to-end tree under-weights a feature that rarely
+        // mattered in training.
+        let hybrid = HybridPolicy::train_with_regime(200, 200, 11, (2, 5));
+        let e2e = train_end_to_end_with_regime(200, 11, (2, 5));
+        let (h_shift, s_shift) = compare(&hybrid, &e2e, 300, 77, (0, 1));
+        assert!(
+            h_shift > s_shift + 0.03,
+            "hybrid {h_shift} should beat end-to-end {s_shift} after the shift"
+        );
+        assert!(h_shift > 0.85, "hybrid accuracy after shift {h_shift}");
+    }
+}

@@ -1,0 +1,10 @@
+//! The paper's §IV application scenarios as synthetic workload generators:
+//! each provides a policy-language grammar, a ground-truth oracle, example
+//! generators, and evaluation helpers, so experiments can measure how well
+//! the learned generative policy model recovers the oracle.
+
+pub mod cav;
+pub mod conflict;
+pub mod hybrid;
+pub mod resupply;
+pub mod xacml;

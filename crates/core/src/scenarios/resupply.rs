@@ -1,0 +1,653 @@
+//! The logistical-resupply scenario (paper §IV-B, after the DAIS-ITA
+//! coalition scenario \[26\]): a resupply convoy must pick a route and a
+//! departure slot under per-mission conditions — route threat levels,
+//! weather, and the coalition's current risk appetite. Policies are learned
+//! from after-action reviews of earlier missions, so "as time progresses …
+//! the learning tasks become easier and more accurate as more training
+//! samples become available".
+
+use agenp_asp::{CmpOp, Program, Term};
+use agenp_grammar::{Asg, ProdId};
+use agenp_learn::{
+    Example, HypothesisSpace, LearningTask, ModeArg, ModeAtom, ModeBias, ModeCmp, ModeLiteral,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The route options.
+pub const ROUTES: [&str; 3] = ["north", "south", "east"];
+/// The departure slots.
+pub const SLOTS: [&str; 2] = ["day", "night"];
+
+/// One mission's conditions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Mission {
+    /// Threat level per route (0–3, aligned with [`ROUTES`]).
+    pub threat: [i64; 3],
+    /// Raining?
+    pub rain: bool,
+    /// Risk appetite (0 = risk-averse … 3 = aggressive).
+    pub appetite: i64,
+}
+
+impl Mission {
+    /// Samples a random mission.
+    pub fn random(rng: &mut StdRng) -> Mission {
+        Mission {
+            threat: [
+                rng.gen_range(0..=3),
+                rng.gen_range(0..=3),
+                rng.gen_range(0..=3),
+            ],
+            rain: rng.gen_bool(0.35),
+            appetite: rng.gen_range(0..=2),
+        }
+    }
+
+    /// The ASP context facts for the mission.
+    pub fn to_program(self) -> Program {
+        let mut src = String::new();
+        for (route, threat) in ROUTES.iter().zip(self.threat) {
+            src.push_str(&format!("ctx_threat({route}, {threat}). "));
+        }
+        src.push_str(&format!(
+            "weather({}). appetite({}).",
+            if self.rain { "rain" } else { "clear" },
+            self.appetite
+        ));
+        src.parse().expect("mission facts always parse")
+    }
+}
+
+/// A convoy plan: a route and a departure slot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Plan {
+    /// Index into [`ROUTES`].
+    pub route: usize,
+    /// Index into [`SLOTS`].
+    pub slot: usize,
+}
+
+impl Plan {
+    /// All six candidate plans.
+    pub fn all() -> Vec<Plan> {
+        (0..ROUTES.len())
+            .flat_map(|route| (0..SLOTS.len()).map(move |slot| Plan { route, slot }))
+            .collect()
+    }
+
+    /// The plan's policy string, e.g. `route north depart day`.
+    pub fn text(self) -> String {
+        format!("route {} depart {}", ROUTES[self.route], SLOTS[self.slot])
+    }
+}
+
+/// The ground-truth plan validity oracle: the route's threat must not
+/// exceed the risk appetite, the east route floods in rain, and night
+/// movement is only allowed on zero-threat routes.
+pub fn oracle(mission: Mission, plan: Plan) -> bool {
+    let threat = mission.threat[plan.route];
+    threat <= mission.appetite
+        && !(mission.rain && ROUTES[plan.route] == "east")
+        && !(SLOTS[plan.slot] == "night" && threat >= 1)
+}
+
+/// The plan grammar.
+pub fn grammar() -> Asg {
+    let mut src = String::from(
+        "plan -> \"route\" route \"depart\" slot {
+            my_route(R) :- route(R)@2.
+            my_slot(S) :- slot(S)@4.
+            my_threat(T) :- my_route(R), ctx_threat(R, T).
+        }\n",
+    );
+    for r in ROUTES {
+        src.push_str(&format!("route -> \"{r}\" {{ route({r}). }}\n"));
+    }
+    for s in SLOTS {
+        src.push_str(&format!("slot -> \"{s}\" {{ slot({s}). }}\n"));
+    }
+    src.parse().expect("resupply grammar is well-formed")
+}
+
+/// The production id of the plan rule.
+pub fn plan_production() -> ProdId {
+    ProdId::from_index(0)
+}
+
+/// The hypothesis space over mission conditions and plan features.
+pub fn hypothesis_space() -> HypothesisSpace {
+    ModeBias::constraints(
+        vec![plan_production()],
+        vec![
+            ModeLiteral::positive(ModeAtom::local("my_threat", vec![ModeArg::Var])),
+            ModeLiteral::positive(ModeAtom::local("appetite", vec![ModeArg::Var])),
+            ModeLiteral::positive(ModeAtom::local(
+                "my_route",
+                vec![ModeArg::Choice(
+                    ROUTES.iter().map(|r| Term::sym(r)).collect(),
+                )],
+            )),
+            ModeLiteral::positive(ModeAtom::local(
+                "my_slot",
+                vec![ModeArg::Choice(
+                    SLOTS.iter().map(|s| Term::sym(s)).collect(),
+                )],
+            )),
+            ModeLiteral::positive(ModeAtom::local(
+                "weather",
+                vec![ModeArg::Choice(vec![Term::sym("rain"), Term::sym("clear")])],
+            )),
+        ],
+    )
+    .max_body(2)
+    .max_vars(2)
+    .with_comparisons(vec![ModeCmp {
+        ops: vec![CmpOp::Ge],
+        constants: vec![Term::Int(1), Term::Int(2), Term::Int(3)],
+    }])
+    .with_var_comparisons(vec![CmpOp::Lt])
+    .generate()
+}
+
+/// Adds utility preferences to a (possibly learned) plan GPM: prefer
+/// low-threat routes and daytime movement (paper §I's *utility-based*
+/// policy type, expressed as weak constraints on the plan production).
+pub fn with_preferences(gpm: &Asg) -> Asg {
+    let mut g = gpm.clone();
+    let prefs: agenp_asp::Program = "
+        :~ my_threat(T). [T@1]
+        :~ my_slot(night). [1@0]
+    "
+    .parse()
+    .expect("preference program parses");
+    let mut annotated = g.annotation(plan_production()).clone();
+    annotated.extend_from(&prefs);
+    g.set_annotation(plan_production(), annotated)
+        .expect("plan production exists");
+    g
+}
+
+/// The best admitted plan for a mission under the GPM's weak-constraint
+/// preferences, with its cost. `None` if no plan is admitted.
+pub fn preferred_plan(gpm: &Asg, mission: Mission) -> Option<(Plan, agenp_asp::CostVector)> {
+    let g = gpm.with_context(&mission.to_program());
+    let mut best: Option<(Plan, agenp_asp::CostVector)> = None;
+    for plan in Plan::all() {
+        let parser = agenp_grammar::EarleyParser::new(g.cfg());
+        let trees = parser.parse_text(&plan.text());
+        for tree in trees {
+            if let Ok(Some(cost)) = g.tree_cost(&tree) {
+                if best.as_ref().is_none_or(|(_, b)| cost < *b) {
+                    best = Some((plan, cost));
+                }
+            }
+        }
+    }
+    best
+}
+
+// --- Convoy composition (§IV-B: "how the convoy should be made up") ------
+
+/// A convoy composition: delivery vehicles and escorts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Convoy {
+    /// Delivery vehicles (2, 4, or 6).
+    pub deliveries: i64,
+    /// Escort vehicles (1, 2, or 3).
+    pub escorts: i64,
+}
+
+impl Convoy {
+    /// All nine compositions.
+    pub fn all() -> Vec<Convoy> {
+        [2i64, 4, 6]
+            .iter()
+            .flat_map(|&d| {
+                [1i64, 2, 3].map(|e| Convoy {
+                    deliveries: d,
+                    escorts: e,
+                })
+            })
+            .collect()
+    }
+}
+
+/// A full convoy plan: route, slot, and composition.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ConvoyPlan {
+    /// The route/slot part.
+    pub plan: Plan,
+    /// The composition part.
+    pub convoy: Convoy,
+}
+
+impl ConvoyPlan {
+    /// All 54 candidate convoy plans.
+    pub fn all() -> Vec<ConvoyPlan> {
+        Plan::all()
+            .into_iter()
+            .flat_map(|plan| {
+                Convoy::all()
+                    .into_iter()
+                    .map(move |convoy| ConvoyPlan { plan, convoy })
+            })
+            .collect()
+    }
+
+    /// The policy string, e.g. `route north depart day convoy d4 e2`.
+    pub fn text(self) -> String {
+        format!(
+            "{} convoy d{} e{}",
+            self.plan.text(),
+            self.convoy.deliveries,
+            self.convoy.escorts
+        )
+    }
+}
+
+/// Ground truth for full convoy plans: the route/slot rules of [`oracle`]
+/// plus composition doctrine — escorts must cover the route threat, and the
+/// delivery-to-escort ratio must not exceed 2:1.
+pub fn convoy_oracle(mission: Mission, cp: ConvoyPlan) -> bool {
+    oracle(mission, cp.plan)
+        && cp.convoy.escorts >= mission.threat[cp.plan.route]
+        && cp.convoy.deliveries <= 2 * cp.convoy.escorts
+}
+
+/// The deeper convoy grammar: the composition subtree puts delivery and
+/// escort counts two levels below the plan node, exercising multi-level
+/// traces.
+pub fn convoy_grammar() -> Asg {
+    let mut src = String::from(
+        r#"plan -> "route" route "depart" slot "convoy" comp {
+            my_route(R) :- route(R)@2.
+            my_slot(S) :- slot(S)@4.
+            my_threat(T) :- my_route(R), ctx_threat(R, T).
+            my_deliveries(D) :- del(D)@6.
+            my_escorts(E) :- esc(E)@6.
+        }
+        comp -> dcount ecount { del(D) :- del(D)@1. esc(E) :- esc(E)@2. }
+"#,
+    );
+    for d in [2, 4, 6] {
+        src.push_str(&format!("dcount -> \"d{d}\" {{ del({d}). }}\n"));
+    }
+    for e in [1, 2, 3] {
+        src.push_str(&format!("ecount -> \"e{e}\" {{ esc({e}). }}\n"));
+    }
+    for r in ROUTES {
+        src.push_str(&format!("route -> \"{r}\" {{ route({r}). }}\n"));
+    }
+    for s in SLOTS {
+        src.push_str(&format!("slot -> \"{s}\" {{ slot({s}). }}\n"));
+    }
+    src.parse().expect("convoy grammar is well-formed")
+}
+
+/// The hypothesis space for the convoy grammar: the route/slot modes of
+/// [`hypothesis_space`] extended with composition literals.
+pub fn convoy_hypothesis_space() -> HypothesisSpace {
+    ModeBias::constraints(
+        vec![plan_production()],
+        vec![
+            ModeLiteral::positive(ModeAtom::local("my_threat", vec![ModeArg::Var])),
+            ModeLiteral::positive(ModeAtom::local("appetite", vec![ModeArg::Var])),
+            ModeLiteral::positive(ModeAtom::local("my_escorts", vec![ModeArg::Var])),
+            ModeLiteral::positive(ModeAtom::local("my_deliveries", vec![ModeArg::Var])),
+            ModeLiteral::positive(ModeAtom::local(
+                "my_route",
+                vec![ModeArg::Choice(
+                    ROUTES.iter().map(|r| Term::sym(r)).collect(),
+                )],
+            )),
+            ModeLiteral::positive(ModeAtom::local(
+                "my_slot",
+                vec![ModeArg::Choice(
+                    SLOTS.iter().map(|s| Term::sym(s)).collect(),
+                )],
+            )),
+            ModeLiteral::positive(ModeAtom::local(
+                "weather",
+                vec![ModeArg::Choice(vec![Term::sym("rain"), Term::sym("clear")])],
+            )),
+            ModeLiteral::positive(ModeAtom::local("ratio_cap", vec![ModeArg::Var])),
+        ],
+    )
+    .max_body(2)
+    .max_vars(2)
+    .with_comparisons(vec![ModeCmp {
+        ops: vec![CmpOp::Ge],
+        constants: vec![Term::Int(1), Term::Int(2), Term::Int(3)],
+    }])
+    .with_var_comparisons(vec![CmpOp::Lt])
+    .generate()
+}
+
+/// Extends a mission context with the derived ratio cap (2 × escorts is a
+/// helper-computed value the ratio constraint can compare against —
+/// var-times-constant arithmetic stays out of the mode language).
+pub fn convoy_context(mission: Mission) -> Program {
+    let mut ctx = mission.to_program();
+    let helper: Program = "ratio_cap(C) :- my_escorts(E), C = E * 2."
+        .parse()
+        .expect("helper rule parses");
+    ctx.extend_from(&helper);
+    ctx
+}
+
+/// Samples labelled convoy-plan reviews.
+pub fn convoy_reviews(
+    n_missions: usize,
+    per_mission: usize,
+    seed: u64,
+) -> Vec<(Mission, ConvoyPlan, bool)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let all = ConvoyPlan::all();
+    let mut out = Vec::new();
+    for _ in 0..n_missions {
+        let mission = Mission::random(&mut rng);
+        for _ in 0..per_mission {
+            let cp = all[rng.gen_range(0..all.len())];
+            out.push((mission, cp, convoy_oracle(mission, cp)));
+        }
+    }
+    out
+}
+
+/// Builds the convoy learning task.
+pub fn convoy_learning_task(reviews: &[(Mission, ConvoyPlan, bool)]) -> LearningTask {
+    let mut task = LearningTask::new(convoy_grammar(), convoy_hypothesis_space());
+    for (mission, cp, valid) in reviews {
+        let e = Example::in_context(cp.text(), convoy_context(*mission));
+        if *valid {
+            task = task.pos(e);
+        } else {
+            task = task.neg(e);
+        }
+    }
+    task
+}
+
+/// Accuracy of a learned convoy GPM on fresh missions.
+pub fn convoy_gpm_accuracy(gpm: &Asg, n_missions: usize, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    let all = ConvoyPlan::all();
+    for _ in 0..n_missions {
+        let mission = Mission::random(&mut rng);
+        let g = gpm.with_context(&convoy_context(mission));
+        // Sample a subset of plans per mission to bound runtime.
+        for cp in all.iter().step_by(5) {
+            let predicted = g.accepts(&cp.text()).unwrap_or(false);
+            if predicted == convoy_oracle(mission, *cp) {
+                correct += 1;
+            }
+            total += 1;
+        }
+    }
+    correct as f64 / total.max(1) as f64
+}
+
+/// One after-action review datum: a mission, a plan, and whether the plan
+/// was appropriate.
+#[derive(Clone, Debug)]
+pub struct Review {
+    /// Mission conditions.
+    pub mission: Mission,
+    /// The reviewed plan.
+    pub plan: Plan,
+    /// Was the plan valid?
+    pub valid: bool,
+}
+
+/// Simulates `n_missions` missions; each mission reviews `plans_per_mission`
+/// randomly chosen candidate plans.
+pub fn reviews(n_missions: usize, plans_per_mission: usize, seed: u64) -> Vec<Review> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let all = Plan::all();
+    let mut out = Vec::new();
+    for _ in 0..n_missions {
+        let mission = Mission::random(&mut rng);
+        for _ in 0..plans_per_mission {
+            let plan = all[rng.gen_range(0..all.len())];
+            out.push(Review {
+                mission,
+                plan,
+                valid: oracle(mission, plan),
+            });
+        }
+    }
+    out
+}
+
+/// Builds the learning task from reviews.
+pub fn learning_task(reviews: &[Review]) -> LearningTask {
+    let mut task = LearningTask::new(grammar(), hypothesis_space());
+    for r in reviews {
+        let e = Example::in_context(r.plan.text(), r.mission.to_program());
+        if r.valid {
+            task = task.pos(e);
+        } else {
+            task = task.neg(e);
+        }
+    }
+    task
+}
+
+/// Accuracy of a learned GPM on fresh missions (all plans of each mission
+/// are scored).
+pub fn gpm_accuracy(gpm: &agenp_grammar::Asg, n_missions: usize, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for _ in 0..n_missions {
+        let mission = Mission::random(&mut rng);
+        let g = gpm.with_context(&mission.to_program());
+        for plan in Plan::all() {
+            let predicted = g.accepts(&plan.text()).unwrap_or(false);
+            if predicted == oracle(mission, plan) {
+                correct += 1;
+            }
+            total += 1;
+        }
+    }
+    correct as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agenp_learn::Learner;
+
+    #[test]
+    fn oracle_spec() {
+        let m = Mission {
+            threat: [0, 2, 1],
+            rain: true,
+            appetite: 2,
+        };
+        // north: threat 0, fine day or night.
+        assert!(oracle(m, Plan { route: 0, slot: 0 }));
+        assert!(oracle(m, Plan { route: 0, slot: 1 }));
+        // south: threat 2 ≤ appetite 2 by day, but not at night.
+        assert!(oracle(m, Plan { route: 1, slot: 0 }));
+        assert!(!oracle(m, Plan { route: 1, slot: 1 }));
+        // east floods in rain.
+        assert!(!oracle(m, Plan { route: 2, slot: 0 }));
+        // low appetite blocks south.
+        let averse = Mission { appetite: 1, ..m };
+        assert!(!oracle(averse, Plan { route: 1, slot: 0 }));
+    }
+
+    #[test]
+    fn grammar_accepts_all_plans_unconstrained() {
+        let g = grammar();
+        let m = Mission {
+            threat: [1, 1, 1],
+            rain: false,
+            appetite: 0,
+        };
+        for p in Plan::all() {
+            assert!(g.with_context(&m.to_program()).accepts(&p.text()).unwrap());
+        }
+    }
+
+    #[test]
+    fn learns_from_reviews_and_tracks_risk_appetite() {
+        let data = reviews(30, 3, 42);
+        let task = learning_task(&data);
+        let h = Learner::new().learn(&task).expect("reviews are learnable");
+        let gpm = h.apply(&task.grammar);
+        let acc = gpm_accuracy(&gpm, 40, 777);
+        assert!(acc > 0.9, "accuracy {acc}; hypothesis:\n{h}");
+
+        // Risk-appetite shift (§IV-B): the same learned GPM re-admits a
+        // previously discounted option when appetite rises.
+        let cautious = Mission {
+            threat: [2, 3, 3],
+            rain: false,
+            appetite: 1,
+        };
+        let bold = Mission {
+            appetite: 2,
+            ..cautious
+        };
+        let north_day = Plan { route: 0, slot: 0 };
+        assert!(!oracle(cautious, north_day));
+        assert!(oracle(bold, north_day));
+        let g_cautious = gpm.with_context(&cautious.to_program());
+        let g_bold = gpm.with_context(&bold.to_program());
+        assert!(!g_cautious.accepts(&north_day.text()).unwrap());
+        assert!(g_bold.accepts(&north_day.text()).unwrap());
+    }
+
+    #[test]
+    fn preferences_pick_the_best_admitted_plan() {
+        // Learn the hard constraints, then rank with utility preferences.
+        let data = reviews(30, 3, 42);
+        let task = learning_task(&data);
+        let h = Learner::new().learn(&task).expect("learnable");
+        let gpm = with_preferences(&h.apply(&task.grammar));
+        // north is calm, south is tense, east moderate; day beats night.
+        let mission = Mission {
+            threat: [0, 2, 1],
+            rain: false,
+            appetite: 2,
+        };
+        let (best, cost) = preferred_plan(&gpm, mission).expect("some plan admitted");
+        assert_eq!(ROUTES[best.route], "north");
+        assert_eq!(SLOTS[best.slot], "day");
+        assert!(cost.is_zero());
+        // If north becomes hot, the preference shifts to the next-best.
+        let hot = Mission {
+            threat: [3, 2, 1],
+            rain: false,
+            appetite: 2,
+        };
+        let (alt, alt_cost) = preferred_plan(&gpm, hot).expect("some plan admitted");
+        assert_eq!(ROUTES[alt.route], "east");
+        assert_eq!(alt_cost.at_level(1), 1);
+    }
+
+    #[test]
+    fn convoy_oracle_enforces_composition_doctrine() {
+        let m = Mission {
+            threat: [2, 0, 1],
+            rain: false,
+            appetite: 2,
+        };
+        let route_ok = Plan { route: 0, slot: 0 };
+        let good = ConvoyPlan {
+            plan: route_ok,
+            convoy: Convoy {
+                deliveries: 4,
+                escorts: 2,
+            },
+        };
+        assert!(convoy_oracle(m, good));
+        // Too few escorts for a threat-2 route.
+        let thin = ConvoyPlan {
+            plan: route_ok,
+            convoy: Convoy {
+                deliveries: 2,
+                escorts: 1,
+            },
+        };
+        assert!(!convoy_oracle(m, thin));
+        // Ratio over 2:1.
+        let heavy = ConvoyPlan {
+            plan: route_ok,
+            convoy: Convoy {
+                deliveries: 6,
+                escorts: 2,
+            },
+        };
+        assert!(!convoy_oracle(m, heavy));
+    }
+
+    #[test]
+    fn deep_grammar_lifts_composition_through_two_levels() {
+        let g = convoy_grammar();
+        let m = Mission {
+            threat: [0, 0, 0],
+            rain: false,
+            appetite: 2,
+        };
+        let cp = ConvoyPlan {
+            plan: Plan { route: 0, slot: 0 },
+            convoy: Convoy {
+                deliveries: 4,
+                escorts: 2,
+            },
+        };
+        // Unconstrained grammar accepts, and the tree program carries the
+        // lifted composition atoms.
+        let with_ctx = g.with_context(&convoy_context(m));
+        assert!(with_ctx.accepts(&cp.text()).unwrap());
+        let parser = agenp_grammar::EarleyParser::new(g.cfg());
+        let tree = parser.parse_text(&cp.text()).pop().unwrap();
+        let prog = g.tree_program(&tree).to_string();
+        assert!(prog.contains("del(4)@6_1"), "{prog}");
+        assert!(prog.contains("esc(2)@6_2"), "{prog}");
+    }
+
+    #[test]
+    fn learns_route_and_composition_doctrine_together() {
+        let reviews = convoy_reviews(80, 5, 11);
+        let task = convoy_learning_task(&reviews);
+        let h = Learner::new()
+            .learn(&task)
+            .expect("convoy doctrine is learnable");
+        let gpm = h.apply(&task.grammar);
+        let acc = convoy_gpm_accuracy(&gpm, 25, 777);
+        assert!(acc > 0.9, "accuracy {acc}; hypothesis: {h}");
+        // The learned rules must constrain the composition (via the escort
+        // count directly or the helper-derived ratio cap).
+        let text = format!("{h}");
+        assert!(
+            text.contains("my_escorts") || text.contains("ratio_cap"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn accuracy_grows_with_mission_count() {
+        let mut last = 0.0;
+        let mut improved = false;
+        for &n in &[2usize, 8, 24] {
+            let data = reviews(n, 3, 9);
+            let task = learning_task(&data);
+            let h = Learner::new().learn(&task).expect("learnable");
+            let gpm = h.apply(&task.grammar);
+            let acc = gpm_accuracy(&gpm, 30, 555);
+            if acc > last {
+                improved = true;
+            }
+            last = acc;
+        }
+        assert!(improved, "accuracy never improved across mission counts");
+        assert!(last > 0.85, "final accuracy {last}");
+    }
+}

@@ -1,0 +1,346 @@
+//! Grammar analysis: reachability, productivity, useless productions,
+//! cycle/ambiguity detection, and ASG annotation validation — the static
+//! checks a Policy-Based Management System runs before handing a policy
+//! grammar to an autonomous party.
+
+use crate::asg::Asg;
+use crate::cfg::{Cfg, GSym, NtId, ProdId};
+use crate::earley::EarleyParser;
+use crate::gen::{GenOptions, Generator};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Structural analysis of a [`Cfg`].
+#[derive(Clone, Debug)]
+pub struct CfgAnalysis {
+    /// Nonterminals reachable from the start symbol.
+    pub reachable: Vec<NtId>,
+    /// Nonterminals that derive at least one terminal string.
+    pub productive: Vec<NtId>,
+    /// Productions that can never occur in a complete parse of a reachable
+    /// sentence (unreachable LHS or unproductive RHS).
+    pub useless_productions: Vec<ProdId>,
+    /// Nonterminals involved in unit cycles (`a ⇒ b ⇒ … ⇒ a` through
+    /// single-nonterminal productions), which make some strings infinitely
+    /// ambiguous.
+    pub unit_cyclic: Vec<NtId>,
+}
+
+impl CfgAnalysis {
+    /// Runs the analysis.
+    pub fn of(cfg: &Cfg) -> CfgAnalysis {
+        // Productive: fixpoint from below.
+        let mut productive = vec![false; cfg.nt_count()];
+        loop {
+            let mut changed = false;
+            for p in cfg.productions() {
+                if productive[p.lhs.0 as usize] {
+                    continue;
+                }
+                let ok = p.rhs.iter().all(|s| match s {
+                    GSym::T(_) => true,
+                    GSym::Nt(n) => productive[n.0 as usize],
+                });
+                if ok {
+                    productive[p.lhs.0 as usize] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Reachable: BFS from the start through productions whose RHS we
+        // can enter.
+        let mut reachable = vec![false; cfg.nt_count()];
+        let mut queue = vec![cfg.start()];
+        reachable[cfg.start().0 as usize] = true;
+        while let Some(nt) = queue.pop() {
+            for &pid in cfg.productions_for(nt) {
+                for s in &cfg.production(pid).rhs {
+                    if let GSym::Nt(m) = s {
+                        if !reachable[m.0 as usize] {
+                            reachable[m.0 as usize] = true;
+                            queue.push(*m);
+                        }
+                    }
+                }
+            }
+        }
+        // Useless productions.
+        let mut useless = Vec::new();
+        for (i, p) in cfg.productions().iter().enumerate() {
+            let lhs_ok = reachable[p.lhs.0 as usize] && productive[p.lhs.0 as usize];
+            let rhs_ok = p.rhs.iter().all(|s| match s {
+                GSym::T(_) => true,
+                GSym::Nt(n) => productive[n.0 as usize],
+            });
+            if !(lhs_ok && rhs_ok) {
+                useless.push(ProdId::from_index(i));
+            }
+        }
+        // Unit cycles: graph over unit productions a -> b.
+        let mut unit_edges: Vec<Vec<usize>> = vec![Vec::new(); cfg.nt_count()];
+        for p in cfg.productions() {
+            if let [GSym::Nt(b)] = p.rhs.as_slice() {
+                unit_edges[p.lhs.0 as usize].push(b.0 as usize);
+            }
+        }
+        let mut unit_cyclic = Vec::new();
+        for start in 0..cfg.nt_count() {
+            // DFS: can `start` reach itself through unit productions?
+            let mut seen = HashSet::new();
+            let mut stack: Vec<usize> = unit_edges[start].clone();
+            while let Some(v) = stack.pop() {
+                if v == start {
+                    unit_cyclic.push(NtId(start as u32));
+                    break;
+                }
+                if seen.insert(v) {
+                    stack.extend(unit_edges[v].iter().copied());
+                }
+            }
+        }
+        CfgAnalysis {
+            reachable: collect(&reachable),
+            productive: collect(&productive),
+            useless_productions: useless,
+            unit_cyclic,
+        }
+    }
+
+    /// True if the grammar has no useless productions and no unit cycles.
+    pub fn is_clean(&self) -> bool {
+        self.useless_productions.is_empty() && self.unit_cyclic.is_empty()
+    }
+}
+
+fn collect(flags: &[bool]) -> Vec<NtId> {
+    flags
+        .iter()
+        .enumerate()
+        .filter(|(_, &f)| f)
+        .map(|(i, _)| NtId(i as u32))
+        .collect()
+}
+
+/// A problem found while validating an ASG's annotations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AsgIssue {
+    /// An annotation rule is unsafe (a variable not bound positively).
+    UnsafeRule {
+        /// The production carrying the rule.
+        production: usize,
+        /// Rendered rule.
+        rule: String,
+    },
+    /// An annotated atom references a child index beyond the production's
+    /// right-hand side.
+    BadChildIndex {
+        /// The production carrying the rule.
+        production: usize,
+        /// Rendered rule.
+        rule: String,
+        /// The out-of-range child index.
+        index: u16,
+        /// The production's arity.
+        arity: usize,
+    },
+    /// An annotated atom references a *terminal* child, which carries no
+    /// annotation program and therefore no atoms.
+    TerminalChild {
+        /// The production carrying the rule.
+        production: usize,
+        /// Rendered rule.
+        rule: String,
+        /// The terminal child index referenced.
+        index: u16,
+    },
+}
+
+impl fmt::Display for AsgIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsgIssue::UnsafeRule { production, rule } => {
+                write!(f, "p{production}: unsafe rule `{rule}`")
+            }
+            AsgIssue::BadChildIndex { production, rule, index, arity } => write!(
+                f,
+                "p{production}: rule `{rule}` references child {index} of a {arity}-symbol production"
+            ),
+            AsgIssue::TerminalChild { production, rule, index } => write!(
+                f,
+                "p{production}: rule `{rule}` references terminal child {index}, which has no atoms"
+            ),
+        }
+    }
+}
+
+/// Validates an ASG's annotations: safety and child-index sanity.
+pub fn validate_asg(asg: &Asg) -> Vec<AsgIssue> {
+    let mut issues = Vec::new();
+    for (pi, prod) in asg.cfg().productions().iter().enumerate() {
+        let annotation = asg.annotation(ProdId::from_index(pi));
+        for rule in annotation.rules() {
+            if rule.unsafe_var().is_some() {
+                issues.push(AsgIssue::UnsafeRule {
+                    production: pi,
+                    rule: rule.to_string(),
+                });
+            }
+            let mut check_atom = |atom: &agenp_asp::Atom| {
+                let idx = atom.trace.indices();
+                if idx.is_empty() {
+                    return;
+                }
+                let i = idx[0];
+                if i == 0 || i as usize > prod.rhs.len() {
+                    issues.push(AsgIssue::BadChildIndex {
+                        production: pi,
+                        rule: rule.to_string(),
+                        index: i,
+                        arity: prod.rhs.len(),
+                    });
+                } else if matches!(prod.rhs[i as usize - 1], GSym::T(_)) {
+                    issues.push(AsgIssue::TerminalChild {
+                        production: pi,
+                        rule: rule.to_string(),
+                        index: i,
+                    });
+                }
+            };
+            if let Some(h) = &rule.head {
+                check_atom(h);
+            }
+            for lit in &rule.body {
+                if let Some(a) = lit.atom() {
+                    check_atom(a);
+                }
+            }
+        }
+    }
+    issues
+}
+
+/// Samples the grammar's language for ambiguous strings: generated strings
+/// with more than one parse tree. Returns up to `max_report` ambiguous
+/// strings with their parse counts.
+pub fn ambiguity_sample(cfg: &Cfg, opts: GenOptions, max_report: usize) -> Vec<(String, usize)> {
+    let parser = EarleyParser::new(cfg);
+    let mut out = Vec::new();
+    for s in Generator::new(cfg).strings(opts) {
+        let trees = parser.parse_text(&s);
+        if trees.len() > 1 {
+            out.push((s, trees.len()));
+            if out.len() >= max_report {
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{nt, t, CfgBuilder};
+
+    #[test]
+    fn detects_unreachable_and_unproductive() {
+        let mut b = CfgBuilder::new();
+        b.production("s", vec![t("x")]);
+        b.production("orphan", vec![t("y")]); // unreachable
+        b.production("dead", vec![nt("dead")]); // unproductive (and unreachable)
+        let g = b.build().unwrap();
+        let a = CfgAnalysis::of(&g);
+        assert_eq!(a.reachable.len(), 1);
+        assert_eq!(a.productive.len(), 2); // s and orphan
+        assert_eq!(a.useless_productions.len(), 2);
+        assert!(!a.is_clean());
+    }
+
+    #[test]
+    fn clean_grammar_passes() {
+        let mut b = CfgBuilder::new();
+        b.production("s", vec![t("a"), nt("s")]);
+        b.production("s", vec![]);
+        let g = b.build().unwrap();
+        let a = CfgAnalysis::of(&g);
+        assert!(a.is_clean());
+        assert_eq!(a.reachable.len(), 1);
+    }
+
+    #[test]
+    fn detects_unit_cycles() {
+        let mut b = CfgBuilder::new();
+        b.production("a", vec![nt("b")]);
+        b.production("b", vec![nt("a")]);
+        b.production("a", vec![t("x")]);
+        let g = b.build().unwrap();
+        let a = CfgAnalysis::of(&g);
+        assert_eq!(a.unit_cyclic.len(), 2);
+    }
+
+    #[test]
+    fn validates_asg_annotations() {
+        let g: Asg = r#"
+            s -> "a" body { ok :- sz(X)@2. bad :- sz(X)@5. worse :- sz(X)@1. }
+            body -> "b" { sz(1). }
+        "#
+        .parse()
+        .unwrap();
+        let issues = validate_asg(&g);
+        assert_eq!(issues.len(), 2, "{issues:?}");
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, AsgIssue::BadChildIndex { index: 5, .. })));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, AsgIssue::TerminalChild { index: 1, .. })));
+    }
+
+    #[test]
+    fn unsafe_annotations_are_flagged() {
+        let g: Asg = r#"
+            s -> "a" { p(X) :- not q(X). }
+        "#
+        .parse()
+        .unwrap();
+        let issues = validate_asg(&g);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, AsgIssue::UnsafeRule { .. })));
+    }
+
+    #[test]
+    fn ambiguity_sampling_finds_ambiguous_strings() {
+        let mut b = CfgBuilder::new();
+        b.production("e", vec![nt("e"), t("+"), nt("e")]);
+        b.production("e", vec![t("x")]);
+        let g = b.build().unwrap();
+        let found = ambiguity_sample(
+            &g,
+            GenOptions {
+                max_depth: 4,
+                max_trees: 200,
+            },
+            5,
+        );
+        assert!(!found.is_empty());
+        assert!(found.iter().all(|(_, n)| *n > 1));
+        // An unambiguous grammar reports nothing.
+        let mut b2 = CfgBuilder::new();
+        b2.production("s", vec![t("a"), nt("s")]);
+        b2.production("s", vec![]);
+        let g2 = b2.build().unwrap();
+        assert!(ambiguity_sample(
+            &g2,
+            GenOptions {
+                max_depth: 5,
+                max_trees: 100
+            },
+            5
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,314 @@
+//! Context-free grammars `⟨G_N, G_T, G_PR, G_S⟩` (paper §II-A).
+//!
+//! Strings are sequences of *tokens* (interned symbols); a convenience
+//! whitespace tokenizer is provided for textual policies.
+
+use agenp_asp::Symbol;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a nonterminal within a [`Cfg`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct NtId(pub(crate) u32);
+
+/// Index of a production rule within a [`Cfg`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ProdId(pub(crate) u32);
+
+impl ProdId {
+    /// The numeric index of the production (its identifier in hypothesis
+    /// spaces, per Definition 3 of the paper).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `ProdId` from a raw index (must be in range for the grammar
+    /// it is used with).
+    pub fn from_index(i: usize) -> ProdId {
+        ProdId(u32::try_from(i).expect("production index overflow"))
+    }
+}
+
+/// One grammar symbol on the right-hand side of a production.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum GSym {
+    /// A nonterminal.
+    Nt(NtId),
+    /// A terminal token.
+    T(Symbol),
+}
+
+/// A production rule `n0 → n1 … nk`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Production {
+    /// Left-hand-side nonterminal.
+    pub lhs: NtId,
+    /// Right-hand-side symbols (possibly empty for ε-productions).
+    pub rhs: Vec<GSym>,
+}
+
+/// A context-free grammar.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    nt_names: Vec<Symbol>,
+    nt_index: HashMap<Symbol, NtId>,
+    productions: Vec<Production>,
+    by_lhs: Vec<Vec<ProdId>>,
+    start: NtId,
+}
+
+/// Errors raised while assembling a grammar.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CfgError {
+    /// A nonterminal was referenced but has no productions.
+    UndefinedNonterminal(String),
+    /// The grammar has no productions for the start symbol.
+    NoStart,
+}
+
+impl fmt::Display for CfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfgError::UndefinedNonterminal(n) => {
+                write!(f, "nonterminal `{n}` is referenced but never defined")
+            }
+            CfgError::NoStart => write!(f, "grammar has no start productions"),
+        }
+    }
+}
+
+impl std::error::Error for CfgError {}
+
+/// Incremental builder for [`Cfg`].
+#[derive(Clone, Debug, Default)]
+pub struct CfgBuilder {
+    nt_names: Vec<Symbol>,
+    nt_index: HashMap<Symbol, NtId>,
+    productions: Vec<Production>,
+    start: Option<NtId>,
+}
+
+impl CfgBuilder {
+    /// A new, empty builder. The first nonterminal to gain a production
+    /// becomes the start symbol unless [`CfgBuilder::start`] overrides it.
+    pub fn new() -> CfgBuilder {
+        CfgBuilder::default()
+    }
+
+    fn nt(&mut self, name: &str) -> NtId {
+        let sym = Symbol::new(name);
+        if let Some(&id) = self.nt_index.get(&sym) {
+            return id;
+        }
+        let id = NtId(u32::try_from(self.nt_names.len()).expect("nonterminal overflow"));
+        self.nt_names.push(sym);
+        self.nt_index.insert(sym, id);
+        id
+    }
+
+    /// Declares the start nonterminal.
+    pub fn start(&mut self, name: &str) -> &mut CfgBuilder {
+        let id = self.nt(name);
+        self.start = Some(id);
+        self
+    }
+
+    /// Adds a production built from [`nt`]/[`t`] right-hand-side elements
+    /// and returns its id. The first production's left-hand side becomes the
+    /// start symbol unless [`CfgBuilder::start`] was called.
+    pub fn production(&mut self, lhs: &str, rhs: Vec<Rhs>) -> ProdId {
+        let lhs_id = self.nt(lhs);
+        if self.start.is_none() {
+            self.start = Some(lhs_id);
+        }
+        let rhs = rhs
+            .into_iter()
+            .map(|r| match r {
+                Rhs::NtRef(n) => GSym::Nt(self.nt(&n)),
+                Rhs::Term(t) => GSym::T(Symbol::new(&t)),
+            })
+            .collect();
+        let id = ProdId(u32::try_from(self.productions.len()).expect("production overflow"));
+        self.productions.push(Production { lhs: lhs_id, rhs });
+        id
+    }
+
+    /// Finalizes the grammar.
+    ///
+    /// # Errors
+    ///
+    /// [`CfgError::UndefinedNonterminal`] if a right-hand side references a
+    /// nonterminal with no productions; [`CfgError::NoStart`] if empty.
+    pub fn build(&self) -> Result<Cfg, CfgError> {
+        let start = self.start.ok_or(CfgError::NoStart)?;
+        let mut by_lhs: Vec<Vec<ProdId>> = vec![Vec::new(); self.nt_names.len()];
+        for (i, p) in self.productions.iter().enumerate() {
+            by_lhs[p.lhs.0 as usize].push(ProdId(i as u32));
+        }
+        for p in &self.productions {
+            for s in &p.rhs {
+                if let GSym::Nt(n) = s {
+                    if by_lhs[n.0 as usize].is_empty() {
+                        return Err(CfgError::UndefinedNonterminal(
+                            self.nt_names[n.0 as usize].name(),
+                        ));
+                    }
+                }
+            }
+        }
+        if by_lhs[start.0 as usize].is_empty() {
+            return Err(CfgError::NoStart);
+        }
+        Ok(Cfg {
+            nt_names: self.nt_names.clone(),
+            nt_index: self.nt_index.clone(),
+            productions: self.productions.clone(),
+            by_lhs,
+            start,
+        })
+    }
+}
+
+/// A right-hand-side element for [`CfgBuilder::production`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Rhs {
+    /// Reference to a nonterminal by name.
+    NtRef(String),
+    /// A terminal token.
+    Term(String),
+}
+
+/// Shorthand for [`Rhs::NtRef`].
+pub fn nt(name: &str) -> Rhs {
+    Rhs::NtRef(name.to_owned())
+}
+
+/// Shorthand for [`Rhs::Term`].
+pub fn t(token: &str) -> Rhs {
+    Rhs::Term(token.to_owned())
+}
+
+impl Cfg {
+    /// The start nonterminal.
+    pub fn start(&self) -> NtId {
+        self.start
+    }
+
+    /// Number of productions.
+    pub fn production_count(&self) -> usize {
+        self.productions.len()
+    }
+
+    /// The production with the given id.
+    pub fn production(&self, id: ProdId) -> &Production {
+        &self.productions[id.0 as usize]
+    }
+
+    /// All productions, in id order.
+    pub fn productions(&self) -> &[Production] {
+        &self.productions
+    }
+
+    /// Ids of the productions whose left-hand side is `nt`.
+    pub fn productions_for(&self, nt: NtId) -> &[ProdId] {
+        &self.by_lhs[nt.0 as usize]
+    }
+
+    /// The name of a nonterminal.
+    pub fn nt_name(&self, nt: NtId) -> Symbol {
+        self.nt_names[nt.0 as usize]
+    }
+
+    /// Looks up a nonterminal by name.
+    pub fn nt_by_name(&self, name: &str) -> Option<NtId> {
+        self.nt_index.get(&Symbol::new(name)).copied()
+    }
+
+    /// Number of nonterminals.
+    pub fn nt_count(&self) -> usize {
+        self.nt_names.len()
+    }
+
+    /// Splits `text` into terminal tokens on ASCII whitespace.
+    pub fn tokenize(text: &str) -> Vec<Symbol> {
+        text.split_ascii_whitespace().map(Symbol::new).collect()
+    }
+
+    /// Renders a token sequence back to a string.
+    pub fn detokenize(tokens: &[Symbol]) -> String {
+        tokens
+            .iter()
+            .map(|s| s.name())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+impl fmt::Display for Cfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.productions {
+            write!(f, "{} ->", self.nt_names[p.lhs.0 as usize])?;
+            for s in &p.rhs {
+                match s {
+                    GSym::Nt(n) => write!(f, " {}", self.nt_names[n.0 as usize])?,
+                    GSym::T(t) => t.with_name(|n| write!(f, " {n:?}"))?,
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Cfg {
+        // start -> as bs ; as -> "a" as | ε ; bs -> "b" bs | ε
+        let mut b = CfgBuilder::new();
+        b.production("start", vec![nt("as"), nt("bs")]);
+        b.production("as", vec![t("a"), nt("as")]);
+        b.production("as", vec![]);
+        b.production("bs", vec![t("b"), nt("bs")]);
+        b.production("bs", vec![]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_assigns_ids_in_order() {
+        let g = abc();
+        assert_eq!(g.production_count(), 5);
+        assert_eq!(g.nt_count(), 3);
+        assert_eq!(g.production(ProdId(1)).rhs.len(), 2);
+        assert_eq!(g.productions_for(g.nt_by_name("as").unwrap()).len(), 2);
+        assert_eq!(g.nt_name(g.start()).name(), "start");
+    }
+
+    #[test]
+    fn undefined_nonterminal_is_rejected() {
+        let mut b = CfgBuilder::new();
+        b.production("s", vec![nt("missing")]);
+        assert!(matches!(b.build(), Err(CfgError::UndefinedNonterminal(_))));
+    }
+
+    #[test]
+    fn empty_grammar_is_rejected() {
+        assert_eq!(CfgBuilder::new().build().unwrap_err(), CfgError::NoStart);
+    }
+
+    #[test]
+    fn tokenize_round_trip() {
+        let toks = Cfg::tokenize("allow task if  loa >= 3");
+        assert_eq!(toks.len(), 6);
+        assert_eq!(Cfg::detokenize(&toks), "allow task if loa >= 3");
+    }
+
+    #[test]
+    fn display_lists_productions() {
+        let g = abc();
+        let text = g.to_string();
+        assert!(text.contains("start -> as bs"));
+        assert!(text.contains("as -> \"a\" as"));
+    }
+}

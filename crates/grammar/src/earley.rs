@@ -1,0 +1,436 @@
+//! Earley recognition and parse-forest extraction.
+//!
+//! Recognition is textbook Earley (with the Aycock–Horspool nullable fix for
+//! ε-productions). Tree extraction is a chart-pruned top-down enumeration
+//! that returns *all* parse trees up to a configurable cap, so ambiguous
+//! policy grammars expose every reading to the answer-set-grammar layer.
+//!
+//! Grammars with unit cycles (`a → b`, `b → a`) admit infinitely many trees
+//! for some strings; enumeration cuts such cycles and returns only the trees
+//! that do not revisit a `(nonterminal, span)` pair along a path.
+
+use crate::cfg::{Cfg, GSym, NtId, ProdId};
+use crate::tree::{ParseTree, TreeChild};
+use agenp_asp::Symbol;
+use std::collections::{HashMap, HashSet};
+
+/// Options for parse-forest extraction.
+#[derive(Clone, Copy, Debug)]
+pub struct ParseOptions {
+    /// Maximum number of parse trees to return.
+    pub max_trees: usize,
+}
+
+impl Default for ParseOptions {
+    fn default() -> ParseOptions {
+        ParseOptions { max_trees: 64 }
+    }
+}
+
+/// An Earley parser for a [`Cfg`].
+#[derive(Debug)]
+pub struct EarleyParser<'g> {
+    cfg: &'g Cfg,
+    nullable: Vec<bool>,
+}
+
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+struct Item {
+    prod: u32,
+    dot: u16,
+    origin: u32,
+}
+
+impl<'g> EarleyParser<'g> {
+    /// Builds a parser for `cfg`.
+    pub fn new(cfg: &'g Cfg) -> EarleyParser<'g> {
+        let mut nullable = vec![false; cfg.nt_count()];
+        loop {
+            let mut changed = false;
+            for p in cfg.productions() {
+                if nullable[p.lhs.0 as usize] {
+                    continue;
+                }
+                let all_nullable = p.rhs.iter().all(|s| match s {
+                    GSym::Nt(n) => nullable[n.0 as usize],
+                    GSym::T(_) => false,
+                });
+                if all_nullable {
+                    nullable[p.lhs.0 as usize] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        EarleyParser { cfg, nullable }
+    }
+
+    /// Runs recognition and returns the set of completed spans
+    /// `(nonterminal, from, to)`.
+    fn chart(&self, tokens: &[Symbol]) -> HashSet<(NtId, usize, usize)> {
+        let n = tokens.len();
+        let mut sets: Vec<Vec<Item>> = vec![Vec::new(); n + 1];
+        let mut seen: Vec<HashSet<Item>> = vec![HashSet::new(); n + 1];
+        let mut spans: HashSet<(NtId, usize, usize)> = HashSet::new();
+
+        let push =
+            |sets: &mut Vec<Vec<Item>>, seen: &mut Vec<HashSet<Item>>, i: usize, item: Item| {
+                if seen[i].insert(item) {
+                    sets[i].push(item);
+                }
+            };
+
+        for &p in self.cfg.productions_for(self.cfg.start()) {
+            push(
+                &mut sets,
+                &mut seen,
+                0,
+                Item {
+                    prod: p.0,
+                    dot: 0,
+                    origin: 0,
+                },
+            );
+        }
+
+        for i in 0..=n {
+            let mut cursor = 0;
+            while cursor < sets[i].len() {
+                let item = sets[i][cursor];
+                cursor += 1;
+                let prod = self.cfg.production(ProdId(item.prod));
+                if (item.dot as usize) < prod.rhs.len() {
+                    match prod.rhs[item.dot as usize] {
+                        GSym::Nt(m) => {
+                            // Predict.
+                            for &q in self.cfg.productions_for(m) {
+                                push(
+                                    &mut sets,
+                                    &mut seen,
+                                    i,
+                                    Item {
+                                        prod: q.0,
+                                        dot: 0,
+                                        origin: i as u32,
+                                    },
+                                );
+                            }
+                            // Nullable fix: advance over ε-deriving m.
+                            if self.nullable[m.0 as usize] {
+                                push(
+                                    &mut sets,
+                                    &mut seen,
+                                    i,
+                                    Item {
+                                        prod: item.prod,
+                                        dot: item.dot + 1,
+                                        origin: item.origin,
+                                    },
+                                );
+                                spans.insert((m, i, i));
+                            }
+                        }
+                        GSym::T(t) => {
+                            // Scan.
+                            if i < n && tokens[i] == t {
+                                push(
+                                    &mut sets,
+                                    &mut seen,
+                                    i + 1,
+                                    Item {
+                                        prod: item.prod,
+                                        dot: item.dot + 1,
+                                        origin: item.origin,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                } else {
+                    // Complete.
+                    spans.insert((prod.lhs, item.origin as usize, i));
+                    let origin = item.origin as usize;
+                    let mut j = 0;
+                    while j < sets[origin].len() {
+                        let waiting = sets[origin][j];
+                        j += 1;
+                        let wprod = self.cfg.production(ProdId(waiting.prod));
+                        if (waiting.dot as usize) < wprod.rhs.len()
+                            && wprod.rhs[waiting.dot as usize] == GSym::Nt(prod.lhs)
+                        {
+                            push(
+                                &mut sets,
+                                &mut seen,
+                                i,
+                                Item {
+                                    prod: waiting.prod,
+                                    dot: waiting.dot + 1,
+                                    origin: waiting.origin,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        spans
+    }
+
+    /// True if `tokens` is in the language of the underlying CFG.
+    pub fn recognize(&self, tokens: &[Symbol]) -> bool {
+        self.chart(tokens)
+            .contains(&(self.cfg.start(), 0, tokens.len()))
+    }
+
+    /// All parse trees for `tokens`, capped at [`ParseOptions::max_trees`].
+    pub fn parse(&self, tokens: &[Symbol]) -> Vec<ParseTree> {
+        self.parse_with(tokens, ParseOptions::default())
+    }
+
+    /// All parse trees with explicit options.
+    pub fn parse_with(&self, tokens: &[Symbol], opts: ParseOptions) -> Vec<ParseTree> {
+        let spans = self.chart(tokens);
+        if !spans.contains(&(self.cfg.start(), 0, tokens.len())) {
+            return Vec::new();
+        }
+        // Index the end positions available for each (nt, start).
+        let mut ends: HashMap<(NtId, usize), Vec<usize>> = HashMap::new();
+        for &(nt, i, j) in &spans {
+            ends.entry((nt, i)).or_default().push(j);
+        }
+        for v in ends.values_mut() {
+            v.sort_unstable();
+        }
+        let mut extractor = Extractor {
+            cfg: self.cfg,
+            tokens,
+            ends: &ends,
+            memo: HashMap::new(),
+            in_progress: HashSet::new(),
+            budget: opts.max_trees,
+        };
+        let (trees, _) = extractor.derive(self.cfg.start(), 0, tokens.len());
+        trees.into_iter().take(opts.max_trees).collect()
+    }
+
+    /// Convenience: parse a whitespace-tokenized string.
+    pub fn parse_text(&self, text: &str) -> Vec<ParseTree> {
+        self.parse(&Cfg::tokenize(text))
+    }
+}
+
+struct Extractor<'a> {
+    cfg: &'a Cfg,
+    tokens: &'a [Symbol],
+    ends: &'a HashMap<(NtId, usize), Vec<usize>>,
+    memo: HashMap<(NtId, usize, usize), Vec<ParseTree>>,
+    in_progress: HashSet<(NtId, usize, usize)>,
+    budget: usize,
+}
+
+impl Extractor<'_> {
+    /// Returns (trees, tainted). `tainted` marks results truncated by a
+    /// cycle cut or the budget; tainted results are not memoized.
+    fn derive(&mut self, nt: NtId, i: usize, j: usize) -> (Vec<ParseTree>, bool) {
+        if let Some(cached) = self.memo.get(&(nt, i, j)) {
+            return (cached.clone(), false);
+        }
+        if !self.in_progress.insert((nt, i, j)) {
+            return (Vec::new(), true);
+        }
+        let mut out = Vec::new();
+        let mut tainted = false;
+        for &p in self.cfg.productions_for(nt) {
+            let rhs = self.cfg.production(p).rhs.clone();
+            let (seqs, t) = self.derive_seq(&rhs, 0, i, j);
+            tainted |= t;
+            for children in seqs {
+                out.push(ParseTree { prod: p, children });
+                if out.len() >= self.budget {
+                    tainted = true;
+                    break;
+                }
+            }
+            if out.len() >= self.budget {
+                break;
+            }
+        }
+        self.in_progress.remove(&(nt, i, j));
+        if !tainted {
+            self.memo.insert((nt, i, j), out.clone());
+        }
+        (out, tainted)
+    }
+
+    /// All ways to derive `rhs[k..]` from `tokens[i..j]`.
+    fn derive_seq(
+        &mut self,
+        rhs: &[GSym],
+        k: usize,
+        i: usize,
+        j: usize,
+    ) -> (Vec<Vec<TreeChild>>, bool) {
+        if k == rhs.len() {
+            return if i == j {
+                (vec![Vec::new()], false)
+            } else {
+                (Vec::new(), false)
+            };
+        }
+        let mut out = Vec::new();
+        let mut tainted = false;
+        match rhs[k] {
+            GSym::T(t) => {
+                if i < j && self.tokens[i] == t {
+                    let (tails, tt) = self.derive_seq(rhs, k + 1, i + 1, j);
+                    tainted |= tt;
+                    for mut tail in tails {
+                        tail.insert(0, TreeChild::Leaf(t));
+                        out.push(tail);
+                    }
+                }
+            }
+            GSym::Nt(m) => {
+                let splits: Vec<usize> = self
+                    .ends
+                    .get(&(m, i))
+                    .map(|v| v.iter().copied().filter(|&e| e <= j).collect())
+                    .unwrap_or_default();
+                for split in splits {
+                    let (heads, th) = self.derive(m, i, split);
+                    tainted |= th;
+                    if heads.is_empty() {
+                        continue;
+                    }
+                    let (tails, tt) = self.derive_seq(rhs, k + 1, split, j);
+                    tainted |= tt;
+                    for head in &heads {
+                        for tail in &tails {
+                            let mut children = Vec::with_capacity(1 + tail.len());
+                            children.push(TreeChild::Node(head.clone()));
+                            children.extend(tail.iter().cloned());
+                            out.push(children);
+                            if out.len() >= self.budget {
+                                return (out, true);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (out, tainted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{nt, t, CfgBuilder};
+
+    fn anbn() -> Cfg {
+        // s -> "a" s "b" | ε
+        let mut b = CfgBuilder::new();
+        b.production("s", vec![t("a"), nt("s"), t("b")]);
+        b.production("s", vec![]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn recognizes_anbn() {
+        let g = anbn();
+        let p = EarleyParser::new(&g);
+        assert!(p.recognize(&Cfg::tokenize("a a b b")));
+        assert!(p.recognize(&Cfg::tokenize("")));
+        assert!(!p.recognize(&Cfg::tokenize("a b b")));
+        assert!(!p.recognize(&Cfg::tokenize("b a")));
+    }
+
+    #[test]
+    fn extracts_unique_tree() {
+        let g = anbn();
+        let p = EarleyParser::new(&g);
+        let trees = p.parse_text("a a b b");
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].text(), "a a b b");
+        assert!(trees[0].conforms_to(&g));
+    }
+
+    #[test]
+    fn ambiguous_grammar_yields_all_trees() {
+        // e -> e "+" e | "x" : "x + x + x" has 2 trees.
+        let mut b = CfgBuilder::new();
+        b.production("e", vec![nt("e"), t("+"), nt("e")]);
+        b.production("e", vec![t("x")]);
+        let g = b.build().unwrap();
+        let p = EarleyParser::new(&g);
+        let trees = p.parse_text("x + x + x");
+        assert_eq!(trees.len(), 2);
+        assert!(trees.iter().all(|t| t.text() == "x + x + x"));
+        assert_ne!(trees[0], trees[1]);
+    }
+
+    #[test]
+    fn tree_cap_is_respected() {
+        let mut b = CfgBuilder::new();
+        b.production("e", vec![nt("e"), t("+"), nt("e")]);
+        b.production("e", vec![t("x")]);
+        let g = b.build().unwrap();
+        let p = EarleyParser::new(&g);
+        let long = "x + x + x + x + x + x + x";
+        let all = p.parse_with(&Cfg::tokenize(long), ParseOptions { max_trees: 3 });
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn nullable_chains_are_handled() {
+        // s -> a b ; a -> ε ; b -> "z" | ε
+        let mut b = CfgBuilder::new();
+        b.production("s", vec![nt("a"), nt("b")]);
+        b.production("a", vec![]);
+        b.production("b", vec![t("z")]);
+        b.production("b", vec![]);
+        let g = b.build().unwrap();
+        let p = EarleyParser::new(&g);
+        assert!(p.recognize(&[]));
+        assert!(p.recognize(&Cfg::tokenize("z")));
+        let trees = p.parse_text("z");
+        assert_eq!(trees.len(), 1);
+    }
+
+    #[test]
+    fn unit_cycles_terminate() {
+        // a -> b | "x" ; b -> a : unit cycle.
+        let mut b = CfgBuilder::new();
+        b.production("a", vec![nt("b")]);
+        b.production("a", vec![t("x")]);
+        b.production("b", vec![nt("a")]);
+        let g = b.build().unwrap();
+        let p = EarleyParser::new(&g);
+        assert!(p.recognize(&Cfg::tokenize("x")));
+        let trees = p.parse_text("x");
+        assert!(!trees.is_empty());
+        assert!(trees.len() <= ParseOptions::default().max_trees);
+    }
+
+    #[test]
+    fn left_recursion_is_fine() {
+        // list -> list "i" | "i"
+        let mut b = CfgBuilder::new();
+        b.production("list", vec![nt("list"), t("i")]);
+        b.production("list", vec![t("i")]);
+        let g = b.build().unwrap();
+        let p = EarleyParser::new(&g);
+        let trees = p.parse_text("i i i i");
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].text(), "i i i i");
+    }
+
+    #[test]
+    fn rejects_tokens_outside_alphabet() {
+        let g = anbn();
+        let p = EarleyParser::new(&g);
+        assert!(!p.recognize(&Cfg::tokenize("a q b")));
+    }
+}

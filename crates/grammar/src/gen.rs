@@ -1,0 +1,187 @@
+//! Bounded enumeration of a grammar's parse trees (and thus its strings),
+//! used by the Policy Refinement Point to *generate* the policies a
+//! generative policy model admits in a context.
+
+use crate::cfg::{Cfg, GSym, NtId};
+use crate::tree::{ParseTree, TreeChild};
+use std::collections::HashMap;
+
+/// Options bounding generation.
+#[derive(Clone, Copy, Debug)]
+pub struct GenOptions {
+    /// Maximum parse-tree height.
+    pub max_depth: usize,
+    /// Maximum number of trees to return.
+    pub max_trees: usize,
+}
+
+impl Default for GenOptions {
+    fn default() -> GenOptions {
+        GenOptions {
+            max_depth: 12,
+            max_trees: 10_000,
+        }
+    }
+}
+
+/// Enumerates parse trees of a [`Cfg`] bottom-up to a depth bound.
+#[derive(Debug)]
+pub struct Generator<'g> {
+    cfg: &'g Cfg,
+}
+
+impl<'g> Generator<'g> {
+    /// A generator for `cfg`.
+    pub fn new(cfg: &'g Cfg) -> Generator<'g> {
+        Generator { cfg }
+    }
+
+    /// All parse trees rooted at the start symbol, up to the bounds.
+    pub fn trees(&self, opts: GenOptions) -> Vec<ParseTree> {
+        let mut memo: HashMap<(NtId, usize), Vec<ParseTree>> = HashMap::new();
+        self.trees_of(self.cfg.start(), opts.max_depth, opts.max_trees, &mut memo)
+    }
+
+    /// All derivable strings (token sequences joined by spaces), deduplicated,
+    /// up to the bounds.
+    pub fn strings(&self, opts: GenOptions) -> Vec<String> {
+        let mut out: Vec<String> = self.trees(opts).iter().map(ParseTree::text).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn trees_of(
+        &self,
+        nt: NtId,
+        depth: usize,
+        cap: usize,
+        memo: &mut HashMap<(NtId, usize), Vec<ParseTree>>,
+    ) -> Vec<ParseTree> {
+        if depth == 0 {
+            return Vec::new();
+        }
+        if let Some(cached) = memo.get(&(nt, depth)) {
+            return cached.clone();
+        }
+        let mut out: Vec<ParseTree> = Vec::new();
+        for &p in self.cfg.productions_for(nt) {
+            let rhs = &self.cfg.production(p).rhs;
+            // Cartesian product over children, capped.
+            let mut partials: Vec<Vec<TreeChild>> = vec![Vec::new()];
+            for sym in rhs {
+                let mut next: Vec<Vec<TreeChild>> = Vec::new();
+                match sym {
+                    GSym::T(t) => {
+                        for mut pref in partials {
+                            pref.push(TreeChild::Leaf(*t));
+                            next.push(pref);
+                        }
+                    }
+                    GSym::Nt(m) => {
+                        let subs = self.trees_of(*m, depth - 1, cap, memo);
+                        'outer: for pref in &partials {
+                            for sub in &subs {
+                                let mut np = pref.clone();
+                                np.push(TreeChild::Node(sub.clone()));
+                                next.push(np);
+                                if next.len() >= cap {
+                                    break 'outer;
+                                }
+                            }
+                        }
+                    }
+                }
+                partials = next;
+                if partials.is_empty() {
+                    break;
+                }
+            }
+            for children in partials {
+                out.push(ParseTree { prod: p, children });
+                if out.len() >= cap {
+                    break;
+                }
+            }
+            if out.len() >= cap {
+                break;
+            }
+        }
+        memo.insert((nt, depth), out.clone());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{nt, t, CfgBuilder};
+    use crate::earley::EarleyParser;
+
+    fn anbn() -> Cfg {
+        let mut b = CfgBuilder::new();
+        b.production("s", vec![t("a"), nt("s"), t("b")]);
+        b.production("s", vec![]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn generates_bounded_language() {
+        let g = anbn();
+        let gen = Generator::new(&g);
+        let strings = gen.strings(GenOptions {
+            max_depth: 4,
+            max_trees: 100,
+        });
+        // depths 1..=4 give n = 0..=3
+        assert_eq!(strings, vec!["", "a a a b b b", "a a b b", "a b"]);
+    }
+
+    #[test]
+    fn generated_trees_parse_back() {
+        // every generated string is recognized by the parser
+        let g = anbn();
+        let gen = Generator::new(&g);
+        let parser = EarleyParser::new(&g);
+        for tree in gen.trees(GenOptions {
+            max_depth: 5,
+            max_trees: 50,
+        }) {
+            assert!(tree.conforms_to(&g));
+            assert!(parser.recognize(&tree.tokens()));
+        }
+    }
+
+    #[test]
+    fn caps_are_respected() {
+        let mut b = CfgBuilder::new();
+        b.production("bit", vec![t("0")]);
+        b.production("bit", vec![t("1")]);
+        b.production("s", vec![nt("bit"), nt("bit"), nt("bit")]);
+        b.start("s");
+        let g = b.build().unwrap();
+        let gen = Generator::new(&g);
+        let all = gen.trees(GenOptions {
+            max_depth: 3,
+            max_trees: 5,
+        });
+        assert_eq!(all.len(), 5);
+        let full = gen.trees(GenOptions {
+            max_depth: 3,
+            max_trees: 100,
+        });
+        assert_eq!(full.len(), 8);
+    }
+
+    #[test]
+    fn depth_zero_gives_nothing() {
+        let g = anbn();
+        let gen = Generator::new(&g);
+        assert!(gen
+            .trees(GenOptions {
+                max_depth: 0,
+                max_trees: 10
+            })
+            .is_empty());
+    }
+}

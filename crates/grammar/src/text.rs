@@ -1,0 +1,302 @@
+//! A textual format for answer set grammars, mirroring the notation of the
+//! paper and its companion ASG work:
+//!
+//! ```text
+//! % aⁿbⁿcⁿ
+//! start -> as bs cs {
+//!     :- size(X)@1, not size(X)@2.
+//!     :- size(X)@2, not size(X)@3.
+//! }
+//! as -> "a" as { size(X + 1) :- size(X)@2. }
+//! as -> { size(0). }
+//! ```
+//!
+//! Quoted tokens are terminals; bare identifiers are nonterminals. The
+//! left-hand side of the first production is the start symbol. Annotations
+//! between `{ … }` use the `agenp-asp` syntax.
+
+use crate::asg::Asg;
+use crate::cfg::{nt, t, CfgBuilder, Rhs};
+use agenp_asp::Program;
+use std::fmt;
+
+/// Errors from the textual grammar parser.
+#[derive(Clone, Debug)]
+pub struct GrammarParseError {
+    msg: String,
+    line: usize,
+}
+
+impl GrammarParseError {
+    fn new(msg: impl Into<String>, line: usize) -> GrammarParseError {
+        GrammarParseError {
+            msg: msg.into(),
+            line,
+        }
+    }
+
+    /// 1-based line of the error.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for GrammarParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "grammar parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for GrammarParseError {}
+
+#[derive(Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Quoted(String),
+    Arrow,
+    Annotation(String),
+}
+
+fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, GrammarParseError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'%' | b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'-' if bytes.get(i + 1) == Some(&b'>') => {
+                out.push((Tok::Arrow, line));
+                i += 2;
+            }
+            b'"' => {
+                i += 1;
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(GrammarParseError::new("unterminated terminal string", line));
+                }
+                out.push((Tok::Quoted(src[start..i].to_owned()), line));
+                i += 1;
+            }
+            b'{' => {
+                i += 1;
+                let start = i;
+                let mut depth = 1;
+                while i < bytes.len() && depth > 0 {
+                    match bytes[i] {
+                        b'{' => depth += 1,
+                        b'}' => depth -= 1,
+                        b'\n' => line += 1,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                if depth > 0 {
+                    return Err(GrammarParseError::new("unterminated `{` annotation", line));
+                }
+                out.push((Tok::Annotation(src[start..i - 1].to_owned()), line));
+            }
+            c if c.is_ascii_alphanumeric() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.push((Tok::Ident(src[start..i].to_owned()), line));
+            }
+            other => {
+                return Err(GrammarParseError::new(
+                    format!("unexpected character `{}`", other as char),
+                    line,
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Parses the textual ASG format into an [`Asg`].
+///
+/// # Errors
+///
+/// Returns a [`GrammarParseError`] on malformed grammar syntax, malformed
+/// embedded ASP, or an invalid grammar (undefined nonterminal, no start).
+pub fn parse_asg(src: &str) -> Result<Asg, GrammarParseError> {
+    let toks = tokenize(src)?;
+    let mut builder = CfgBuilder::new();
+    // Collect productions first: (lhs, rhs, annotation, line).
+    let mut prods: Vec<(String, Vec<Rhs>, Option<String>, usize)> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (lhs, line) = match &toks[i] {
+            (Tok::Ident(s), l) => (s.clone(), *l),
+            (_, l) => {
+                return Err(GrammarParseError::new(
+                    "expected production left-hand side",
+                    *l,
+                ))
+            }
+        };
+        i += 1;
+        match toks.get(i) {
+            Some((Tok::Arrow, _)) => i += 1,
+            _ => return Err(GrammarParseError::new("expected `->`", line)),
+        }
+        let mut rhs = Vec::new();
+        let mut annotation = None;
+        while i < toks.len() {
+            match &toks[i] {
+                (Tok::Quoted(s), _) => {
+                    rhs.push(t(s));
+                    i += 1;
+                }
+                (Tok::Ident(s), _) => {
+                    // A bare identifier followed by `->` begins the next
+                    // production.
+                    if matches!(toks.get(i + 1), Some((Tok::Arrow, _))) {
+                        break;
+                    }
+                    rhs.push(nt(s));
+                    i += 1;
+                }
+                (Tok::Annotation(a), _) => {
+                    annotation = Some(a.clone());
+                    i += 1;
+                    break;
+                }
+                (Tok::Arrow, l) => {
+                    return Err(GrammarParseError::new("unexpected `->`", *l));
+                }
+            }
+        }
+        prods.push((lhs, rhs, annotation, line));
+    }
+    if prods.is_empty() {
+        return Err(GrammarParseError::new("empty grammar", 1));
+    }
+    let mut ids = Vec::with_capacity(prods.len());
+    for (lhs, rhs, _, _) in &prods {
+        ids.push(builder.production(lhs, rhs.clone()));
+    }
+    let cfg = builder
+        .build()
+        .map_err(|e| GrammarParseError::new(e.to_string(), 1))?;
+    let mut asg = Asg::from_cfg(cfg);
+    for (id, (_, _, annotation, line)) in ids.iter().zip(&prods) {
+        if let Some(text) = annotation {
+            let program: Program = text
+                .parse()
+                .map_err(|e| GrammarParseError::new(format!("in annotation: {e}"), *line))?;
+            asg.set_annotation(*id, program)
+                .map_err(|e| GrammarParseError::new(e.to_string(), *line))?;
+        }
+    }
+    Ok(asg)
+}
+
+impl std::str::FromStr for Asg {
+    type Err = GrammarParseError;
+
+    fn from_str(s: &str) -> Result<Asg, GrammarParseError> {
+        parse_asg(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ANBNCN: &str = r#"
+        % the context-sensitive showcase grammar
+        start -> as bs cs {
+            :- size(X)@1, not size(X)@2.
+            :- size(X)@2, not size(X)@3.
+            :- size(X)@3, not size(X)@1.
+        }
+        as -> "a" as { size(X + 1) :- size(X)@2. }
+        as -> { size(0). }
+        bs -> "b" bs { size(X + 1) :- size(X)@2. }
+        bs -> { size(0). }
+        cs -> "c" cs { size(X + 1) :- size(X)@2. }
+        cs -> { size(0). }
+    "#;
+
+    #[test]
+    fn parses_and_accepts() {
+        let g: Asg = ANBNCN.parse().unwrap();
+        assert_eq!(g.cfg().production_count(), 7);
+        assert!(g.accepts("a a b b c c").unwrap());
+        assert!(!g.accepts("a b b c c").unwrap());
+    }
+
+    #[test]
+    fn annotation_errors_carry_lines() {
+        let bad = "s -> \"x\" { this is not asp }";
+        let err = bad.parse::<Asg>().unwrap_err();
+        assert!(err.to_string().contains("annotation"));
+    }
+
+    #[test]
+    fn undefined_nonterminal_is_reported() {
+        let bad = "s -> missing";
+        assert!(bad.parse::<Asg>().is_err());
+    }
+
+    #[test]
+    fn unterminated_annotation_is_reported() {
+        let bad = "s -> \"x\" { a.";
+        let err = bad.parse::<Asg>().unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn empty_source_is_rejected() {
+        assert!("".parse::<Asg>().is_err());
+        assert!("% just a comment".parse::<Asg>().is_err());
+    }
+
+    #[test]
+    fn weak_constraints_in_annotations_round_trip() {
+        let g: Asg = r#"
+            policy -> "fast" { mode(fast). :~ congestion. [5@1] }
+            policy -> "slow" { mode(slow). }
+        "#
+        .parse()
+        .unwrap();
+        let printed = g.to_string();
+        assert!(printed.contains(":~ congestion. [5@1]"), "{printed}");
+        let again: Asg = printed.parse().unwrap();
+        assert_eq!(
+            again
+                .annotation(crate::cfg::ProdId::from_index(0))
+                .weak_constraints()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let g: Asg = ANBNCN.parse().unwrap();
+        let printed = g.to_string();
+        let again: Asg = printed.parse().unwrap();
+        assert_eq!(g.cfg().production_count(), again.cfg().production_count());
+        assert!(again.accepts("a b c").unwrap());
+        assert!(!again.accepts("a a b c").unwrap());
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests: generation and parsing are mutually consistent, ASG
+//! membership is sound w.r.t. the underlying CFG, and annotated languages
+//! are subsets of their CFG languages.
+
+use agenp_grammar::{Asg, Cfg, EarleyParser, GenOptions, Generator, ParseTree};
+use proptest::prelude::*;
+
+const ANBNCN: &str = r#"
+    start -> as bs cs {
+        :- size(X)@1, not size(X)@2.
+        :- size(X)@2, not size(X)@3.
+        :- size(X)@3, not size(X)@1.
+    }
+    as -> "a" as { size(X + 1) :- size(X)@2. }
+    as -> { size(0). }
+    bs -> "b" bs { size(X + 1) :- size(X)@2. }
+    bs -> { size(0). }
+    cs -> "c" cs { size(X + 1) :- size(X)@2. }
+    cs -> { size(0). }
+"#;
+
+fn asg() -> Asg {
+    ANBNCN.parse().expect("showcase grammar parses")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// a^i b^j c^k is accepted iff i == j == k.
+    #[test]
+    fn anbncn_characterization(i in 0usize..4, j in 0usize..4, k in 0usize..4) {
+        let g = asg();
+        let s = format!(
+            "{} {} {}",
+            vec!["a"; i].join(" "),
+            vec!["b"; j].join(" "),
+            vec!["c"; k].join(" ")
+        );
+        let accepted = g.accepts(s.trim()).unwrap();
+        prop_assert_eq!(accepted, i == j && j == k, "string: {}", s);
+    }
+
+    /// Every generated tree of the underlying CFG parses back to a forest
+    /// containing an equal-yield tree.
+    #[test]
+    fn generation_parsing_consistency(depth in 1usize..6) {
+        let g = asg();
+        let gen = Generator::new(g.cfg());
+        let parser = EarleyParser::new(g.cfg());
+        for tree in gen.trees(GenOptions { max_depth: depth, max_trees: 64 }) {
+            let tokens = tree.tokens();
+            let forest = parser.parse(&tokens);
+            prop_assert!(!forest.is_empty());
+            prop_assert!(forest.iter().all(|t| t.tokens() == tokens));
+        }
+    }
+
+    /// L(G) ⊆ L(G_CF): every string admitted by the ASG is recognized by the
+    /// plain CFG.
+    #[test]
+    fn asg_language_subset_of_cfg(depth in 1usize..6) {
+        let g = asg();
+        let parser = EarleyParser::new(g.cfg());
+        for s in g.language(GenOptions { max_depth: depth, max_trees: 256 }).unwrap() {
+            prop_assert!(parser.recognize(&Cfg::tokenize(&s)));
+        }
+    }
+
+    /// Tree programs only mention traces that exist in the tree.
+    #[test]
+    fn tree_program_traces_are_tree_nodes(depth in 2usize..6) {
+        let g = asg();
+        let gen = Generator::new(g.cfg());
+        for tree in gen.trees(GenOptions { max_depth: depth, max_trees: 32 }) {
+            let mut traces = Vec::new();
+            tree.visit_nodes(|_, t| traces.push(t.clone()));
+            let program = g.tree_program(&tree);
+            for rule in program.rules() {
+                if let Some(h) = &rule.head {
+                    prop_assert!(
+                        traces.contains(&h.trace) || !h.trace.is_root(),
+                        "head {h} at unexpected trace"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn admitted_trees_is_filtered_generation() {
+    let g = asg();
+    let opts = GenOptions {
+        max_depth: 5,
+        max_trees: 4096,
+    };
+    let all = Generator::new(g.cfg()).trees(opts);
+    let admitted = g.admitted_trees(opts).unwrap();
+    assert!(admitted.len() < all.len());
+    let admitted_texts: Vec<String> = admitted.iter().map(ParseTree::text).collect();
+    for t in &all {
+        let ok = g.tree_admitted(t).unwrap();
+        assert_eq!(ok, admitted_texts.contains(&t.text()), "tree {}", t.text());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The grammar-text parser never panics on arbitrary input.
+    #[test]
+    fn grammar_parser_never_panics(src in "[ -~\\n]{0,120}") {
+        let _ = src.parse::<Asg>();
+    }
+
+    /// Grammar token soup never panics.
+    #[test]
+    fn grammar_token_soup_never_panics(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("->"), Just("s"), Just("t"), Just("\"x\""),
+                Just("{"), Just("}"), Just(":- a."), Just("a."), Just("%c\n"),
+            ],
+            0..20,
+        )
+    ) {
+        let src = parts.join(" ");
+        let _ = src.parse::<Asg>();
+    }
+}

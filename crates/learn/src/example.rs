@@ -1,0 +1,78 @@
+//! Context-dependent examples `⟨s, C⟩` (paper Definition 3): a policy string
+//! plus the ASP context program under which it is (positive) or is not
+//! (negative) a valid policy.
+
+use agenp_asp::Program;
+use std::fmt;
+
+/// A context-dependent example.
+#[derive(Clone, Debug)]
+pub struct Example {
+    /// The policy string `s` (whitespace-tokenized).
+    pub text: String,
+    /// The context program `C`.
+    pub context: Program,
+    /// `None` — a hard example that any solution must respect;
+    /// `Some(k)` — a noise-tolerant example the learner may violate at
+    /// cost `k` (ILASP-style penalties, supporting the paper's noisy-dataset
+    /// discussion in §IV-C).
+    pub penalty: Option<u32>,
+}
+
+impl Example {
+    /// A hard example with an empty context.
+    pub fn new(text: impl Into<String>) -> Example {
+        Example {
+            text: text.into(),
+            context: Program::new(),
+            penalty: None,
+        }
+    }
+
+    /// A hard example with a context program.
+    pub fn in_context(text: impl Into<String>, context: Program) -> Example {
+        Example {
+            text: text.into(),
+            context,
+            penalty: None,
+        }
+    }
+
+    /// Attaches a violation penalty, making the example soft.
+    pub fn with_penalty(mut self, penalty: u32) -> Example {
+        self.penalty = Some(penalty);
+        self
+    }
+
+    /// True if the learner may violate this example (at a cost).
+    pub fn is_soft(&self) -> bool {
+        self.penalty.is_some()
+    }
+}
+
+impl fmt::Display for Example {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{:?}, {} ctx rules", self.text, self.context.len())?;
+        if let Some(p) = self.penalty {
+            write!(f, ", penalty {p}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let e = Example::new("allow task");
+        assert!(e.context.is_empty());
+        assert!(!e.is_soft());
+        let ctx: Program = "weather(rain).".parse().unwrap();
+        let e2 = Example::in_context("deny task", ctx).with_penalty(5);
+        assert_eq!(e2.penalty, Some(5));
+        assert!(e2.is_soft());
+        assert!(e2.to_string().contains("penalty 5"));
+    }
+}

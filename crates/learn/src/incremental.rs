@@ -1,0 +1,150 @@
+//! Incremental (relevant-example) learning, in the style of ILASP2i: solve
+//! the task on a growing subset of *relevant* examples, adding a
+//! counterexample each round, until the hypothesis covers everything. For
+//! large example sets this avoids recompiling and re-searching against
+//! examples the current hypothesis already explains.
+
+use crate::compile::{compile_example, CompiledExample};
+use crate::example::Example;
+use crate::learner::{Hypothesis, LearnError, Learner, LearningTask};
+
+/// Statistics from an incremental run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Number of solve rounds.
+    pub rounds: u32,
+    /// Relevant examples at termination.
+    pub relevant: u32,
+    /// Total examples in the task.
+    pub total: u32,
+}
+
+impl Learner {
+    /// Learns by iteratively growing a relevant-example subset.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Learner::learn`].
+    pub fn learn_incremental(
+        &self,
+        task: &LearningTask,
+    ) -> Result<(Hypothesis, IncrementalStats), LearnError> {
+        let total = (task.positive.len() + task.negative.len()) as u32;
+        // Compile every example once; counterexample checks then run on the
+        // precomputed worlds instead of full answer-set semantics (falling
+        // back to the latter for non-constraint hypotheses).
+        let mut compiled_pos: Vec<CompiledExample> = Vec::new();
+        for e in &task.positive {
+            compiled_pos.push(compile_example(
+                &task.grammar,
+                e,
+                true,
+                self.options().compile,
+            )?);
+        }
+        let mut compiled_neg: Vec<CompiledExample> = Vec::new();
+        for e in &task.negative {
+            compiled_neg.push(compile_example(
+                &task.grammar,
+                e,
+                false,
+                self.options().compile,
+            )?);
+        }
+        // Indices into (is_pos, idx) space.
+        let mut relevant_pos: Vec<usize> = Vec::new();
+        let mut relevant_neg: Vec<usize> = Vec::new();
+        let mut stats = IncrementalStats {
+            rounds: 0,
+            relevant: 0,
+            total,
+        };
+        loop {
+            stats.rounds += 1;
+            let sub = LearningTask {
+                grammar: task.grammar.clone(),
+                space: task.space.clone(),
+                positive: pick(&task.positive, &relevant_pos),
+                negative: pick(&task.negative, &relevant_neg),
+            };
+            let hypothesis = self.learn(&sub)?;
+            // Find counterexamples among all examples, preferring hard ones.
+            let violated = fast_violations(&compiled_pos, &compiled_neg, &hypothesis).map_or_else(
+                || task.violations(&hypothesis).map_err(LearnError::Ground),
+                Ok,
+            )?;
+            let sacrificed_ok = |is_pos: bool, i: usize| {
+                // A soft example the sub-task already chose to sacrifice is
+                // not a counterexample.
+                let in_relevant = if is_pos {
+                    relevant_pos.contains(&i)
+                } else {
+                    relevant_neg.contains(&i)
+                };
+                let soft = if is_pos {
+                    task.positive[i].is_soft()
+                } else {
+                    task.negative[i].is_soft()
+                };
+                in_relevant && soft
+            };
+            let counter = violated
+                .iter()
+                .find(|(is_pos, i)| {
+                    let hard = if *is_pos {
+                        !task.positive[*i].is_soft()
+                    } else {
+                        !task.negative[*i].is_soft()
+                    };
+                    hard && !already(&relevant_pos, &relevant_neg, *is_pos, *i)
+                })
+                .or_else(|| {
+                    violated.iter().find(|(is_pos, i)| {
+                        !already(&relevant_pos, &relevant_neg, *is_pos, *i)
+                            && !sacrificed_ok(*is_pos, *i)
+                    })
+                })
+                .copied();
+            match counter {
+                None => {
+                    stats.relevant = (relevant_pos.len() + relevant_neg.len()) as u32;
+                    return Ok((hypothesis, stats));
+                }
+                Some((true, i)) => relevant_pos.push(i),
+                Some((false, i)) => relevant_neg.push(i),
+            }
+        }
+    }
+}
+
+/// World-based violation check; `None` if the fast path doesn't apply.
+fn fast_violations(
+    compiled_pos: &[CompiledExample],
+    compiled_neg: &[CompiledExample],
+    hypothesis: &Hypothesis,
+) -> Option<Vec<(bool, usize)>> {
+    let mut out = Vec::new();
+    for (i, c) in compiled_pos.iter().enumerate() {
+        if !c.accepted_by(&hypothesis.rules)? {
+            out.push((true, i));
+        }
+    }
+    for (i, c) in compiled_neg.iter().enumerate() {
+        if c.accepted_by(&hypothesis.rules)? {
+            out.push((false, i));
+        }
+    }
+    Some(out)
+}
+
+fn pick(examples: &[Example], indices: &[usize]) -> Vec<Example> {
+    indices.iter().map(|&i| examples[i].clone()).collect()
+}
+
+fn already(pos: &[usize], neg: &[usize], is_pos: bool, i: usize) -> bool {
+    if is_pos {
+        pos.contains(&i)
+    } else {
+        neg.contains(&i)
+    }
+}

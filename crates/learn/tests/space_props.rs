@@ -1,0 +1,132 @@
+//! Property tests for hypothesis-space generation: every generated
+//! candidate is safe, within the declared bounds, canonical, and unique.
+
+use agenp_asp::{CmpOp, Literal, Term};
+use agenp_grammar::ProdId;
+use agenp_learn::{ModeArg, ModeAtom, ModeBias, ModeCmp, ModeLiteral};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn arb_bias() -> impl Strategy<Value = ModeBias> {
+    let preds = prop_oneof![
+        Just(vec!["p", "q"]),
+        Just(vec!["p"]),
+        Just(vec!["alpha", "beta", "gamma"]),
+    ];
+    (
+        preds,
+        1usize..3,     // max_body
+        1usize..3,     // max_vars
+        any::<bool>(), // with var comparisons
+        any::<bool>(), // with const comparisons
+        any::<bool>(), // negative polarity allowed
+    )
+        .prop_map(|(preds, max_body, max_vars, var_cmp, const_cmp, neg)| {
+            let body = preds
+                .iter()
+                .map(|p| {
+                    let atom = ModeAtom::local(p, vec![ModeArg::Var]);
+                    if neg {
+                        ModeLiteral::both(atom)
+                    } else {
+                        ModeLiteral::positive(atom)
+                    }
+                })
+                .collect();
+            let mut bias = ModeBias::constraints(vec![ProdId::from_index(0)], body)
+                .max_body(max_body)
+                .max_vars(max_vars);
+            if var_cmp {
+                bias = bias.with_var_comparisons(vec![CmpOp::Lt]);
+            }
+            if const_cmp {
+                bias = bias.with_comparisons(vec![ModeCmp {
+                    ops: vec![CmpOp::Ge],
+                    constants: vec![Term::Int(1), Term::Int(2)],
+                }]);
+            }
+            bias
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated candidate is safe.
+    #[test]
+    fn generated_candidates_are_safe(bias in arb_bias()) {
+        for c in bias.generate().candidates() {
+            prop_assert!(c.rule.unsafe_var().is_none(), "unsafe: {}", c.rule);
+        }
+    }
+
+    /// Bodies respect max_body (+1 for the optional comparison literal) and
+    /// variables respect max_vars.
+    #[test]
+    fn generated_candidates_respect_bounds(bias in arb_bias()) {
+        let max_body = bias.max_body;
+        let max_vars = bias.max_vars;
+        for c in bias.generate().candidates() {
+            let atoms = c.rule.body.iter().filter(|l| l.atom().is_some()).count();
+            let cmps = c.rule.body.len() - atoms;
+            prop_assert!(atoms <= max_body, "too many atoms: {}", c.rule);
+            prop_assert!(cmps <= 1, "too many comparisons: {}", c.rule);
+            prop_assert!(c.rule.vars().len() <= max_vars, "too many vars: {}", c.rule);
+        }
+    }
+
+    /// No duplicate candidates, and variables are canonically named.
+    #[test]
+    fn generated_candidates_are_canonical(bias in arb_bias()) {
+        let space = bias.generate();
+        let mut seen = HashSet::new();
+        for c in space.candidates() {
+            prop_assert!(seen.insert(c.rule.to_string()), "duplicate: {}", c.rule);
+            // First variable occurrence order must be V1, V2, …
+            let mut expected = 1;
+            let mut mapped: Vec<String> = Vec::new();
+            for v in c.rule.vars() {
+                let name = v.to_string();
+                if !mapped.contains(&name) {
+                    prop_assert_eq!(&name, &format!("V{expected}"), "rule {}", c.rule);
+                    mapped.push(name);
+                    expected += 1;
+                }
+            }
+        }
+    }
+
+    /// Costs equal rule lengths.
+    #[test]
+    fn candidate_costs_match_length(bias in arb_bias()) {
+        for c in bias.generate().candidates() {
+            prop_assert_eq!(c.cost as usize, c.rule.len().max(1));
+        }
+    }
+
+    /// Comparison literals only reference variables bound by body atoms.
+    #[test]
+    fn comparisons_are_grounded_by_atoms(bias in arb_bias()) {
+        for c in bias.generate().candidates() {
+            let mut atom_vars = Vec::new();
+            for l in &c.rule.body {
+                if let Some(a) = l.atom() {
+                    if matches!(l, Literal::Pos(_)) {
+                        a.collect_vars(&mut atom_vars);
+                    }
+                }
+            }
+            for l in &c.rule.body {
+                if let Literal::Cmp(_, x, y) = l {
+                    for v in x.vars().into_iter().chain(y.vars()) {
+                        prop_assert!(
+                            atom_vars.contains(&v),
+                            "comparison var {v} unbound in {}",
+                            c.rule
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Bridging the attribute world and the symbolic world: requests become ASP
+//! context programs (the `C` of context-dependent examples), and policies
+//! written in a canonical textual policy language convert to and from
+//! [`PolicyRule`] structures.
+//!
+//! The canonical textual form (whitespace-tokenized so it can be described
+//! by a [`agenp_grammar::Cfg`]) is:
+//!
+//! ```text
+//! permit if subject role = dba and action action-id = read
+//! deny if resource sensitivity >= 3
+//! permit always
+//! ```
+
+use crate::attr::{AttrValue, Category, Request};
+use crate::model::{Cond, CondOp, Effect, PolicyRule};
+use agenp_asp::{Atom, Program, Rule as AspRule, Symbol, Term};
+use std::fmt;
+
+/// Encodes a request as ASP context facts: one
+/// `attr(category, name, value)` fact per attribute.
+pub fn request_to_context(request: &Request) -> Program {
+    let mut p = Program::new();
+    for (c, n, v) in request.iter() {
+        p.push(AspRule::fact(Atom::new(
+            Symbol::new("attr"),
+            vec![
+                Term::Sym(Symbol::new(c.name())),
+                Term::Sym(Symbol::new(n)),
+                attr_value_to_term(v),
+            ],
+        )));
+    }
+    p
+}
+
+/// Maps an [`AttrValue`] to an ASP term.
+pub fn attr_value_to_term(v: &AttrValue) -> Term {
+    match v {
+        AttrValue::Int(i) => Term::Int(*i),
+        AttrValue::Str(s) => Term::Sym(Symbol::new(s)),
+        AttrValue::Bool(b) => Term::Sym(Symbol::new(if *b { "true" } else { "false" })),
+    }
+}
+
+/// Errors from parsing the canonical textual policy form.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PolicyTextError {
+    msg: String,
+}
+
+impl PolicyTextError {
+    fn new(msg: impl Into<String>) -> PolicyTextError {
+        PolicyTextError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for PolicyTextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "policy text error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for PolicyTextError {}
+
+/// Renders a rule in the canonical textual form (only conditions expressible
+/// as conjunctions of attribute comparisons are supported).
+///
+/// # Errors
+///
+/// Fails on `Or`/`Not`/`In` conditions, which have no canonical-form syntax.
+pub fn rule_to_text(rule: &PolicyRule) -> Result<String, PolicyTextError> {
+    let mut out = rule.effect.to_string();
+    match &rule.condition {
+        None => out.push_str(" always"),
+        Some(c) => {
+            out.push_str(" if ");
+            let mut parts = Vec::new();
+            flatten_conjunction(c, &mut parts)?;
+            out.push_str(&parts.join(" and "));
+        }
+    }
+    Ok(out)
+}
+
+fn flatten_conjunction(c: &Cond, out: &mut Vec<String>) -> Result<(), PolicyTextError> {
+    match c {
+        Cond::Cmp {
+            category,
+            attr,
+            op,
+            value,
+        } => {
+            out.push(format!(
+                "{} {} {} {}",
+                category.name(),
+                attr,
+                op.token(),
+                value
+            ));
+            Ok(())
+        }
+        Cond::And(cs) => {
+            for c in cs {
+                flatten_conjunction(c, out)?;
+            }
+            Ok(())
+        }
+        other => Err(PolicyTextError::new(format!(
+            "condition `{other}` has no canonical textual form"
+        ))),
+    }
+}
+
+/// Parses the canonical textual form back into a [`PolicyRule`].
+///
+/// # Errors
+///
+/// Fails on malformed text.
+pub fn rule_from_text(id: &str, text: &str) -> Result<PolicyRule, PolicyTextError> {
+    let tokens: Vec<&str> = text.split_ascii_whitespace().collect();
+    let mut it = tokens.iter().peekable();
+    let effect = match it.next() {
+        Some(&"permit") => Effect::Permit,
+        Some(&"deny") => Effect::Deny,
+        other => {
+            return Err(PolicyTextError::new(format!(
+                "expected effect, got {other:?}"
+            )))
+        }
+    };
+    match it.next() {
+        Some(&"always") => {
+            if it.next().is_some() {
+                return Err(PolicyTextError::new("trailing tokens after `always`"));
+            }
+            return Ok(PolicyRule {
+                id: id.to_owned(),
+                effect,
+                condition: None,
+            });
+        }
+        Some(&"if") => {}
+        other => {
+            return Err(PolicyTextError::new(format!(
+                "expected `if`/`always`, got {other:?}"
+            )))
+        }
+    }
+    let mut conds = Vec::new();
+    loop {
+        let category = match it.next() {
+            Some(&"subject") => Category::Subject,
+            Some(&"resource") => Category::Resource,
+            Some(&"action") => Category::Action,
+            Some(&"environment") => Category::Environment,
+            other => {
+                return Err(PolicyTextError::new(format!(
+                    "expected category, got {other:?}"
+                )))
+            }
+        };
+        let attr = it
+            .next()
+            .ok_or_else(|| PolicyTextError::new("expected attribute name"))?
+            .to_string();
+        let op = match it.next() {
+            Some(&"=") => CondOp::Eq,
+            Some(&"!=") => CondOp::Ne,
+            Some(&"<") => CondOp::Lt,
+            Some(&"<=") => CondOp::Le,
+            Some(&">") => CondOp::Gt,
+            Some(&">=") => CondOp::Ge,
+            other => {
+                return Err(PolicyTextError::new(format!(
+                    "expected operator, got {other:?}"
+                )))
+            }
+        };
+        let raw = it
+            .next()
+            .ok_or_else(|| PolicyTextError::new("expected value"))?;
+        let value = parse_value(raw);
+        conds.push(Cond::Cmp {
+            category,
+            attr,
+            op,
+            value,
+        });
+        match it.next() {
+            None => break,
+            Some(&"and") => continue,
+            other => {
+                return Err(PolicyTextError::new(format!(
+                    "expected `and`, got {other:?}"
+                )))
+            }
+        }
+    }
+    let condition = if conds.len() == 1 {
+        conds.pop().unwrap()
+    } else {
+        Cond::And(conds)
+    };
+    Ok(PolicyRule {
+        id: id.to_owned(),
+        effect,
+        condition: Some(condition),
+    })
+}
+
+/// Parses a token into an [`AttrValue`] (integer, boolean, or string).
+pub fn parse_value(raw: &str) -> AttrValue {
+    if let Ok(i) = raw.parse::<i64>() {
+        AttrValue::Int(i)
+    } else if raw == "true" {
+        AttrValue::Bool(true)
+    } else if raw == "false" {
+        AttrValue::Bool(false)
+    } else {
+        AttrValue::Str(raw.to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_encoding() {
+        let r = Request::new()
+            .subject("role", "dba")
+            .resource("level", 3i64);
+        let ctx = request_to_context(&r);
+        let text = ctx.to_string();
+        assert!(text.contains("attr(resource, level, 3)."));
+        assert!(text.contains("attr(subject, role, dba)."));
+        assert_eq!(ctx.len(), 2);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let texts = [
+            "permit if subject role = dba and action action-id = read",
+            "deny if resource sensitivity >= 3",
+            "permit always",
+        ];
+        // `action-id` contains a hyphen, which survives as a plain token.
+        for t in texts {
+            let rule = rule_from_text("r", t).unwrap();
+            let back = rule_to_text(&rule).unwrap();
+            assert_eq!(back, t);
+        }
+    }
+
+    #[test]
+    fn structured_round_trip() {
+        let rule = PolicyRule::new(
+            "r1",
+            Effect::Deny,
+            Cond::And(vec![
+                Cond::eq(Category::Subject, "age", 17i64),
+                Cond::cmp(Category::Resource, "rating", CondOp::Ge, 18i64),
+            ]),
+        );
+        let text = rule_to_text(&rule).unwrap();
+        let back = rule_from_text("r1", &text).unwrap();
+        assert_eq!(back.effect, rule.effect);
+        assert_eq!(rule_to_text(&back).unwrap(), text);
+    }
+
+    #[test]
+    fn rejects_disjunctions() {
+        let rule = PolicyRule::new(
+            "r",
+            Effect::Permit,
+            Cond::Or(vec![Cond::eq(Category::Subject, "a", 1i64)]),
+        );
+        assert!(rule_to_text(&rule).is_err());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(rule_from_text("r", "maybe if subject a = 1").is_err());
+        assert!(rule_from_text("r", "permit if nowhere a = 1").is_err());
+        assert!(rule_from_text("r", "permit if subject a ~ 1").is_err());
+        assert!(rule_from_text("r", "permit always extra").is_err());
+        assert!(rule_from_text("r", "permit if subject a = 1 or").is_err());
+    }
+
+    #[test]
+    fn value_typing() {
+        assert_eq!(parse_value("42"), AttrValue::Int(42));
+        assert_eq!(parse_value("-7"), AttrValue::Int(-7));
+        assert_eq!(parse_value("true"), AttrValue::Bool(true));
+        assert_eq!(parse_value("dba"), AttrValue::Str("dba".into()));
+    }
+}

@@ -1,0 +1,43 @@
+//! # agenp-policy — attribute-based policies for AGENP
+//!
+//! The conventional policy-based-management substrate the AGENP architecture
+//! builds on (paper §III): an XACML-style attribute/request model, policy
+//! rules with effects and conditions, combining algorithms, a Policy
+//! Decision Point with decision monitoring, a Policy Enforcement Point, a
+//! versioned policy repository, the Policy Checking Point's quality metrics
+//! (consistency, relevance, minimality, completeness \[14\]), and bridges to
+//! the symbolic layer (requests as ASP context programs, policies as
+//! strings of a canonical policy language).
+//!
+//! ```
+//! use agenp_policy::{Category, Cond, Decision, Effect, Pdp, Policy, PolicyRepository,
+//!                    PolicyRule, Request};
+//!
+//! let mut repo = PolicyRepository::new();
+//! repo.add(Policy::new("p", vec![PolicyRule::new(
+//!     "allow-dba", Effect::Permit, Cond::eq(Category::Subject, "role", "dba"),
+//! )]));
+//! let mut pdp = Pdp::default();
+//! let d = pdp.decide(&repo, &Request::new().subject("role", "dba"));
+//! assert_eq!(d, Decision::Permit);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod attr;
+mod bridge;
+mod minimize;
+mod model;
+mod pdp;
+mod quality;
+
+pub use attr::{AttrValue, Category, Request};
+pub use bridge::{
+    attr_value_to_term, parse_value, request_to_context, rule_from_text, rule_to_text,
+    PolicyTextError,
+};
+pub use minimize::minimize_policies;
+pub use model::{CombiningAlg, Cond, CondOp, Decision, Effect, Policy, PolicyRule};
+pub use pdp::{DecisionRecord, Enforcement, Pdp, Pep, PolicyRepository};
+pub use quality::{Conflict, QualityChecker, QualityReport, ResolutionStrategy};

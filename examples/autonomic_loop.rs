@@ -1,0 +1,121 @@
+//! The full Fig. 2 autonomic loop: a PBMS hands an AMS its policy-space
+//! characterization (grammar + hypothesis space + restrictions + goals);
+//! the AMS generates policies, decides requests, monitors its goals, and
+//! adapts when it drifts off-goal.
+//!
+//! Run with `cargo run --example autonomic_loop`.
+
+use agenp_core::arch::{Ams, Feedback, GoalPolicy, Verdict};
+use agenp_grammar::{Asg, ProdId};
+use agenp_learn::HypothesisSpace;
+use agenp_policy::{Decision, Request};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- PBMS characterization (top of Fig. 2) ---------------------------
+    let grammar: Asg = r#"
+        policy -> effect "if" "subject" "clearance" "=" level
+        effect -> "permit" { e(permit). }
+        effect -> "deny"   { e(deny). }
+        level -> "low"  { lvl(low). }
+        level -> "high" { lvl(high). }
+    "#
+    .parse()?;
+    let space = HypothesisSpace::from_texts(&[
+        (ProdId::from_index(0), ":- e(permit)@1, lvl(low)@6."),
+        (ProdId::from_index(0), ":- e(deny)@1, lvl(high)@6."),
+        (ProdId::from_index(0), ":- e(permit)@1, lockdown."),
+    ]);
+    let mut ams = Ams::new("device-7", grammar, space);
+    // A high-level PBMS restriction the PCP screens against: never generate
+    // permits during lockdown, whatever is learned.
+    ams.pcp_mut()
+        .add_restriction(ProdId::from_index(0), ":- e(permit)@1, lockdown.".parse()?);
+    // Goal policies (paper type (ii)): serve requests (grant rate) while
+    // never leaving gaps.
+    ams.set_goals(
+        vec![
+            GoalPolicy::at_least("availability", "grant_rate", 0.3),
+            GoalPolicy::at_most("coverage", "gap_rate", 0.05),
+        ],
+        8,
+    );
+
+    // --- Round 1: initial policies deny everything (over-generation) -----
+    ams.refresh_policies()?;
+    println!("round 1 — initial generation:");
+    run_requests(&mut ams);
+    report_goals(&ams);
+
+    // --- Feedback from operations (the monitoring arrows of Fig. 2) ------
+    let quiet = agenp_asp::Program::new();
+    for (policy, valid) in [
+        ("permit if subject clearance = high", true),
+        ("deny if subject clearance = high", false),
+        ("deny if subject clearance = low", true),
+        ("permit if subject clearance = low", false),
+    ] {
+        let fb = if valid {
+            Feedback::valid(policy, quiet.clone())
+        } else {
+            Feedback::invalid(policy, quiet.clone())
+        };
+        ams.observe(fb);
+    }
+
+    // --- Round 2: the off-goal trigger fires the PAdaP -------------------
+    match ams.adapt_if_off_goal()? {
+        Some(adaptation) => {
+            println!(
+                "\nadaptation triggered (off-goal): learned\n{}",
+                adaptation.hypothesis
+            )
+        }
+        None => println!("\nno adaptation needed"),
+    }
+    println!("round 2 — after adaptation:");
+    run_requests(&mut ams);
+    report_goals(&ams);
+    println!("GPM versions stored: {}", ams.representations().len());
+
+    // --- Round 3: context change (lockdown) — the PCP restriction bites --
+    ams.set_context("lockdown.".parse()?);
+    let screened = ams.refresh_policies()?;
+    println!("\nround 3 — lockdown context; PCP screening:");
+    for (policy, verdict) in &screened {
+        println!(
+            "  {policy:<40} {}",
+            match verdict {
+                Verdict::Accepted => "accepted",
+                Verdict::Violation => "BLOCKED by restriction",
+                Verdict::Malformed => "malformed",
+            }
+        );
+    }
+    let d = ams.decide(&Request::new().subject("clearance", "high"));
+    println!("decision for high clearance under lockdown: {d}");
+    Ok(())
+}
+
+fn run_requests(ams: &mut Ams) {
+    for clearance in ["high", "high", "high", "low", "low", "high", "low", "high"] {
+        let req = Request::new().subject("clearance", clearance);
+        let d = ams.decide(&req);
+        let mark = match d {
+            Decision::Permit => "permit",
+            Decision::Deny => "deny",
+            _ => "gap",
+        };
+        println!("  clearance={clearance:<5} -> {mark}");
+    }
+}
+
+fn report_goals(ams: &Ams) {
+    let violations = ams.goal_violations();
+    if violations.is_empty() {
+        println!("goals: all met");
+    } else {
+        for v in violations {
+            println!("goals: {v}");
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Policy explainability (paper §V-B): why a policy was generated, why
+//! another was not, derivation proofs for the symbols involved, and
+//! counterfactual explanations ("if your LOA had been 4 …") of the kind
+//! the paper connects to the GDPR's right to explanation.
+//!
+//! Run with `cargo run --example explainability`.
+
+use agenp_core::explain::{counterfactual, explain_policy, explain_policy_atom, MutableFact};
+use agenp_core::scenarios::cav;
+use agenp_learn::Learner;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Learn a CAV policy model.
+    let train = cav::samples(64, 7);
+    let task = cav::learning_task(&train, None);
+    let h = Learner::new().learn(&task)?;
+    let gpm = h.apply(&task.grammar);
+    println!("learned GPM:\n{gpm}");
+
+    // 1. Why is a policy generated?
+    let good = cav::CavContext {
+        loa: 5,
+        limit: 5,
+        rain: false,
+        emergency: false,
+    };
+    println!("--- context {good:?} ---");
+    println!(
+        "{}",
+        explain_policy(&gpm, &good.to_program(), "accept park")?
+    );
+
+    // Derivation of the lifted requirement symbol.
+    if let Some(d) = explain_policy_atom(
+        &gpm,
+        &good.to_program(),
+        "accept park",
+        &"task_req(4)".parse()?,
+    )? {
+        println!("why does task_req(4) hold?\n{d}");
+    }
+
+    // 2. Why is a policy NOT generated?
+    let low = cav::CavContext {
+        loa: 2,
+        limit: 5,
+        rain: false,
+        emergency: false,
+    };
+    println!("--- context {low:?} ---");
+    println!(
+        "{}",
+        explain_policy(&gpm, &low.to_program(), "accept park")?
+    );
+
+    // 3. Counterfactual: what would have to change?
+    let mutable = vec![
+        MutableFact::parse(
+            "loa(2).",
+            &["loa(0).", "loa(1).", "loa(3).", "loa(4).", "loa(5)."],
+        ),
+        MutableFact::parse("weather(clear).", &["weather(rain)."]),
+    ];
+    match counterfactual(
+        &gpm,
+        &low.to_program(),
+        "accept overtake",
+        &mutable,
+        true,
+        2,
+    )? {
+        Some(cf) => println!("`accept overtake` was rejected; {cf}, it would have been accepted."),
+        None => println!("no counterfactual within 2 changes"),
+    }
+
+    // And the reverse direction: what would make an accepted policy invalid?
+    let mutable_back = vec![MutableFact::parse("weather(clear).", &["weather(rain)."])];
+    match counterfactual(
+        &gpm,
+        &good.to_program(),
+        "accept park",
+        &mutable_back,
+        false,
+        1,
+    )? {
+        Some(cf) => println!("`accept park` was accepted; {cf}, it would have been rejected."),
+        None => println!("no single-change counterfactual rejects `accept park`"),
+    }
+    Ok(())
+}

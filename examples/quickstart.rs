@@ -1,0 +1,72 @@
+//! Quickstart: the Fig. 1 workflow of the paper — an initial generative
+//! policy model (an answer set grammar), context-dependent examples of
+//! valid/invalid policies, the ILASP-style learner, and the learned GPM.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use agenp_grammar::{Asg, GenOptions, ProdId};
+use agenp_learn::{Example, HypothesisSpace, Learner, LearningTask};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The initial GPM: a tiny policy language for a device that may run
+    //    tasks at a power level, with no semantic constraints yet.
+    let initial: Asg = r#"
+        policy -> "run" task "at" power {
+            my_power(P) :- pw(P)@4.
+            my_task(T)  :- tk(T)@2.
+        }
+        task -> "sensing"   { tk(sensing). }
+        task -> "uploading" { tk(uploading). }
+        power -> "low"  { pw(1). }
+        power -> "high" { pw(2). }
+    "#
+    .parse()?;
+    println!("== initial GPM (answer set grammar) ==\n{initial}");
+
+    // 2. The hypothesis space: candidate semantic constraints on the policy
+    //    production.
+    let policy_prod = ProdId::from_index(0);
+    let space = HypothesisSpace::from_texts(&[
+        (policy_prod, ":- my_power(P), battery(B), B < P."),
+        (policy_prod, ":- my_task(uploading), jamming."),
+        (policy_prod, ":- my_task(sensing), jamming."),
+        (policy_prod, ":- my_power(P), P >= 2."),
+    ]);
+    println!("== hypothesis space ({} candidates) ==", space.len());
+    for c in space.candidates() {
+        println!("  {c}");
+    }
+
+    // 3. Context-dependent examples ⟨policy, context⟩ (Definition 3).
+    let low_batt: agenp_asp::Program = "battery(1).".parse()?;
+    let full_batt: agenp_asp::Program = "battery(2).".parse()?;
+    let jammed: agenp_asp::Program = "battery(2). jamming.".parse()?;
+    let task = LearningTask::new(initial.clone(), space)
+        .pos(Example::in_context("run sensing at low", low_batt.clone()))
+        .neg(Example::in_context("run sensing at high", low_batt.clone()))
+        .pos(Example::in_context(
+            "run uploading at high",
+            full_batt.clone(),
+        ))
+        .neg(Example::in_context("run uploading at high", jammed.clone()))
+        .pos(Example::in_context("run sensing at low", jammed.clone()));
+
+    // 4. Learn.
+    let hypothesis = Learner::new().learn(&task)?;
+    println!("\n== learned hypothesis ==\n{hypothesis}");
+
+    // 5. The learned GPM generates exactly the policies valid per context.
+    let learned = hypothesis.apply(&initial);
+    for (name, ctx) in [
+        ("low battery", &low_batt),
+        ("full battery", &full_batt),
+        ("jammed", &jammed),
+    ] {
+        let lang = learned.with_context(ctx).language(GenOptions::default())?;
+        println!("\npolicies generated under {name}:");
+        for p in lang {
+            println!("  {p}");
+        }
+    }
+    Ok(())
+}

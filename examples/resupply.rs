@@ -1,0 +1,87 @@
+//! The logistical-resupply scenario (paper §IV-B): convoy route/time
+//! policies learned from after-action reviews, improving as missions
+//! accumulate, and re-admitting risky options when the coalition's risk
+//! appetite rises.
+//!
+//! Run with `cargo run --example resupply`.
+
+use agenp_core::scenarios::resupply::{self, Mission, Plan};
+use agenp_learn::Learner;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("plan grammar:\n{}", resupply::grammar());
+
+    println!("{:>10} {:>10} {:>10}", "missions", "examples", "accuracy");
+    let mut last_gpm = None;
+    for n_missions in [2usize, 4, 8, 16, 32] {
+        let reviews = resupply::reviews(n_missions, 3, 9);
+        let task = resupply::learning_task(&reviews);
+        match Learner::new().learn(&task) {
+            Ok(h) => {
+                let gpm = h.apply(&task.grammar);
+                let acc = resupply::gpm_accuracy(&gpm, 50, 555);
+                println!("{n_missions:>10} {:>10} {acc:>10.3}", reviews.len());
+                last_gpm = Some((h, gpm));
+            }
+            Err(e) => println!("{n_missions:>10} {:>10} learn failed: {e}", reviews.len()),
+        }
+    }
+
+    let (h, gpm) = last_gpm.expect("at least one learning round succeeded");
+    println!("\nlearned plan constraints:\n{h}");
+
+    // Risk-appetite shift: "options that were previously discounted on
+    // grounds of risk may later become acceptable" (§IV-B).
+    let cautious = Mission {
+        threat: [2, 3, 3],
+        rain: false,
+        appetite: 1,
+    };
+    let bold = Mission {
+        appetite: 2,
+        ..cautious
+    };
+    let plan = Plan { route: 0, slot: 0 };
+    println!("\nplan `{}` with route threat 2:", plan.text());
+    for (label, mission) in [
+        ("appetite 1 (cautious)", cautious),
+        ("appetite 2 (bold)", bold),
+    ] {
+        let admitted = gpm
+            .with_context(&mission.to_program())
+            .accepts(&plan.text())?;
+        println!(
+            "  {label:<22} -> {}",
+            if admitted { "admitted" } else { "discounted" }
+        );
+    }
+
+    // Show the full generated plan menu for one mission.
+    let mission = Mission {
+        threat: [0, 2, 1],
+        rain: true,
+        appetite: 2,
+    };
+    println!("\nmission {mission:?} — generated plan menu:");
+    for plan in Plan::all() {
+        let ok = gpm
+            .with_context(&mission.to_program())
+            .accepts(&plan.text())?;
+        println!(
+            "  {:<28} {}",
+            plan.text(),
+            if ok { "valid" } else { "rejected" }
+        );
+    }
+
+    // Utility-based selection (paper §I's third policy type): weak
+    // constraints rank the admitted plans by threat and time of day.
+    let preferenced = resupply::with_preferences(&gpm);
+    match resupply::preferred_plan(&preferenced, mission) {
+        Some((plan, cost)) => {
+            println!("\nutility-preferred plan: {} (cost {cost})", plan.text());
+        }
+        None => println!("\nno admissible plan for this mission"),
+    }
+    Ok(())
+}

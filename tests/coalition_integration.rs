@@ -1,0 +1,167 @@
+//! Coalition-level integration: concurrent distributed learning, shared
+//! knowledge, trust dynamics, and the governance scenarios.
+
+use agenp_coalition::{
+    datashare, distributed_cav_learning, federated, warm_start_comparison, CasWiki, Contribution,
+    TrustModel,
+};
+use agenp_core::scenarios::cav;
+use agenp_learn::Learner;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn three_party_coalition_round_trip() {
+    let wiki = CasWiki::new();
+    let reports = distributed_cav_learning(3, 40, 1, &wiki);
+    assert_eq!(reports.len(), 3);
+    assert!(reports.iter().all(|r| r.accuracy > 0.8));
+    assert_eq!(wiki.len(), 120);
+
+    // Trust evolves from validation outcomes.
+    let mut trust = TrustModel::new();
+    for r in &reports {
+        if r.accuracy > 0.8 {
+            trust.reward(&r.name, 0.6);
+        } else {
+            trust.penalize(&r.name, 0.6);
+        }
+    }
+    assert!(trust.trusted(0.7).len() == 3);
+
+    // Newcomer warm start from the wiki.
+    let outcome = warm_start_comparison(6, &wiki, &trust, 0.6, 99);
+    assert!(outcome.warm_accuracy >= outcome.cold_accuracy - 0.02);
+    assert!(outcome.warm_accuracy > 0.9);
+}
+
+#[test]
+fn poisoned_wiki_is_neutralized_by_trust_and_penalties() {
+    let wiki = CasWiki::new();
+    let _ = distributed_cav_learning(2, 40, 2, &wiki);
+    // Poison: inverted labels from an untrusted party.
+    let poison: Vec<Contribution> = cav::samples(60, 900)
+        .iter()
+        .map(|s| Contribution {
+            contributor: "poisoner".into(),
+            policy: cav::policy_text(s.task),
+            context: s.context.to_program(),
+            valid: !s.accept,
+        })
+        .collect();
+    wiki.contribute_all(poison);
+
+    let mut trust = TrustModel::new();
+    trust.set("party-0", 0.9);
+    trust.set("party-1", 0.9);
+    trust.set("poisoner", 0.05);
+    let outcome = warm_start_comparison(4, &wiki, &trust, 0.5, 5);
+    assert_eq!(outcome.shared_used, 80, "trust filter failed");
+    assert!(outcome.warm_accuracy > 0.85);
+}
+
+#[test]
+fn datashare_and_federated_scenarios_compose() {
+    // A party learns both a sharing GPM and a federated-governance GPM and
+    // applies them in sequence: decide whether to accept a partner's model,
+    // then whether to share data back.
+    let partners = ["amber", "bravo"];
+    let mut trust = TrustModel::new();
+    trust.set("amber", 0.9);
+    trust.set("bravo", 0.3);
+
+    let share_train = datashare::samples(80, &partners, &trust, 10);
+    let share_task = datashare::learning_task(&share_train);
+    let share_h = Learner::new().learn(&share_task).unwrap();
+    let share_gpm = share_h.apply(&share_task.grammar);
+
+    let mut rng = StdRng::seed_from_u64(20);
+    let offers: Vec<federated::ModelOffer> = (0..60)
+        .map(|_| federated::ModelOffer::random(&mut rng))
+        .collect();
+    let gov_task = federated::learning_task(&offers);
+    let gov_h = Learner::new().learn(&gov_task).unwrap();
+    let gov_gpm = gov_h.apply(&gov_task.grammar);
+
+    // amber (trust level 3) offers a good fresh model → adopt; and sharing
+    // good imagery back with amber is fine.
+    let offer = federated::ModelOffer {
+        src_trust: trust.level("amber"),
+        remote_acc: 85,
+        local_acc: 70,
+        staleness: 1,
+    };
+    assert_eq!(federated::governed_action(&gov_gpm, offer), "adopt");
+    let item = datashare::DataItem {
+        dtype: 2,
+        resolution: 9,
+        noise: 1,
+    };
+    assert!(share_gpm
+        .with_context(&datashare::sharing_context(&item, trust.level("amber")))
+        .accepts("share")
+        .unwrap());
+    // bravo (trust level 1) gets neither the adoption nor the imagery.
+    let offer_b = federated::ModelOffer {
+        src_trust: trust.level("bravo"),
+        ..offer
+    };
+    assert_ne!(federated::governed_action(&gov_gpm, offer_b), "adopt");
+    assert!(!share_gpm
+        .with_context(&datashare::sharing_context(&item, trust.level("bravo")))
+        .accepts("share")
+        .unwrap());
+}
+
+#[test]
+fn governance_accuracy_is_high_after_learning() {
+    let mut rng = StdRng::seed_from_u64(33);
+    let offers: Vec<federated::ModelOffer> = (0..80)
+        .map(|_| federated::ModelOffer::random(&mut rng))
+        .collect();
+    let task = federated::learning_task(&offers);
+    let h = Learner::new().learn(&task).unwrap();
+    let gpm = h.apply(&task.grammar);
+    assert!(federated::governance_accuracy(&gpm, 300, 71) > 0.9);
+}
+
+#[test]
+fn six_party_coalition_scales() {
+    // Stress the thread fabric with more parties and verify every report
+    // arrives exactly once.
+    let wiki = CasWiki::new();
+    let reports = distributed_cav_learning(6, 24, 3, &wiki);
+    assert_eq!(reports.len(), 6);
+    let names: std::collections::HashSet<&str> = reports.iter().map(|r| r.name.as_str()).collect();
+    assert_eq!(names.len(), 6, "duplicate or missing parties");
+    assert_eq!(wiki.len(), 6 * 24);
+}
+
+#[test]
+fn gpm_rollback_via_representations_repository() {
+    use agenp_core::arch::{Ams, Feedback};
+    let mut ams = Ams::new("roll", cav::grammar(), cav::hypothesis_space());
+    for s in cav::samples(32, 5) {
+        let fb = if s.accept {
+            Feedback::valid(&cav::policy_text(s.task), s.context.to_program())
+        } else {
+            Feedback::invalid(&cav::policy_text(s.task), s.context.to_program())
+        };
+        ams.observe(fb);
+    }
+    ams.adapt().unwrap();
+    assert_eq!(ams.representations().len(), 2);
+    // Roll back to the initial (unconstrained) GPM.
+    let v1 = ams.representations().version(1).unwrap().gpm.clone();
+    ams.adopt_gpm(v1, "rollback to initial");
+    assert_eq!(ams.representations().len(), 3);
+    // The unconstrained grammar admits everything again.
+    let risky = cav::CavContext {
+        loa: 0,
+        limit: 0,
+        rain: true,
+        emergency: true,
+    };
+    ams.set_context(risky.to_program());
+    assert!(ams.admits("accept park").unwrap());
+}
