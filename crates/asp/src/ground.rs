@@ -8,6 +8,7 @@
 //! facts are dropped.
 
 use crate::atom::{Atom, CmpOp, Literal, Trace};
+use crate::budget::{Deadline, Exhausted};
 use crate::program::{Program, Rule};
 use crate::symbol::Symbol;
 use crate::term::{Bindings, Term};
@@ -33,6 +34,22 @@ pub enum GroundError {
         /// The configured maximum number of ground atoms.
         max_atoms: usize,
     },
+    /// Instantiation ran out of a [`RunBudget`](crate::RunBudget) resource
+    /// (currently: the wall-clock deadline).
+    Exhausted(Exhausted),
+}
+
+impl GroundError {
+    /// The resource-exhaustion kind behind this error, if any. Both the
+    /// legacy [`GroundError::Budget`] and the newer
+    /// [`GroundError::Exhausted`] qualify; unsafe rules do not.
+    pub fn exhausted(&self) -> Option<Exhausted> {
+        match self {
+            GroundError::Budget { .. } => Some(Exhausted::Atoms),
+            GroundError::Exhausted(kind) => Some(*kind),
+            GroundError::UnsafeRule { .. } => None,
+        }
+    }
 }
 
 impl fmt::Display for GroundError {
@@ -44,6 +61,7 @@ impl fmt::Display for GroundError {
             GroundError::Budget { max_atoms } => {
                 write!(f, "grounding exceeded the budget of {max_atoms} atoms")
             }
+            GroundError::Exhausted(kind) => write!(f, "grounding aborted: {kind}"),
         }
     }
 }
@@ -245,6 +263,9 @@ pub struct GroundOptions {
     /// Apply fact-folding simplification (default). Disable to preserve the
     /// full rule structure — e.g. for derivation-based explanations.
     pub simplify: bool,
+    /// Abort with [`GroundError::Exhausted`] once this wall-clock deadline
+    /// passes (default: no deadline).
+    pub deadline: Deadline,
 }
 
 impl Default for GroundOptions {
@@ -252,6 +273,7 @@ impl Default for GroundOptions {
         GroundOptions {
             max_atoms: 4_000_000,
             simplify: true,
+            deadline: Deadline::none(),
         }
     }
 }
@@ -451,7 +473,7 @@ pub fn ground_with(program: &Program, opts: GroundOptions) -> Result<GroundProgr
                 &mut seen_rules,
                 &mut ground_rules,
                 &mut changed,
-                opts.max_atoms,
+                opts,
             )?;
         }
         if !changed {
@@ -768,10 +790,15 @@ fn instantiate(
     seen_rules: &mut HashSet<GroundRule>,
     out: &mut Vec<GroundRule>,
     changed: &mut bool,
-    max_atoms: usize,
+    opts: GroundOptions,
 ) -> Result<(), GroundError> {
-    if table.len() > max_atoms {
-        return Err(GroundError::Budget { max_atoms });
+    if table.len() > opts.max_atoms {
+        return Err(GroundError::Budget {
+            max_atoms: opts.max_atoms,
+        });
+    }
+    if opts.deadline.expired() {
+        return Err(GroundError::Exhausted(Exhausted::Deadline));
     }
     if step == rule.steps.len() {
         // Complete binding: emit the ground rule.
@@ -832,7 +859,7 @@ fn instantiate(
                     seen_rules,
                     out,
                     changed,
-                    max_atoms,
+                    opts,
                 )?;
             }
             Ok(())
@@ -851,7 +878,7 @@ fn instantiate(
                 seen_rules,
                 out,
                 changed,
-                max_atoms,
+                opts,
             )?;
             bindings.remove(v);
             Ok(())
@@ -865,7 +892,7 @@ fn instantiate(
             seen_rules,
             out,
             changed,
-            max_atoms,
+            opts,
         ),
         Step::Join(pattern) => {
             // Snapshot candidate list: atoms added during this join are
@@ -884,7 +911,7 @@ fn instantiate(
                         seen_rules,
                         out,
                         changed,
-                        max_atoms,
+                        opts,
                     )?;
                 }
             }
@@ -1006,6 +1033,27 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, GroundError::Budget { .. }));
+        assert_eq!(err.exhausted(), Some(Exhausted::Atoms));
+    }
+
+    #[test]
+    fn deadline_is_enforced() {
+        let p: Program = "
+            n(1..20).
+            p(X, Y) :- n(X), n(Y).
+        "
+        .parse()
+        .unwrap();
+        let err = ground_with(
+            &p,
+            GroundOptions {
+                deadline: Deadline::after(std::time::Duration::ZERO),
+                ..GroundOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, GroundError::Exhausted(Exhausted::Deadline));
+        assert_eq!(err.exhausted(), Some(Exhausted::Deadline));
     }
 
     #[test]

@@ -38,6 +38,7 @@
 #![warn(missing_debug_implementations)]
 
 mod atom;
+mod budget;
 mod explain;
 mod ground;
 mod parser;
@@ -47,6 +48,7 @@ mod symbol;
 mod term;
 
 pub use atom::{Atom, CmpOp, Literal, Trace};
+pub use budget::{Deadline, Exhausted, RunBudget};
 pub use explain::{explain_atom, violated_constraints, Derivation};
 pub use ground::{
     ground, ground_with, AtomId, AtomTable, GroundError, GroundOptions, GroundProgram, GroundRule,

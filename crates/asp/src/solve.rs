@@ -14,6 +14,7 @@
 //!   the answer sets (Fages' theorem).
 
 use crate::atom::Atom;
+use crate::budget::{Deadline, Exhausted, RunBudget};
 use crate::ground::{AtomId, GroundProgram, GroundRule};
 use std::collections::HashSet;
 use std::fmt;
@@ -97,6 +98,7 @@ pub struct SolveStats {
 pub struct SolveResult {
     models: Vec<AnswerSet>,
     complete: bool,
+    exhausted: Option<Exhausted>,
     stats: SolveStats,
 }
 
@@ -110,6 +112,12 @@ impl SolveResult {
     /// sets, subject to the `max_models` cap).
     pub fn complete(&self) -> bool {
         self.complete
+    }
+
+    /// Which resource budget cut the search short, if any. `None` for
+    /// complete results and for searches stopped by `max_models`.
+    pub fn exhausted(&self) -> Option<Exhausted> {
+        self.exhausted
     }
 
     /// True if at least one answer set was found.
@@ -141,6 +149,7 @@ impl SolveResult {
 pub struct Solver {
     max_models: usize,
     max_steps: u64,
+    deadline: Deadline,
     force_search: bool,
 }
 
@@ -149,6 +158,7 @@ impl Default for Solver {
         Solver {
             max_models: 0,
             max_steps: u64::MAX,
+            deadline: Deadline::none(),
             force_search: false,
         }
     }
@@ -171,6 +181,20 @@ impl Solver {
     pub fn max_steps(mut self, n: u64) -> Solver {
         self.max_steps = n;
         self
+    }
+
+    /// Abort the search once `deadline` passes, returning an incomplete
+    /// result. The stratified fast path is not interrupted: it runs in
+    /// (near-)linear time and finishes regardless.
+    pub fn deadline(mut self, deadline: Deadline) -> Solver {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Applies the solver-relevant bounds of a [`RunBudget`] (`max_steps`
+    /// and `deadline`).
+    pub fn with_budget(self, budget: &RunBudget) -> Solver {
+        self.max_steps(budget.max_steps).deadline(budget.deadline)
     }
 
     /// Disable the stratified fast path (used by the ablation benches).
@@ -198,6 +222,7 @@ impl Solver {
             return SolveResult {
                 models: Vec::new(),
                 complete: true,
+                exhausted: None,
                 stats,
             };
         }
@@ -212,6 +237,7 @@ impl Solver {
             return SolveResult {
                 models,
                 complete: true,
+                exhausted: None,
                 stats,
             };
         }
@@ -291,17 +317,24 @@ impl Solver {
         let mut dpll = Dpll::new(cnf, n_atoms);
         let mut models = Vec::new();
         let mut complete = true;
+        let mut exhausted = None;
         loop {
             if stats.decisions + stats.conflicts > self.max_steps {
                 complete = false;
+                exhausted = Some(Exhausted::Steps);
+                break;
+            }
+            if self.deadline.expired() {
+                complete = false;
+                exhausted = Some(Exhausted::Deadline);
                 break;
             }
             let event = match bnb.as_deref_mut() {
                 Some(b) => {
                     let mut pruner = |assign: &[u8]| b.prune_assignment(program, assign);
-                    dpll.step(stats, &mut pruner)
+                    dpll.step(stats, self.max_steps, self.deadline, &mut pruner)
                 }
-                None => dpll.step(stats, &mut |_| false),
+                None => dpll.step(stats, self.max_steps, self.deadline, &mut |_| false),
             };
             match event {
                 DpllEvent::Model => {
@@ -335,12 +368,18 @@ impl Solver {
                         break;
                     }
                 }
-                DpllEvent::Exhausted => break,
+                DpllEvent::Done => break,
+                DpllEvent::Interrupted(why) => {
+                    complete = false;
+                    exhausted = Some(why);
+                    break;
+                }
             }
         }
         SolveResult {
             models,
             complete,
+            exhausted,
             stats: *stats,
         }
     }
@@ -858,8 +897,12 @@ impl Cnf {
 }
 
 enum DpllEvent {
+    /// A total model of the completion was reached.
     Model,
-    Exhausted,
+    /// The search space is exhausted.
+    Done,
+    /// A resource budget fired mid-search.
+    Interrupted(Exhausted),
 }
 
 /// Trail-based DPLL with counter-based propagation and chronological
@@ -1000,20 +1043,32 @@ impl Dpll {
         true
     }
 
-    /// Runs propagation/decision until a total model or exhaustion. After
-    /// every successful propagation, `pruner` may cut the branch (used for
-    /// branch-and-bound optimization); it receives the raw assignment
-    /// (0 = unassigned, 1 = true, 2 = false).
-    fn step(&mut self, stats: &mut SolveStats, pruner: &mut dyn FnMut(&[u8]) -> bool) -> DpllEvent {
+    /// Runs propagation/decision until a total model, exhaustion, or a
+    /// budget interruption. After every successful propagation, `pruner`
+    /// may cut the branch (used for branch-and-bound optimization); it
+    /// receives the raw assignment (0 = unassigned, 1 = true, 2 = false).
+    fn step(
+        &mut self,
+        stats: &mut SolveStats,
+        max_steps: u64,
+        deadline: Deadline,
+        pruner: &mut dyn FnMut(&[u8]) -> bool,
+    ) -> DpllEvent {
         if self.exhausted {
-            return DpllEvent::Exhausted;
+            return DpllEvent::Done;
         }
         loop {
+            if stats.decisions + stats.conflicts > max_steps {
+                return DpllEvent::Interrupted(Exhausted::Steps);
+            }
+            if deadline.expired() {
+                return DpllEvent::Interrupted(Exhausted::Deadline);
+            }
             if !self.propagate(stats) {
                 stats.conflicts += 1;
                 if !self.backtrack() {
                     self.exhausted = true;
-                    return DpllEvent::Exhausted;
+                    return DpllEvent::Done;
                 }
                 continue;
             }
@@ -1021,7 +1076,7 @@ impl Dpll {
                 stats.conflicts += 1;
                 if !self.backtrack() {
                     self.exhausted = true;
-                    return DpllEvent::Exhausted;
+                    return DpllEvent::Done;
                 }
                 continue;
             }
@@ -1206,6 +1261,47 @@ mod tests {
         let g = ground(&p).unwrap();
         let r = Solver::new().max_steps(3).solve(&g);
         assert!(!r.complete());
+        assert_eq!(r.exhausted(), Some(Exhausted::Steps));
+    }
+
+    #[test]
+    fn expired_deadline_reports_incomplete() {
+        let p: Program = "p :- not q. q :- not p.".parse().unwrap();
+        let g = ground(&p).unwrap();
+        let r = Solver::new()
+            .deadline(Deadline::after(std::time::Duration::ZERO))
+            .solve(&g);
+        assert!(!r.complete());
+        assert_eq!(r.exhausted(), Some(Exhausted::Deadline));
+        assert!(r.models().is_empty());
+    }
+
+    #[test]
+    fn unset_deadline_leaves_search_complete() {
+        let p: Program = "p :- not q. q :- not p.".parse().unwrap();
+        let g = ground(&p).unwrap();
+        let r = Solver::new().deadline(Deadline::none()).solve(&g);
+        assert!(r.complete());
+        assert_eq!(r.exhausted(), None);
+        assert_eq!(r.models().len(), 2);
+    }
+
+    #[test]
+    fn run_budget_configures_solver() {
+        let budget = RunBudget::new()
+            .with_max_steps(3)
+            .with_deadline(Deadline::none());
+        let p: Program = "
+            a1 :- not b1. b1 :- not a1.
+            a2 :- not b2. b2 :- not a2.
+            a3 :- not b3. b3 :- not a3.
+        "
+        .parse()
+        .unwrap();
+        let g = ground(&p).unwrap();
+        let r = Solver::new().with_budget(&budget).solve(&g);
+        assert!(!r.complete());
+        assert_eq!(r.exhausted(), Some(Exhausted::Steps));
     }
 
     #[test]

@@ -4,15 +4,23 @@
 //! §IV-A's "collaborative policy management" direction).
 //!
 //! The coalition "network" is an in-process simulation: each party runs on
-//! its own thread and communicates over crossbeam channels, which preserves
-//! the architectural shape (asynchronous parties, shared repository,
-//! trust-filtered exchange) without a real transport.
+//! its own thread, which preserves the architectural shape (asynchronous
+//! parties, shared repository, trust-filtered exchange) without a real
+//! transport. The fabric *supervises* its parties: a panicking, slow, or
+//! lossy party is caught, retried with seeded exponential backoff, and —
+//! if it keeps failing — reported as a per-node failure inside a degraded
+//! [`CoalitionOutcome`] rather than tearing the whole coalition down.
+//! Failure modes are injected deterministically through a
+//! [`FaultInjector`](crate::resilience::FaultInjector).
 
 use crate::caswiki::{CasWiki, Contribution};
+use crate::resilience::{panic_message, FaultInjector, RetryPolicy};
 use crate::trust::TrustModel;
+use agenp_asp::Deadline;
 use agenp_core::scenarios::cav;
-use agenp_learn::{Learner, LearningTask};
-use crossbeam::channel;
+use agenp_learn::{LearnOptions, Learner, LearningTask};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread;
 
 /// The report one coalition party produces after a local learning round.
@@ -28,61 +36,343 @@ pub struct NodeReport {
     pub accuracy: f64,
 }
 
-/// Runs `n_nodes` CAV parties concurrently: each samples local experience,
+/// How one supervised party fared, including the retries it took.
+#[derive(Clone, Debug)]
+pub enum NodeOutcome {
+    /// Succeeded on the first attempt.
+    Ok(NodeReport),
+    /// Succeeded after the given number of retries.
+    Retried(NodeReport, u32),
+    /// Exhausted its retries (or the run deadline) without a report.
+    Failed {
+        /// Party name.
+        name: String,
+        /// The last failure reason observed.
+        reason: String,
+    },
+}
+
+impl NodeOutcome {
+    /// The learning report, if the party eventually succeeded.
+    pub fn report(&self) -> Option<&NodeReport> {
+        match self {
+            NodeOutcome::Ok(r) | NodeOutcome::Retried(r, _) => Some(r),
+            NodeOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// The party name, regardless of outcome.
+    pub fn name(&self) -> &str {
+        match self {
+            NodeOutcome::Ok(r) | NodeOutcome::Retried(r, _) => &r.name,
+            NodeOutcome::Failed { name, .. } => name,
+        }
+    }
+
+    /// Retries consumed before the outcome was reached.
+    pub fn retries(&self) -> u32 {
+        match self {
+            NodeOutcome::Retried(_, n) => *n,
+            NodeOutcome::Ok(_) | NodeOutcome::Failed { .. } => 0,
+        }
+    }
+
+    /// True if the party produced a report.
+    pub fn is_ok(&self) -> bool {
+        self.report().is_some()
+    }
+}
+
+/// The supervised coalition's aggregate result: one outcome per party (in
+/// spawn order) plus the quorum that was required of them.
+#[derive(Clone, Debug)]
+pub struct CoalitionOutcome {
+    /// Per-party outcomes, indexed by spawn order.
+    pub nodes: Vec<NodeOutcome>,
+    /// Minimum number of successful parties that was required.
+    pub quorum: usize,
+    /// True if at least one party failed — the result is partial.
+    pub degraded: bool,
+}
+
+impl CoalitionOutcome {
+    /// The reports of the parties that succeeded.
+    pub fn reports(&self) -> Vec<&NodeReport> {
+        self.nodes.iter().filter_map(NodeOutcome::report).collect()
+    }
+
+    /// Number of parties that produced a report.
+    pub fn successes(&self) -> usize {
+        self.nodes.iter().filter(|o| o.is_ok()).count()
+    }
+
+    /// Total retries consumed across all parties.
+    pub fn total_retries(&self) -> u32 {
+        self.nodes.iter().map(NodeOutcome::retries).sum()
+    }
+}
+
+/// Why a supervised coalition run failed outright.
+#[derive(Clone, Debug)]
+pub enum CoalitionError {
+    /// Fewer parties succeeded than the configured quorum requires. The
+    /// per-node outcomes are preserved for diagnosis.
+    QuorumNotMet {
+        /// Parties that produced a report.
+        successes: usize,
+        /// Minimum successes required.
+        quorum: usize,
+        /// Per-party outcomes, indexed by spawn order.
+        nodes: Vec<NodeOutcome>,
+    },
+}
+
+impl fmt::Display for CoalitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoalitionError::QuorumNotMet {
+                successes, quorum, ..
+            } => write!(
+                f,
+                "coalition quorum not met: {successes} of the required {quorum} parties succeeded"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoalitionError {}
+
+/// Configuration for a supervised coalition learning round.
+#[derive(Clone, Copy, Debug)]
+pub struct CoalitionConfig {
+    /// Number of parties to run.
+    pub n_nodes: usize,
+    /// Local training samples per party.
+    pub samples_per_node: usize,
+    /// Base seed; party `i` samples with `seed + i * 101`.
+    pub seed: u64,
+    /// Retry/backoff policy applied to each failing party.
+    pub retry: RetryPolicy,
+    /// Minimum successful parties for the run to count at all.
+    pub quorum: usize,
+    /// Wall-clock deadline for the whole run; threaded into each party's
+    /// learner and checked before every attempt.
+    pub deadline: Deadline,
+}
+
+impl CoalitionConfig {
+    /// A config with default retry policy, no deadline, and a full quorum
+    /// (every party must succeed for a non-degraded outcome; the quorum can
+    /// be lowered with [`CoalitionConfig::quorum`]).
+    pub fn new(n_nodes: usize, samples_per_node: usize, seed: u64) -> CoalitionConfig {
+        CoalitionConfig {
+            n_nodes,
+            samples_per_node,
+            seed,
+            retry: RetryPolicy::default(),
+            quorum: n_nodes,
+            deadline: Deadline::none(),
+        }
+    }
+
+    /// Sets the minimum number of successful parties.
+    pub fn quorum(mut self, quorum: usize) -> CoalitionConfig {
+        self.quorum = quorum;
+        self
+    }
+
+    /// Sets the retry/backoff policy.
+    pub fn retry(mut self, retry: RetryPolicy) -> CoalitionConfig {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the run deadline.
+    pub fn deadline(mut self, deadline: Deadline) -> CoalitionConfig {
+        self.deadline = deadline;
+        self
+    }
+}
+
+/// Runs a supervised CAV coalition: each party samples local experience,
 /// learns a GPM, evaluates it on a shared test distribution, and
-/// contributes its labelled experiences to the wiki.
+/// contributes its labelled experiences to the wiki. Parties that panic,
+/// lose their report, or overrun the deadline are retried per
+/// `cfg.retry` and reported as [`NodeOutcome::Failed`] when they stay
+/// down. The run succeeds — possibly `degraded` — whenever at least
+/// `cfg.quorum` parties succeed, and fails with
+/// [`CoalitionError::QuorumNotMet`] otherwise.
 ///
-/// # Panics
-///
-/// Panics if a node thread panics.
+/// With a fixed `cfg` and `injector` the outcome is deterministic: faults
+/// fire purely on `(node, attempt)`, outcomes are joined in spawn order,
+/// and backoff jitter derives from the injector's seed.
+pub fn supervised_cav_learning(
+    cfg: &CoalitionConfig,
+    wiki: &CasWiki,
+    injector: &FaultInjector,
+) -> Result<CoalitionOutcome, CoalitionError> {
+    let nodes: Vec<NodeOutcome> = thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.n_nodes)
+            .map(|i| s.spawn(move || run_party(cfg, wiki, injector, i)))
+            .collect();
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(i, h)| match h.join() {
+                Ok(outcome) => outcome,
+                // run_party catches panics itself; this is a belt-and-braces
+                // path for panics outside catch_unwind (e.g. in the retry
+                // loop machinery).
+                Err(payload) => NodeOutcome::Failed {
+                    name: format!("party-{i}"),
+                    reason: panic_message(payload.as_ref()),
+                },
+            })
+            .collect()
+    });
+    let successes = nodes.iter().filter(|o| o.is_ok()).count();
+    if successes < cfg.quorum {
+        return Err(CoalitionError::QuorumNotMet {
+            successes,
+            quorum: cfg.quorum,
+            nodes,
+        });
+    }
+    Ok(CoalitionOutcome {
+        degraded: successes < cfg.n_nodes,
+        quorum: cfg.quorum,
+        nodes,
+    })
+}
+
+/// One supervised party: attempt the learning round up to
+/// `1 + max_retries` times, sleeping the backoff delay between attempts.
+fn run_party(
+    cfg: &CoalitionConfig,
+    wiki: &CasWiki,
+    injector: &FaultInjector,
+    i: usize,
+) -> NodeOutcome {
+    let name = format!("party-{i}");
+    let mut last_reason = String::from("no attempt made");
+    for attempt in 0..=cfg.retry.max_retries {
+        if attempt > 0 {
+            thread::sleep(
+                cfg.retry
+                    .backoff
+                    .delay(attempt - 1, injector.seed() ^ i as u64),
+            );
+        }
+        if cfg.deadline.expired() {
+            return NodeOutcome::Failed {
+                name,
+                reason: format!("deadline expired before attempt {attempt}"),
+            };
+        }
+        match catch_unwind(AssertUnwindSafe(|| {
+            party_round(cfg, wiki, injector, i, attempt, &name)
+        })) {
+            Ok(Ok(report)) => {
+                return if attempt == 0 {
+                    NodeOutcome::Ok(report)
+                } else {
+                    NodeOutcome::Retried(report, attempt)
+                };
+            }
+            Ok(Err(reason)) => last_reason = reason,
+            Err(payload) => {
+                last_reason = format!("panicked: {}", panic_message(payload.as_ref()));
+            }
+        }
+    }
+    NodeOutcome::Failed {
+        name,
+        reason: last_reason,
+    }
+}
+
+/// One attempt of a party's learning round. Contributions reach the wiki
+/// only on a successful attempt (after the drop-report check), so a
+/// retried party never double-contributes.
+fn party_round(
+    cfg: &CoalitionConfig,
+    wiki: &CasWiki,
+    injector: &FaultInjector,
+    i: usize,
+    attempt: u32,
+    name: &str,
+) -> Result<NodeReport, String> {
+    if injector.panics(i, attempt) {
+        panic!("injected fault: {name} crashed on attempt {attempt}");
+    }
+    if let Some(delay) = injector.slow_down(i) {
+        thread::sleep(delay);
+    }
+    let local = cav::samples(cfg.samples_per_node, cfg.seed.wrapping_add(i as u64 * 101));
+    let task = cav::learning_task(&local, None);
+    let learner = Learner::with_options(LearnOptions {
+        deadline: cfg.deadline,
+        ..LearnOptions::default()
+    });
+    let h = learner
+        .learn(&task)
+        .map_err(|e| format!("learning failed: {e}"))?;
+    let gpm = h.apply(&task.grammar);
+    let test = cav::samples(150, 999_999);
+    let accuracy = cav::gpm_accuracy(&gpm, &test);
+    if let Some(delay) = injector.report_delay(i) {
+        thread::sleep(delay);
+    }
+    if injector.drops_report(i, attempt) {
+        return Err(format!("report dropped in transit on attempt {attempt}"));
+    }
+    wiki.contribute_all_via(
+        injector,
+        i,
+        local.iter().map(|s| Contribution {
+            contributor: name.to_owned(),
+            policy: cav::policy_text(s.task),
+            context: s.context.to_program(),
+            valid: s.accept,
+        }),
+    );
+    Ok(NodeReport {
+        name: name.to_owned(),
+        local_examples: local.len(),
+        learned_rules: h.rules.len(),
+        accuracy,
+    })
+}
+
+/// Runs `n_nodes` CAV parties concurrently and returns one report per
+/// party, sorted by name. Convenience wrapper over
+/// [`supervised_cav_learning`] with no faults, default retries, and a
+/// quorum of zero: it never fails, and a party that stays down after its
+/// retries yields a zeroed report (no learned rules, accuracy 0.0)
+/// instead of panicking the caller.
 pub fn distributed_cav_learning(
     n_nodes: usize,
     samples_per_node: usize,
     seed: u64,
     wiki: &CasWiki,
 ) -> Vec<NodeReport> {
-    let (tx, rx) = channel::unbounded::<NodeReport>();
-    let mut handles = Vec::new();
-    for i in 0..n_nodes {
-        let tx = tx.clone();
-        let wiki = wiki.clone();
-        handles.push(thread::spawn(move || {
-            let name = format!("party-{i}");
-            let local = cav::samples(samples_per_node, seed.wrapping_add(i as u64 * 101));
-            let task = cav::learning_task(&local, None);
-            let report = match Learner::new().learn(&task) {
-                Ok(h) => {
-                    let gpm = h.apply(&task.grammar);
-                    let test = cav::samples(150, 999_999);
-                    let accuracy = cav::gpm_accuracy(&gpm, &test);
-                    wiki.contribute_all(local.iter().map(|s| Contribution {
-                        contributor: name.clone(),
-                        policy: cav::policy_text(s.task),
-                        context: s.context.to_program(),
-                        valid: s.accept,
-                    }));
-                    NodeReport {
-                        name: name.clone(),
-                        local_examples: local.len(),
-                        learned_rules: h.rules.len(),
-                        accuracy,
-                    }
-                }
-                Err(_) => NodeReport {
-                    name: name.clone(),
-                    local_examples: local.len(),
-                    learned_rules: 0,
-                    accuracy: 0.0,
-                },
-            };
-            tx.send(report).expect("collector alive");
-        }));
-    }
-    drop(tx);
-    let mut reports: Vec<NodeReport> = rx.iter().collect();
-    for h in handles {
-        h.join().expect("node thread panicked");
-    }
+    let cfg = CoalitionConfig::new(n_nodes, samples_per_node, seed).quorum(0);
+    let nodes = match supervised_cav_learning(&cfg, wiki, &FaultInjector::none()) {
+        Ok(outcome) => outcome.nodes,
+        Err(CoalitionError::QuorumNotMet { nodes, .. }) => nodes,
+    };
+    let mut reports: Vec<NodeReport> = nodes
+        .iter()
+        .map(|o| match o.report() {
+            Some(r) => r.clone(),
+            None => NodeReport {
+                name: o.name().to_owned(),
+                local_examples: samples_per_node,
+                learned_rules: 0,
+                accuracy: 0.0,
+            },
+        })
+        .collect();
     reports.sort_by(|a, b| a.name.cmp(&b.name));
     reports
 }
@@ -154,6 +444,19 @@ mod tests {
             assert!(r.accuracy > 0.8, "{} accuracy {}", r.name, r.accuracy);
             assert!(r.learned_rules > 0);
         }
+    }
+
+    #[test]
+    fn supervised_run_without_faults_is_clean() {
+        let wiki = CasWiki::new();
+        let cfg = CoalitionConfig::new(3, 30, 5);
+        let outcome = supervised_cav_learning(&cfg, &wiki, &FaultInjector::none())
+            .expect("full quorum reachable without faults");
+        assert!(!outcome.degraded);
+        assert_eq!(outcome.successes(), 3);
+        assert_eq!(outcome.total_retries(), 0);
+        assert_eq!(outcome.reports().len(), 3);
+        assert!(outcome.nodes.iter().all(NodeOutcome::is_ok));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! *reject* it — based on the source's trust, the model's estimated
 //! accuracy gain, and its staleness.
 
+use crate::resilience::FaultInjector;
 use agenp_asp::{CmpOp, Program, Term};
 use agenp_grammar::{Asg, ProdId};
 #[cfg(test)]
@@ -13,6 +14,24 @@ use agenp_learn::{
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// A malformed governance query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GovernanceError {
+    /// The queried action is not one of [`ACTIONS`].
+    UnknownAction(String),
+}
+
+impl fmt::Display for GovernanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GovernanceError::UnknownAction(a) => write!(f, "unknown governance action {a:?}"),
+        }
+    }
+}
+
+impl std::error::Error for GovernanceError {}
 
 /// A model offer from a partner.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -58,15 +77,22 @@ pub const ACTIONS: [&str; 3] = ["adopt", "combine", "reject"];
 /// Ground truth: which actions are valid for an offer. `adopt` requires a
 /// clear gain from a trusted, fresh source; `combine` tolerates anything
 /// not clearly harmful from a minimally trusted source; `reject` is always
-/// safe.
-pub fn valid(offer: ModelOffer, action: &str) -> bool {
+/// safe. Unknown actions are a caller error, reported as
+/// [`GovernanceError::UnknownAction`].
+pub fn try_valid(offer: ModelOffer, action: &str) -> Result<bool, GovernanceError> {
     let gain = offer.remote_acc - offer.local_acc;
     match action {
-        "adopt" => gain >= 5 && offer.src_trust >= 2 && offer.staleness <= 2,
-        "combine" => gain >= -10 && offer.src_trust >= 1,
-        "reject" => true,
-        other => panic!("unknown action {other}"),
+        "adopt" => Ok(gain >= 5 && offer.src_trust >= 2 && offer.staleness <= 2),
+        "combine" => Ok(gain >= -10 && offer.src_trust >= 1),
+        "reject" => Ok(true),
+        other => Err(GovernanceError::UnknownAction(other.to_owned())),
     }
+}
+
+/// Infallible wrapper over [`try_valid`]: an unknown action is simply not
+/// valid (deny by default) rather than a panic.
+pub fn valid(offer: ModelOffer, action: &str) -> bool {
+    try_valid(offer, action).unwrap_or(false)
 }
 
 /// The strongest ground-truth-valid action.
@@ -175,11 +201,26 @@ pub struct FederationOutcome {
 /// the learned GPM; the ungoverned node adopts anything that reports an
 /// improvement.
 pub fn simulate_federation(gpm: &Asg, rounds: usize, seed: u64) -> FederationOutcome {
+    simulate_federation_with_faults(gpm, rounds, seed, &FaultInjector::none())
+}
+
+/// [`simulate_federation`] with deterministic fault injection: a
+/// `CorruptContribution` fault on round `r` makes that round's offer
+/// overreport its accuracy by 25 points regardless of the source's trust —
+/// a corrupted (or adversarial) accuracy claim the governance policy must
+/// absorb. The RNG call sequence is identical to the fault-free
+/// simulation, so an empty injector reproduces it exactly.
+pub fn simulate_federation_with_faults(
+    gpm: &Asg,
+    rounds: usize,
+    seed: u64,
+    injector: &FaultInjector,
+) -> FederationOutcome {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut governed = 70.0f64;
     let mut ungoverned = 70.0f64;
     let mut adoptions = 0;
-    for _ in 0..rounds {
+    for round in 0..rounds {
         let src_trust = rng.gen_range(0..=3);
         // Untrusted sources have worse models *and* overreport their
         // accuracy; stale models decay.
@@ -189,11 +230,14 @@ pub fn simulate_federation(gpm: &Asg, rounds: usize, seed: u64) -> FederationOut
             rng.gen_range(30..=70) as f64
         };
         let staleness = rng.gen_range(0..=5);
-        let reported = if src_trust <= 1 {
+        let mut reported = if src_trust <= 1 {
             true_acc + 25.0
         } else {
             true_acc
         };
+        if injector.corrupts(round) {
+            reported = true_acc + 25.0;
+        }
         let effective = true_acc - 3.0 * staleness as f64;
 
         let offer_for = |local: f64| ModelOffer {

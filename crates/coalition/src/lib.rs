@@ -7,20 +7,31 @@
 //! party — data sharing with helper microservices (§IV-D, \[33\]) and
 //! federated-learning governance (§IV-E).
 //!
-//! The coalition "network" is an in-process simulation (threads and
-//! channels); the paper's coalition is an architectural abstraction, not a
-//! measured testbed, so this preserves the relevant behaviour.
+//! The coalition "network" is an in-process simulation (threads and a
+//! shared wiki); the paper's coalition is an architectural abstraction, not
+//! a measured testbed, so this preserves the relevant behaviour. The fabric
+//! is *supervised*: party failures — crashes, lost or delayed reports,
+//! corrupted contributions, deadline overruns — are injected
+//! deterministically via [`resilience::FaultInjector`], retried with seeded
+//! backoff, and surfaced as degraded [`CoalitionOutcome`]s instead of
+//! panics (see `docs/RESILIENCE.md`).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 mod caswiki;
 pub mod cav_services;
 pub mod datashare;
 mod fabric;
 pub mod federated;
+pub mod resilience;
 mod trust;
 
-pub use caswiki::{CasWiki, Contribution};
-pub use fabric::{distributed_cav_learning, warm_start_comparison, NodeReport, WarmStartOutcome};
+pub use caswiki::{CasWiki, Contribution, ContributionError, ContributionProducer};
+pub use fabric::{
+    distributed_cav_learning, supervised_cav_learning, warm_start_comparison, CoalitionConfig,
+    CoalitionError, CoalitionOutcome, NodeOutcome, NodeReport, WarmStartOutcome,
+};
 pub use trust::TrustModel;

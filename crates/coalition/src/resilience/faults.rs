@@ -1,0 +1,214 @@
+//! Deterministic fault injection for coalition tests and chaos drills.
+//!
+//! A [`FaultPlan`] is an explicit list of [`Fault`]s keyed by node index;
+//! the [`FaultInjector`] carries the plan plus the run seed and answers
+//! point queries (`panics`, `slow_down`, `drops_report`, …) purely from
+//! `(node, attempt)` — no hidden RNG state — so the same plan and seed
+//! reproduce the same failure schedule on every run.
+
+use std::time::Duration;
+
+/// One injected fault, addressed to a node index in spawn order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// The node's learning round panics on its first `times` attempts
+    /// (`u32::MAX` = every attempt, i.e. a permanently crashed party).
+    Panic {
+        /// Target node index.
+        node: usize,
+        /// Number of attempts that panic before the node recovers.
+        times: u32,
+    },
+    /// The node sleeps for `delay` at the start of every attempt.
+    Slow {
+        /// Target node index.
+        node: usize,
+        /// Added latency per attempt.
+        delay: Duration,
+    },
+    /// The node's report is dropped (lost message) on its first `times`
+    /// attempts; the fabric sees a failure and retries.
+    DropReport {
+        /// Target node index.
+        node: usize,
+        /// Number of attempts whose report is lost.
+        times: u32,
+    },
+    /// The node's report is delayed by `delay` before delivery.
+    DelayReport {
+        /// Target node index.
+        node: usize,
+        /// Delivery latency.
+        delay: Duration,
+    },
+    /// Every [`CasWiki`](crate::CasWiki) contribution the node makes has
+    /// its validity flag flipped — a corrupted write.
+    CorruptContribution {
+        /// Target node index.
+        node: usize,
+    },
+}
+
+impl Fault {
+    fn node(&self) -> usize {
+        match self {
+            Fault::Panic { node, .. }
+            | Fault::Slow { node, .. }
+            | Fault::DropReport { node, .. }
+            | Fault::DelayReport { node, .. }
+            | Fault::CorruptContribution { node } => *node,
+        }
+    }
+}
+
+/// An ordered collection of faults to inject into one coalition run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds a fault to the plan.
+    pub fn with(mut self, fault: Fault) -> FaultPlan {
+        self.faults.push(fault);
+        self
+    }
+
+    /// The planned faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// True if no faults are planned.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// Applies a [`FaultPlan`] deterministically. Cloneable and cheap; pass by
+/// reference into each party.
+#[derive(Clone, Debug, Default)]
+pub struct FaultInjector {
+    seed: u64,
+    plan: FaultPlan,
+}
+
+impl FaultInjector {
+    /// An injector for `plan`, seeded for jitter reproducibility.
+    pub fn new(seed: u64, plan: FaultPlan) -> FaultInjector {
+        FaultInjector { seed, plan }
+    }
+
+    /// An injector that never fires (empty plan).
+    pub fn none() -> FaultInjector {
+        FaultInjector::default()
+    }
+
+    /// The run seed (also feeds backoff jitter).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Should attempt `attempt` (0-based) on `node` panic?
+    pub fn panics(&self, node: usize, attempt: u32) -> bool {
+        self.plan.faults().iter().any(
+            |f| matches!(f, Fault::Panic { times, .. } if f.node() == node && attempt < *times),
+        )
+    }
+
+    /// Extra latency for every attempt on `node`, if any.
+    pub fn slow_down(&self, node: usize) -> Option<Duration> {
+        self.plan.faults().iter().find_map(|f| match f {
+            Fault::Slow { node: n, delay } if *n == node => Some(*delay),
+            _ => None,
+        })
+    }
+
+    /// Is the report of attempt `attempt` on `node` dropped?
+    pub fn drops_report(&self, node: usize, attempt: u32) -> bool {
+        self.plan.faults().iter().any(|f| {
+            matches!(f, Fault::DropReport { times, .. } if f.node() == node && attempt < *times)
+        })
+    }
+
+    /// Delivery latency for `node`'s report, if any.
+    pub fn report_delay(&self, node: usize) -> Option<Duration> {
+        self.plan.faults().iter().find_map(|f| match f {
+            Fault::DelayReport { node: n, delay } if *n == node => Some(*delay),
+            _ => None,
+        })
+    }
+
+    /// Are `node`'s wiki contributions corrupted?
+    pub fn corrupts(&self, node: usize) -> bool {
+        self.plan
+            .faults()
+            .iter()
+            .any(|f| matches!(f, Fault::CorruptContribution { .. } if f.node() == node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_injector_never_fires() {
+        let inj = FaultInjector::none();
+        for node in 0..4 {
+            for attempt in 0..4 {
+                assert!(!inj.panics(node, attempt));
+                assert!(!inj.drops_report(node, attempt));
+            }
+            assert_eq!(inj.slow_down(node), None);
+            assert_eq!(inj.report_delay(node), None);
+            assert!(!inj.corrupts(node));
+        }
+    }
+
+    #[test]
+    fn faults_target_their_node_and_attempts() {
+        let plan = FaultPlan::new()
+            .with(Fault::Panic { node: 1, times: 2 })
+            .with(Fault::Slow {
+                node: 2,
+                delay: Duration::from_millis(5),
+            })
+            .with(Fault::DropReport { node: 3, times: 1 })
+            .with(Fault::DelayReport {
+                node: 0,
+                delay: Duration::from_millis(7),
+            })
+            .with(Fault::CorruptContribution { node: 4 });
+        let inj = FaultInjector::new(9, plan);
+        assert_eq!(inj.seed(), 9);
+        assert!(inj.panics(1, 0));
+        assert!(inj.panics(1, 1));
+        assert!(!inj.panics(1, 2)); // recovers on the third attempt
+        assert!(!inj.panics(0, 0));
+        assert_eq!(inj.slow_down(2), Some(Duration::from_millis(5)));
+        assert!(inj.drops_report(3, 0));
+        assert!(!inj.drops_report(3, 1));
+        assert_eq!(inj.report_delay(0), Some(Duration::from_millis(7)));
+        assert!(inj.corrupts(4));
+        assert!(!inj.corrupts(1));
+    }
+
+    #[test]
+    fn permanent_panic_uses_max_times() {
+        let inj = FaultInjector::new(
+            0,
+            FaultPlan::new().with(Fault::Panic {
+                node: 0,
+                times: u32::MAX,
+            }),
+        );
+        assert!(inj.panics(0, 0));
+        assert!(inj.panics(0, 1_000_000));
+    }
+}

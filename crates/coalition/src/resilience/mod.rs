@@ -1,0 +1,43 @@
+//! Resilience primitives for the coalition fabric: deterministic fault
+//! injection, retry/backoff policies, and the shared run-budget types.
+//!
+//! The paper's coalition setting (§III-A-3, §IV-A) expects parties to keep
+//! managing policies under partial failure — a party crashing, a slow
+//! link, a corrupted shared-repository write. This module makes those
+//! failure modes *first-class and reproducible*: a [`FaultPlan`] names the
+//! faults, a [`FaultInjector`] applies them deterministically from a seed,
+//! and [`RetryPolicy`]/[`Backoff`] govern how the fabric recovers. See
+//! `docs/RESILIENCE.md` for the full fault model.
+
+mod backoff;
+mod faults;
+
+pub use agenp_asp::{Deadline, Exhausted, RunBudget};
+pub use backoff::{Backoff, RetryPolicy};
+pub use faults::{Fault, FaultInjector, FaultPlan};
+
+/// Renders a panic payload (as returned by `catch_unwind` or
+/// `JoinHandle::join`) into a displayable reason string.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_messages_are_extracted() {
+        let caught = std::panic::catch_unwind(|| panic!("boom")).expect_err("closure must panic");
+        assert_eq!(panic_message(caught.as_ref()), "boom");
+        let caught = std::panic::catch_unwind(|| panic!("{} {}", "formatted", 42))
+            .expect_err("closure must panic");
+        assert_eq!(panic_message(caught.as_ref()), "formatted 42");
+    }
+}

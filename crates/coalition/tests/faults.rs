@@ -1,0 +1,221 @@
+//! Fault-injection suite for the supervised coalition fabric: deterministic
+//! degradation under injected crashes, lost reports, slow parties,
+//! corrupted contributions, and expired deadlines. Run directly with
+//! `cargo test -p agenp-coalition --test faults`.
+
+use agenp_asp::Deadline;
+use agenp_coalition::federated::{self, ModelOffer};
+use agenp_coalition::resilience::{Fault, FaultInjector, FaultPlan};
+use agenp_coalition::{
+    supervised_cav_learning, CasWiki, CoalitionConfig, CoalitionError, CoalitionOutcome,
+    NodeOutcome,
+};
+use agenp_core::scenarios::cav;
+use std::time::Duration;
+
+const N_NODES: usize = 5;
+const SAMPLES: usize = 40;
+
+/// The acceptance fault plan: party 1 crashes permanently, party 2 loses
+/// its first report (recovers on retry), party 3 is slow.
+fn acceptance_plan() -> FaultPlan {
+    FaultPlan::new()
+        .with(Fault::Panic {
+            node: 1,
+            times: u32::MAX,
+        })
+        .with(Fault::DropReport { node: 2, times: 1 })
+        .with(Fault::Slow {
+            node: 3,
+            delay: Duration::from_millis(20),
+        })
+}
+
+/// An exactly-comparable summary of an outcome: per node, the name,
+/// whether it succeeded, retries used, and the report numbers (accuracy
+/// captured as raw bits so equality is bit-exact).
+#[allow(clippy::type_complexity)]
+fn summarize(outcome: &CoalitionOutcome) -> Vec<(String, bool, u32, Option<(usize, usize, u64)>)> {
+    outcome
+        .nodes
+        .iter()
+        .map(|o| {
+            (
+                o.name().to_owned(),
+                o.is_ok(),
+                o.retries(),
+                o.report()
+                    .map(|r| (r.local_examples, r.learned_rules, r.accuracy.to_bits())),
+            )
+        })
+        .collect()
+}
+
+fn run(seed: u64) -> (CoalitionOutcome, CasWiki) {
+    let wiki = CasWiki::new();
+    let cfg = CoalitionConfig::new(N_NODES, SAMPLES, seed).quorum(4);
+    let injector = FaultInjector::new(seed, acceptance_plan());
+    let outcome = supervised_cav_learning(&cfg, &wiki, &injector)
+        .expect("4 of 5 parties succeed, meeting the quorum");
+    (outcome, wiki)
+}
+
+#[test]
+fn faulty_coalition_degrades_gracefully_and_deterministically() {
+    for seed in [7u64, 11, 13] {
+        let (outcome, wiki) = run(seed);
+
+        // Degraded but successful: the crashed party is reported, everyone
+        // else delivered.
+        assert!(outcome.degraded, "seed {seed}: one party is down");
+        assert_eq!(outcome.successes(), 4, "seed {seed}");
+        assert_eq!(outcome.reports().len(), 4, "seed {seed}");
+        assert_eq!(outcome.quorum, 4);
+
+        // Party 1 failed with the injected crash recorded.
+        match &outcome.nodes[1] {
+            NodeOutcome::Failed { name, reason } => {
+                assert_eq!(name, "party-1");
+                assert!(reason.contains("attempt"), "seed {seed}: reason {reason:?}");
+            }
+            other => panic!("seed {seed}: party-1 should fail, got {other:?}"),
+        }
+
+        // Party 2's dropped report cost exactly one retry, and the retry is
+        // recorded in the outcome.
+        assert_eq!(outcome.nodes[2].retries(), 1, "seed {seed}");
+        assert_eq!(outcome.total_retries(), 1, "seed {seed}");
+
+        // The slow party still delivers a real model.
+        for r in outcome.reports() {
+            assert!(r.learned_rules > 0, "seed {seed}: {}", r.name);
+            assert!(r.accuracy > 0.8, "seed {seed}: {} {}", r.name, r.accuracy);
+        }
+
+        // Each successful party contributed exactly one batch — the
+        // retried party did not double-contribute.
+        assert_eq!(wiki.len(), 4 * SAMPLES, "seed {seed}");
+
+        // A second identical run reproduces the outcome bit-for-bit.
+        let (again, wiki_again) = run(seed);
+        assert_eq!(summarize(&outcome), summarize(&again), "seed {seed}");
+        assert_eq!(wiki.len(), wiki_again.len(), "seed {seed}");
+    }
+}
+
+#[test]
+fn quorum_not_met_is_a_typed_error_with_diagnostics() {
+    let wiki = CasWiki::new();
+    // Quorum of 5 cannot be met with party 1 permanently down.
+    let cfg = CoalitionConfig::new(N_NODES, SAMPLES, 7).quorum(5);
+    let injector = FaultInjector::new(7, acceptance_plan());
+    let err = supervised_cav_learning(&cfg, &wiki, &injector)
+        .expect_err("a permanently crashed party cannot meet a full quorum");
+    let CoalitionError::QuorumNotMet {
+        successes,
+        quorum,
+        nodes,
+    } = err;
+    assert_eq!(successes, 4);
+    assert_eq!(quorum, 5);
+    assert_eq!(nodes.len(), 5);
+    assert!(!nodes[1].is_ok());
+}
+
+#[test]
+fn corrupted_contributions_flip_validity_labels() {
+    let wiki = CasWiki::new();
+    let cfg = CoalitionConfig::new(2, 25, 3);
+    let injector = FaultInjector::new(
+        3,
+        FaultPlan::new().with(Fault::CorruptContribution { node: 0 }),
+    );
+    let outcome =
+        supervised_cav_learning(&cfg, &wiki, &injector).expect("corruption is silent, both run");
+    assert!(!outcome.degraded);
+
+    // Party 0's stored labels are the inverse of its true sample labels;
+    // party 1's are untouched.
+    let truth0 = cav::samples(25, 3);
+    let stored0 = wiki.retrieve(|c| c == "party-0");
+    assert_eq!(stored0.len(), truth0.len());
+    for (c, s) in stored0.iter().zip(&truth0) {
+        assert_eq!(c.valid, !s.accept, "party-0 labels must be flipped");
+    }
+    let truth1 = cav::samples(25, 3u64.wrapping_add(101));
+    let stored1 = wiki.retrieve(|c| c == "party-1");
+    assert_eq!(stored1.len(), truth1.len());
+    for (c, s) in stored1.iter().zip(&truth1) {
+        assert_eq!(c.valid, s.accept, "party-1 labels must be intact");
+    }
+}
+
+#[test]
+fn expired_deadline_fails_fast_without_panicking() {
+    let wiki = CasWiki::new();
+    let expired = Deadline::after(Duration::ZERO);
+
+    // Quorum 0: the run "succeeds" with zero successes — fully degraded.
+    let cfg = CoalitionConfig::new(3, 30, 5).quorum(0).deadline(expired);
+    let outcome = supervised_cav_learning(&cfg, &wiki, &FaultInjector::none())
+        .expect("quorum 0 is always met");
+    assert!(outcome.degraded);
+    assert_eq!(outcome.successes(), 0);
+    for node in &outcome.nodes {
+        match node {
+            NodeOutcome::Failed { reason, .. } => {
+                assert!(reason.contains("deadline"), "reason {reason:?}");
+            }
+            other => panic!("expected deadline failure, got {other:?}"),
+        }
+    }
+    assert!(wiki.is_empty(), "no party got far enough to contribute");
+
+    // Any positive quorum turns it into a typed error.
+    let cfg = CoalitionConfig::new(3, 30, 5).quorum(1).deadline(expired);
+    let err = supervised_cav_learning(&cfg, &wiki, &FaultInjector::none())
+        .expect_err("nobody can beat an already-expired deadline");
+    let CoalitionError::QuorumNotMet { successes, .. } = err;
+    assert_eq!(successes, 0);
+}
+
+#[test]
+fn unknown_governance_action_is_an_error_not_a_panic() {
+    let offer = ModelOffer {
+        src_trust: 3,
+        remote_acc: 90,
+        local_acc: 70,
+        staleness: 0,
+    };
+    assert_eq!(
+        federated::try_valid(offer, "teleport"),
+        Err(federated::GovernanceError::UnknownAction(
+            "teleport".to_owned()
+        ))
+    );
+    // The infallible wrapper denies by default.
+    assert!(!federated::valid(offer, "teleport"));
+    assert!(federated::valid(offer, "adopt"));
+}
+
+#[test]
+fn faulty_federation_is_deterministic_and_faultless_matches_baseline() {
+    let gpm = federated::grammar(); // unconstrained GPM: adopt-everything
+    let baseline = federated::simulate_federation(&gpm, 40, 9);
+    let clean = federated::simulate_federation_with_faults(&gpm, 40, 9, &FaultInjector::none());
+    assert_eq!(baseline.governed_final_acc, clean.governed_final_acc);
+    assert_eq!(baseline.ungoverned_final_acc, clean.ungoverned_final_acc);
+    assert_eq!(baseline.governed_adoptions, clean.governed_adoptions);
+
+    // Corrupting a few rounds' accuracy claims yields a different but
+    // still deterministic trajectory.
+    let plan = FaultPlan::new()
+        .with(Fault::CorruptContribution { node: 2 })
+        .with(Fault::CorruptContribution { node: 5 });
+    let injector = FaultInjector::new(9, plan);
+    let faulty = federated::simulate_federation_with_faults(&gpm, 40, 9, &injector);
+    let again = federated::simulate_federation_with_faults(&gpm, 40, 9, &injector);
+    assert_eq!(faulty.governed_final_acc, again.governed_final_acc);
+    assert_eq!(faulty.ungoverned_final_acc, again.ungoverned_final_acc);
+    assert_eq!(faulty.governed_adoptions, again.governed_adoptions);
+}

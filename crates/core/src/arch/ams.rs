@@ -7,9 +7,9 @@ use crate::arch::padap::{Adaptation, Feedback, Padap};
 use crate::arch::pcp::{Pcp, Verdict};
 use crate::arch::prep::{CanonicalTranslator, PolicyTranslator, Prep};
 use crate::arch::repr::RepresentationsRepository;
-use agenp_asp::Program;
+use agenp_asp::{Exhausted, Program, RunBudget};
 use agenp_grammar::{Asg, AsgError};
-use agenp_learn::{HypothesisSpace, LearnError};
+use agenp_learn::{HypothesisSpace, LearnError, LearnOptions, Learner};
 use agenp_policy::{
     CombiningAlg, Decision, Enforcement, Pdp, Pep, PolicyRepository, QualityReport, Request,
 };
@@ -29,6 +29,24 @@ impl fmt::Display for AmsError {
         match self {
             AmsError::Generation(e) => write!(f, "policy generation failed: {e}"),
             AmsError::Learning(e) => write!(f, "policy adaptation failed: {e}"),
+        }
+    }
+}
+
+impl AmsError {
+    /// The resource-exhaustion kind behind this error, if any. Lets callers
+    /// distinguish recoverable budget/deadline overruns (degrade, retry
+    /// later) from structural failures (bad grammar, unsatisfiable
+    /// feedback).
+    pub fn exhaustion(&self) -> Option<Exhausted> {
+        match self {
+            AmsError::Generation(AsgError::Exhausted(kind)) => Some(*kind),
+            AmsError::Generation(AsgError::Ground(g)) => g.exhausted(),
+            AmsError::Generation(AsgError::BadProduction(_)) => None,
+            AmsError::Learning(LearnError::Exhausted(kind)) => Some(*kind),
+            AmsError::Learning(LearnError::Budget) => Some(Exhausted::Nodes),
+            AmsError::Learning(LearnError::Ground(g)) => g.exhausted(),
+            AmsError::Learning(_) => None,
         }
     }
 }
@@ -69,6 +87,7 @@ pub struct Ams {
     context: Program,
     feedback: Vec<Feedback>,
     goals: GoalMonitor,
+    budget: RunBudget,
 }
 
 impl Ams {
@@ -93,7 +112,27 @@ impl Ams {
             context: Program::new(),
             feedback: Vec::new(),
             goals: GoalMonitor::new(Vec::new(), 32),
+            budget: RunBudget::default(),
         }
+    }
+
+    /// Applies a [`RunBudget`] to every long-running call the AMS makes:
+    /// policy generation (grounding + solving per candidate tree),
+    /// membership checks, and adaptation (the learner's node budget and
+    /// deadline).
+    pub fn set_run_budget(&mut self, budget: RunBudget) {
+        self.budget = budget;
+        self.prep.budget = budget;
+        self.padap.set_learner(Learner::with_options(LearnOptions {
+            deadline: budget.deadline,
+            max_nodes: budget.max_nodes,
+            ..LearnOptions::default()
+        }));
+    }
+
+    /// The currently configured run budget.
+    pub fn run_budget(&self) -> &RunBudget {
+        &self.budget
     }
 
     /// Installs the PBMS-provided goal policies (paper policy type (ii)),
@@ -261,7 +300,25 @@ impl Ams {
     ///
     /// [`AmsError::Generation`] on grounding failures.
     pub fn admits(&self, policy: &str) -> Result<bool, AmsError> {
-        Ok(self.gpm.with_context(&self.context).accepts(policy)?)
+        Ok(self
+            .gpm
+            .with_context(&self.context)
+            .accepts_within(policy, &self.budget)?)
+    }
+
+    /// Degradation-aware decision path: refreshes policies and decides, but
+    /// when regeneration fails — e.g. a budget or deadline overrun — falls
+    /// back to a deny-by-default decision over the *last good* repository
+    /// instead of propagating the error. The error (if any) is returned
+    /// alongside so callers can log or retry.
+    pub fn decide_resilient(&mut self, request: &Request) -> (Decision, Option<AmsError>) {
+        match self.refresh_policies() {
+            Ok(_) => (self.decide(request), None),
+            Err(e) => (
+                self.pdp.decide_degraded(&self.policy_repo, request),
+                Some(e),
+            ),
+        }
     }
 }
 
@@ -324,6 +381,56 @@ mod tests {
         assert_eq!(e, Enforcement::Blocked);
         // Version history: initial + adapted.
         assert_eq!(ams.representations().len(), 2);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_recoverable_and_denies_by_default() {
+        let (g, space) = gate();
+        let mut ams = Ams::new("gamma", g, space);
+        // An absurdly small atom budget: generation must fail with a typed
+        // exhaustion error, never a panic.
+        ams.set_run_budget(RunBudget::default().with_max_atoms(1));
+        let err = ams.refresh_policies().unwrap_err();
+        assert_eq!(err.exhaustion(), Some(Exhausted::Atoms));
+        // The resilient path degrades to deny-by-default.
+        let req = Request::new().subject("clearance", "high");
+        let (d, e) = ams.decide_resilient(&req);
+        assert_eq!(d, Decision::Deny);
+        assert!(e.is_some());
+        assert_eq!(Pep::default().enforce(d), Enforcement::Blocked);
+        // Restoring a sane budget recovers fully.
+        ams.set_run_budget(RunBudget::default());
+        assert_eq!(ams.refresh_policies().unwrap().len(), 4);
+        let (d2, e2) = ams.decide_resilient(&req);
+        assert_eq!(d2, Decision::Deny); // permit+deny under deny-overrides
+        assert!(e2.is_none());
+    }
+
+    #[test]
+    fn solver_step_exhaustion_propagates_through_admits() {
+        // A non-stratified annotation forces the DPLL search path, where a
+        // zero step budget fires immediately.
+        let g: Asg = r#"
+            policy -> "allow" { p :- not q. q :- not p. }
+        "#
+        .parse()
+        .unwrap();
+        let mut ams = Ams::new("delta", g, HypothesisSpace::new());
+        assert!(ams.admits("allow").unwrap());
+        ams.set_run_budget(RunBudget::default().with_max_steps(0));
+        let err = ams.admits("allow").unwrap_err();
+        assert_eq!(err.exhaustion(), Some(Exhausted::Steps));
+    }
+
+    #[test]
+    fn degraded_decisions_are_recorded_in_history() {
+        let (g, space) = gate();
+        let mut ams = Ams::new("epsilon", g, space);
+        ams.set_run_budget(RunBudget::default().with_max_atoms(1));
+        let req = Request::new().subject("clearance", "low");
+        let (d, err) = ams.decide_resilient(&req);
+        assert_eq!(d, Decision::Deny);
+        assert!(err.unwrap().exhaustion().is_some());
     }
 
     #[test]

@@ -91,6 +91,12 @@ impl Padap {
         }
     }
 
+    /// Replaces the learner (e.g. to apply a run budget's deadline and
+    /// node bounds), keeping the incremental setting.
+    pub fn set_learner(&mut self, learner: Learner) {
+        self.learner = learner;
+    }
+
     /// Re-learns the GPM from scratch: the *initial* grammar plus all
     /// accumulated feedback. Learning always restarts from the initial
     /// grammar so constraints never stack across rounds.

@@ -3,7 +3,7 @@
 //! i.e. an ASG) and the current context, and *generates* the concrete
 //! policies the AMS will operate with.
 
-use agenp_asp::Program;
+use agenp_asp::{Program, RunBudget};
 use agenp_grammar::{Asg, AsgError, GenOptions};
 use agenp_policy::{rule_from_text, CombiningAlg, Policy, PolicyRule};
 use std::fmt;
@@ -65,6 +65,9 @@ impl PolicyTranslator for FnTranslator {
 pub struct Prep {
     /// Generation bounds used when enumerating the GPM's language.
     pub gen_options: GenOptions,
+    /// Resource budget (atoms, steps, deadline) applied to every
+    /// generation run.
+    pub budget: RunBudget,
 }
 
 impl Default for Prep {
@@ -74,6 +77,7 @@ impl Default for Prep {
                 max_depth: 10,
                 max_trees: 20_000,
             },
+            budget: RunBudget::default(),
         }
     }
 }
@@ -89,9 +93,11 @@ impl Prep {
     ///
     /// # Errors
     ///
-    /// Propagates grounding failures from annotation programs.
+    /// Propagates grounding failures from annotation programs, and
+    /// [`AsgError::Exhausted`] when the configured budget runs out.
     pub fn generate(&self, gpm: &Asg, context: &Program) -> Result<Vec<String>, AsgError> {
-        gpm.with_context(context).language(self.gen_options)
+        gpm.with_context(context)
+            .language_within(self.gen_options, &self.budget)
     }
 
     /// Generates and translates policies into one enforceable [`Policy`].

@@ -14,7 +14,10 @@ use crate::cfg::{Cfg, ProdId};
 use crate::earley::{EarleyParser, ParseOptions};
 use crate::gen::{GenOptions, Generator};
 use crate::tree::{ParseTree, TreeChild};
-use agenp_asp::{ground, CostVector, GroundError, Program, Rule, Solver, Symbol};
+use agenp_asp::{
+    ground, ground_with, CostVector, Exhausted, GroundError, GroundOptions, Program, Rule,
+    RunBudget, Solver, Symbol,
+};
 use std::fmt;
 
 /// An answer set grammar: a [`Cfg`] plus one annotated ASP [`Program`] per
@@ -32,6 +35,9 @@ pub enum AsgError {
     Ground(GroundError),
     /// A production id was out of range.
     BadProduction(usize),
+    /// A budgeted membership/enumeration call ran out of a
+    /// [`RunBudget`] resource.
+    Exhausted(Exhausted),
 }
 
 impl fmt::Display for AsgError {
@@ -39,6 +45,7 @@ impl fmt::Display for AsgError {
         match self {
             AsgError::Ground(e) => write!(f, "grounding failed: {e}"),
             AsgError::BadProduction(i) => write!(f, "no production with id {i}"),
+            AsgError::Exhausted(kind) => write!(f, "grammar evaluation aborted: {kind}"),
         }
     }
 }
@@ -145,6 +152,44 @@ impl Asg {
         Ok(Solver::new().max_models(1).solve(&g).satisfiable())
     }
 
+    /// Like [`Asg::tree_admitted`], but bounded by a [`RunBudget`]: the
+    /// grounder honours the budget's atom cap and deadline, the solver its
+    /// step cap and deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`AsgError::Exhausted`] when a budget resource runs out;
+    /// [`AsgError::Ground`] for non-budget grounding failures.
+    pub fn tree_admitted_within(
+        &self,
+        tree: &ParseTree,
+        budget: &RunBudget,
+    ) -> Result<bool, AsgError> {
+        let program = self.tree_program(tree);
+        let g = ground_with(
+            &program,
+            GroundOptions {
+                max_atoms: budget.max_atoms,
+                deadline: budget.deadline,
+                ..GroundOptions::default()
+            },
+        )
+        .map_err(|e| match e.exhausted() {
+            Some(kind) => AsgError::Exhausted(kind),
+            None => AsgError::Ground(e),
+        })?;
+        let r = Solver::new().max_models(1).with_budget(budget).solve(&g);
+        if r.satisfiable() {
+            return Ok(true);
+        }
+        if !r.complete() {
+            return Err(AsgError::Exhausted(
+                r.exhausted().unwrap_or(Exhausted::Steps),
+            ));
+        }
+        Ok(false)
+    }
+
     /// Is the token sequence in `L(G)`? True iff at least one parse tree is
     /// admitted.
     ///
@@ -161,6 +206,29 @@ impl Asg {
         Ok(false)
     }
 
+    /// Budgeted variant of [`Asg::accepts_tokens`].
+    ///
+    /// # Errors
+    ///
+    /// [`AsgError::Exhausted`] when the budget runs out mid-check; other
+    /// failures as in [`Asg::accepts_tokens`].
+    pub fn accepts_tokens_within(
+        &self,
+        tokens: &[Symbol],
+        budget: &RunBudget,
+    ) -> Result<bool, AsgError> {
+        let parser = EarleyParser::new(&self.cfg);
+        for tree in parser.parse_with(tokens, ParseOptions::default()) {
+            if budget.deadline.expired() {
+                return Err(AsgError::Exhausted(Exhausted::Deadline));
+            }
+            if self.tree_admitted_within(&tree, budget)? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
     /// Is the whitespace-tokenized string in `L(G)`?
     ///
     /// # Errors
@@ -168,6 +236,15 @@ impl Asg {
     /// See [`Asg::accepts_tokens`].
     pub fn accepts(&self, text: &str) -> Result<bool, AsgError> {
         self.accepts_tokens(&Cfg::tokenize(text))
+    }
+
+    /// Budgeted variant of [`Asg::accepts`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Asg::accepts_tokens_within`].
+    pub fn accepts_within(&self, text: &str, budget: &RunBudget) -> Result<bool, AsgError> {
+        self.accepts_tokens_within(&Cfg::tokenize(text), budget)
     }
 
     /// Enumerates the admitted parse trees of the grammar up to generation
@@ -187,6 +264,32 @@ impl Asg {
         Ok(out)
     }
 
+    /// Budgeted variant of [`Asg::admitted_trees`]: every per-tree
+    /// admission check runs under `budget`, and the enumeration itself
+    /// stops with [`AsgError::Exhausted`] once the deadline passes.
+    ///
+    /// # Errors
+    ///
+    /// [`AsgError::Exhausted`] when the budget runs out; grounding failures
+    /// otherwise.
+    pub fn admitted_trees_within(
+        &self,
+        opts: GenOptions,
+        budget: &RunBudget,
+    ) -> Result<Vec<ParseTree>, AsgError> {
+        let gen = Generator::new(&self.cfg);
+        let mut out = Vec::new();
+        for tree in gen.trees(opts) {
+            if budget.deadline.expired() {
+                return Err(AsgError::Exhausted(Exhausted::Deadline));
+            }
+            if self.tree_admitted_within(&tree, budget)? {
+                out.push(tree);
+            }
+        }
+        Ok(out)
+    }
+
     /// Enumerates the admitted strings (deduplicated, sorted).
     ///
     /// # Errors
@@ -195,6 +298,26 @@ impl Asg {
     pub fn language(&self, opts: GenOptions) -> Result<Vec<String>, AsgError> {
         let mut out: Vec<String> = self
             .admitted_trees(opts)?
+            .iter()
+            .map(ParseTree::text)
+            .collect();
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Budgeted variant of [`Asg::language`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Asg::admitted_trees_within`].
+    pub fn language_within(
+        &self,
+        opts: GenOptions,
+        budget: &RunBudget,
+    ) -> Result<Vec<String>, AsgError> {
+        let mut out: Vec<String> = self
+            .admitted_trees_within(opts, budget)?
             .iter()
             .map(ParseTree::text)
             .collect();
@@ -469,6 +592,43 @@ mod tests {
             .pop()
             .unwrap();
         assert!(g2.tree_cost(&tree).unwrap().is_none());
+    }
+
+    #[test]
+    fn budgeted_membership_matches_unbudgeted() {
+        let g = anbncn();
+        let budget = RunBudget::default();
+        assert!(g.accepts_within("a b c", &budget).unwrap());
+        assert!(!g.accepts_within("a b b c", &budget).unwrap());
+        let opts = GenOptions {
+            max_depth: 4,
+            max_trees: 10_000,
+        };
+        assert_eq!(
+            g.language(opts).unwrap(),
+            g.language_within(opts, &budget).unwrap()
+        );
+    }
+
+    #[test]
+    fn tight_atom_budget_surfaces_as_exhausted() {
+        let g = anbncn();
+        let budget = RunBudget::default().with_max_atoms(1);
+        match g.accepts_within("a b c", &budget) {
+            Err(AsgError::Exhausted(Exhausted::Atoms)) => {}
+            other => panic!("expected Exhausted(Atoms), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_surfaces_as_exhausted() {
+        let g = anbncn();
+        let budget = RunBudget::default()
+            .with_deadline(agenp_asp::Deadline::after(std::time::Duration::ZERO));
+        match g.accepts_within("a b c", &budget) {
+            Err(AsgError::Exhausted(Exhausted::Deadline)) => {}
+            other => panic!("expected Exhausted(Deadline), got {other:?}"),
+        }
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use crate::compile::{compile_example, CompileOptions, CompiledExample};
 use crate::example::Example;
 use crate::space::{Candidate, HypothesisSpace};
-use agenp_asp::{ground, GroundError, Program, Rule, Solver};
+use agenp_asp::{ground, Deadline, Exhausted, GroundError, Program, Rule, Solver};
 use agenp_grammar::{Asg, ProdId};
 use std::collections::HashMap;
 use std::fmt;
@@ -150,6 +150,9 @@ pub enum LearnError {
     Unsatisfiable,
     /// The search budget was exhausted before an optimal solution was proven.
     Budget,
+    /// A [`RunBudget`](agenp_asp::RunBudget) resource (currently the
+    /// wall-clock deadline) ran out before any solution was found.
+    Exhausted(Exhausted),
     /// The meta-encoding backend does not apply to this task.
     MetaInapplicable(String),
 }
@@ -162,6 +165,7 @@ impl fmt::Display for LearnError {
             LearnError::Ground(e) => write!(f, "grounding failed: {e}"),
             LearnError::Unsatisfiable => write!(f, "no hypothesis satisfies the examples"),
             LearnError::Budget => write!(f, "search budget exhausted"),
+            LearnError::Exhausted(kind) => write!(f, "resource exhausted: {kind}"),
             LearnError::MetaInapplicable(why) => {
                 write!(f, "meta-encoding learner not applicable: {why}")
             }
@@ -220,6 +224,8 @@ pub struct LearnOptions {
     pub max_nodes: u64,
     /// Branch-ordering heuristic (monotone path).
     pub branching: Branching,
+    /// Wall-clock deadline for the hypothesis search (default: none).
+    pub deadline: Deadline,
 }
 
 impl Default for LearnOptions {
@@ -230,6 +236,7 @@ impl Default for LearnOptions {
             force_generic: false,
             max_nodes: 2_000_000,
             branching: Branching::Guided,
+            deadline: Deadline::none(),
         }
     }
 }
@@ -416,6 +423,8 @@ impl Learner {
             max_cost: self.options.max_cost,
             nodes: 0,
             max_nodes: self.options.max_nodes,
+            deadline: self.options.deadline,
+            interrupted: false,
         };
         let state = MonoState {
             chosen: Vec::new(),
@@ -430,8 +439,13 @@ impl Learner {
         };
         search.dfs(state);
         *nodes_out = search.nodes;
-        if search.nodes >= search.max_nodes && search.best.is_none() {
-            return Err(LearnError::Budget);
+        if search.best.is_none() {
+            if search.interrupted {
+                return Err(LearnError::Exhausted(Exhausted::Deadline));
+            }
+            if search.nodes >= search.max_nodes {
+                return Err(LearnError::Budget);
+            }
         }
         // NOTE: if the node budget ran out after a solution was found, the
         // solution is returned even though minimality is no longer proven.
@@ -469,6 +483,7 @@ impl Learner {
             .sum::<u64>()
             .min(self.options.max_cost);
         let mut best: Option<BestSolution> = None;
+        let mut deadline_hit = false;
         for budget in 0..=max_rule_cost {
             if best.as_ref().is_some_and(|(c, _, _)| *c <= budget) {
                 break;
@@ -483,8 +498,25 @@ impl Learner {
                 &mut chosen,
                 &mut cache,
                 &mut nodes,
+                &mut deadline_hit,
                 &mut best,
             )?;
+            if deadline_hit {
+                *nodes_out = nodes;
+                return best
+                    .map(|(cost, chosen, sacrificed)| Hypothesis {
+                        rules: chosen
+                            .iter()
+                            .map(|&ci| {
+                                let c = &candidates[ci as usize];
+                                (c.target, c.rule.clone())
+                            })
+                            .collect(),
+                        cost,
+                        sacrificed,
+                    })
+                    .ok_or(LearnError::Exhausted(Exhausted::Deadline));
+            }
             if nodes >= self.options.max_nodes {
                 *nodes_out = nodes;
                 return best
@@ -528,10 +560,15 @@ impl Learner {
         chosen: &mut Vec<u32>,
         cache: &mut HashMap<(usize, usize, Vec<u32>), bool>,
         nodes: &mut u64,
+        deadline_hit: &mut bool,
         best: &mut Option<BestSolution>,
     ) -> Result<(), LearnError> {
         *nodes += 1;
-        if *nodes >= self.options.max_nodes {
+        if *deadline_hit || *nodes >= self.options.max_nodes {
+            return Ok(());
+        }
+        if self.options.deadline.expired() {
+            *deadline_hit = true;
             return Ok(());
         }
         // Evaluate the current subset exactly at its own cost level.
@@ -559,6 +596,7 @@ impl Learner {
                 chosen,
                 cache,
                 nodes,
+                deadline_hit,
                 best,
             )?;
             chosen.pop();
@@ -572,6 +610,7 @@ impl Learner {
             chosen,
             cache,
             nodes,
+            deadline_hit,
             best,
         )
     }
@@ -682,6 +721,8 @@ struct MonotoneSearch<'a> {
     max_cost: u64,
     nodes: u64,
     max_nodes: u64,
+    deadline: Deadline,
+    interrupted: bool,
 }
 
 #[derive(Clone)]
@@ -698,8 +739,15 @@ struct MonoState {
 
 impl MonotoneSearch<'_> {
     fn dfs(&mut self, state: MonoState) {
+        if self.interrupted {
+            return;
+        }
         self.nodes += 1;
         if self.nodes >= self.max_nodes {
+            return;
+        }
+        if self.deadline.expired() {
+            self.interrupted = true;
             return;
         }
         if state.cost >= self.best.as_ref().map_or(self.max_cost + 1, |(c, _, _)| *c) {

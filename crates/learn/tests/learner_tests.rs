@@ -294,6 +294,39 @@ fn stats_report_the_search_shape() {
 }
 
 #[test]
+fn expired_deadline_aborts_monotone_learning() {
+    use agenp_asp::{Deadline, Exhausted};
+    let task = LearningTask::new(weather_grammar(), weather_space())
+        .pos(Example::in_context("allow", ctx("weather(clear).")))
+        .neg(Example::in_context("allow", ctx("weather(rain).")));
+    let learner = Learner::with_options(LearnOptions {
+        deadline: Deadline::after(std::time::Duration::ZERO),
+        ..Default::default()
+    });
+    match learner.learn(&task) {
+        Err(LearnError::Exhausted(Exhausted::Deadline)) => {}
+        other => panic!("expected Exhausted(Deadline), got {other:?}"),
+    }
+}
+
+#[test]
+fn expired_deadline_aborts_generic_learning() {
+    use agenp_asp::{Deadline, Exhausted};
+    let task = LearningTask::new(weather_grammar(), weather_space())
+        .pos(Example::in_context("allow", ctx("weather(clear).")))
+        .neg(Example::in_context("allow", ctx("weather(rain).")));
+    let learner = Learner::with_options(LearnOptions {
+        force_generic: true,
+        deadline: Deadline::after(std::time::Duration::ZERO),
+        ..Default::default()
+    });
+    match learner.learn(&task) {
+        Err(LearnError::Exhausted(Exhausted::Deadline)) => {}
+        other => panic!("expected Exhausted(Deadline), got {other:?}"),
+    }
+}
+
+#[test]
 fn world_cap_falls_back_to_generic_path() {
     use agenp_learn::{CompileOptions, LearnOptions};
     // The base program for `allow` has 4 answer sets (two free choices);

@@ -113,6 +113,21 @@ impl Pdp {
         decision
     }
 
+    /// Degraded-mode decision: renders an unconditional [`Decision::Deny`]
+    /// and records it against the current repository version. Used when the
+    /// policy pipeline upstream of the PDP failed (budget exhaustion, a
+    /// deadline overrun) and a fail-safe answer is needed without
+    /// evaluating possibly-stale policies as if they were fresh.
+    pub fn decide_degraded(&mut self, repo: &PolicyRepository, request: &Request) -> Decision {
+        let decision = Decision::Deny;
+        self.history.push(DecisionRecord {
+            request: request.clone(),
+            decision,
+            policy_version: repo.version(),
+        });
+        decision
+    }
+
     /// Evaluates without recording (pure query).
     pub fn peek(&self, repo: &PolicyRepository, request: &Request) -> Decision {
         self.combining
@@ -219,6 +234,18 @@ mod tests {
         let drained = pdp.take_history();
         assert_eq!(drained.len(), 2);
         assert!(pdp.history().is_empty());
+    }
+
+    #[test]
+    fn degraded_decisions_deny_and_record() {
+        let repo = repo();
+        let mut pdp = Pdp::default();
+        // Even a request a Permit rule matches is denied in degraded mode.
+        let req = Request::new().subject("role", "dba");
+        assert_eq!(pdp.decide_degraded(&repo, &req), Decision::Deny);
+        assert_eq!(pdp.history().len(), 1);
+        assert_eq!(pdp.history()[0].decision, Decision::Deny);
+        assert_eq!(pdp.history()[0].policy_version, repo.version());
     }
 
     #[test]
