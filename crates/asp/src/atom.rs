@@ -148,6 +148,31 @@ impl Atom {
                 .all(|(p, v)| p.match_ground(v, bindings))
     }
 
+    /// Structural total order on *ground* atoms: predicate name
+    /// (lexicographic), then arity, then arguments via
+    /// [`Term::ground_cmp`], then trace. Agrees with equality (`Equal` iff
+    /// `==`) so it can back sorted-slice binary searches, and allocates
+    /// nothing — unlike comparing rendered text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either atom has non-ground arguments.
+    pub fn ground_cmp(&self, other: &Atom) -> std::cmp::Ordering {
+        self.pred
+            .cmp_by_name(other.pred)
+            .then_with(|| self.args.len().cmp(&other.args.len()))
+            .then_with(|| {
+                for (a, b) in self.args.iter().zip(&other.args) {
+                    match a.ground_cmp(b) {
+                        std::cmp::Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                std::cmp::Ordering::Equal
+            })
+            .then_with(|| self.trace.cmp(&other.trace))
+    }
+
     /// Re-annotates the atom for instantiation at parse-tree node `t`:
     /// the existing (local) trace is prefixed with `t`.
     pub fn instantiate_at(&self, t: &Trace) -> Atom {
@@ -333,6 +358,24 @@ mod tests {
         assert_eq!(l.to_string(), "not deny(bob)");
         let c = Literal::Cmp(CmpOp::Le, Term::var("X"), Term::Int(3));
         assert_eq!(c.to_string(), "X <= 3");
+    }
+
+    #[test]
+    fn ground_cmp_orders_structurally() {
+        use std::cmp::Ordering;
+        let p1 = Atom::new("p", vec![Term::Int(2)]);
+        let p2 = Atom::new("p", vec![Term::Int(10)]);
+        // Numeric order, not rendered-text order ("10" < "2" as strings).
+        assert_eq!(p1.ground_cmp(&p2), Ordering::Less);
+        let q = Atom::new("q", vec![Term::Int(0)]);
+        assert_eq!(p2.ground_cmp(&q), Ordering::Less);
+        assert_eq!(q.ground_cmp(&q.clone()), Ordering::Equal);
+        // Same atom with a trace annotation sorts after the plain one.
+        let traced = q.clone().with_trace(Trace::from_indices([1]));
+        assert_eq!(q.ground_cmp(&traced), Ordering::Less);
+        // Arity breaks predicate ties.
+        let p0 = Atom::prop("p");
+        assert_eq!(p0.ground_cmp(&p1), Ordering::Less);
     }
 
     #[test]

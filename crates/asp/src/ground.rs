@@ -6,10 +6,27 @@
 //! simplifies: positive literals on definite facts are removed, negative
 //! literals on underivable atoms are removed, and rules blocked by definite
 //! facts are dropped.
+//!
+//! # Semi-naive evaluation
+//!
+//! Saturation is *semi-naive* (delta-driven): each round only re-evaluates a
+//! rule through join orders that can consume at least one atom derived in the
+//! previous round. For a rule with joins `j0, …, jk` and the round's delta
+//! window `Δ`, the variant with delta position `d` reads pre-delta atoms at
+//! joins before `d`, exactly `Δ` at join `d`, and everything derived so far at
+//! joins after `d` — so every new combination of body atoms is enumerated
+//! exactly once over the whole run instead of once per pass. The classic
+//! naive fixpoint is retained as [`ground_naive_with`] as a reference
+//! implementation for differential testing and benchmarking.
+//!
+//! [`IncrementalGrounder`] additionally snapshots a saturated base program so
+//! that small rule deltas (e.g. candidate hypotheses during learning) can be
+//! grounded on top without re-deriving the base. See `docs/PERFORMANCE.md`
+//! for the algorithm write-up and the benchmark harness that tracks it.
 
 use crate::atom::{Atom, CmpOp, Literal, Trace};
 use crate::budget::{Deadline, Exhausted};
-use crate::program::{Program, Rule};
+use crate::program::{Program, Rule, WeakConstraint};
 use crate::symbol::Symbol;
 use crate::term::{Bindings, Term};
 use std::collections::{HashMap, HashSet};
@@ -278,36 +295,138 @@ impl Default for GroundOptions {
     }
 }
 
-/// One scheduled body element, in evaluation order.
-#[derive(Clone, Debug)]
-enum Step {
+/// Work counters reported by the grounder.
+///
+/// `rules_instantiated` is the primary cost metric: it counts every complete
+/// body instantiation reaching rule emission (before deduplication), which is
+/// what the semi-naive strategy reduces relative to naive saturation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct GroundStats {
+    /// Saturation passes: semi-naive rounds (including the seed pass) or
+    /// naive fixpoint sweeps.
+    pub passes: u64,
+    /// Complete ground-rule (and weak-constraint) instantiations emitted by
+    /// the join machinery, counted before deduplication.
+    pub rules_instantiated: u64,
+    /// Candidate atoms scanned across all join steps.
+    pub join_candidates: u64,
+}
+
+impl GroundStats {
+    /// Accumulates another run's counters into this one.
+    pub fn absorb(&mut self, other: GroundStats) {
+        self.passes += other.passes;
+        self.rules_instantiated += other.rules_instantiated;
+        self.join_candidates += other.join_candidates;
+    }
+}
+
+/// Dense ids for parse-tree traces, so join-index keys are `Copy` and a
+/// candidate lookup never clones a [`Trace`].
+type TraceId = u32;
+
+#[derive(Clone, Debug, Default)]
+struct TraceIds {
+    ids: HashMap<Trace, TraceId>,
+}
+
+impl TraceIds {
+    fn intern(&mut self, trace: &Trace) -> TraceId {
+        if let Some(&id) = self.ids.get(trace) {
+            return id;
+        }
+        let id = u32::try_from(self.ids.len()).expect("trace id overflow");
+        self.ids.insert(trace.clone(), id);
+        id
+    }
+}
+
+/// Join-index key: predicate, arity, interned trace. All `Copy`.
+type SigKey = (Symbol, usize, TraceId);
+
+fn sig_key(atom: &Atom, traces: &mut TraceIds) -> SigKey {
+    (atom.pred, atom.args.len(), traces.intern(&atom.trace))
+}
+
+/// One scheduled body element, in evaluation order. Borrows from the source
+/// program — scheduling clones no atoms or terms.
+#[derive(Debug)]
+enum Step<'p> {
     /// Join against derivable instances of this positive atom.
-    Join(Atom),
+    Join {
+        pattern: &'p Atom,
+        key: SigKey,
+        /// Variables first bound by this join (computed at schedule time);
+        /// removed from the bindings after each candidate to undo the match.
+        fresh: Vec<Symbol>,
+    },
     /// Evaluate a comparison whose variables are all bound.
-    Filter(CmpOp, Term, Term),
+    Filter(CmpOp, &'p Term, &'p Term),
     /// Bind `var` to the evaluation of `expr`.
-    Bind(Symbol, Term),
+    Bind(Symbol, &'p Term),
     /// Instantiate a negative literal (kept in the ground rule).
-    Naf(Atom),
+    Naf(&'p Atom),
 }
 
 /// A rule with its body scheduled for grounding.
-#[derive(Clone, Debug)]
-struct ScheduledRule {
-    head: Option<Atom>,
-    steps: Vec<Step>,
+#[derive(Debug)]
+struct ScheduledRule<'p> {
+    head: Option<&'p Atom>,
+    /// Join-index key of the head (fixed at schedule time: substitution
+    /// never changes predicate, arity, or trace).
+    head_key: Option<SigKey>,
+    steps: Vec<Step<'p>>,
+    /// Join-index key per join ordinal, for delta-variant skipping.
+    joins: Vec<SigKey>,
 }
 
-fn schedule(rule: &Rule) -> Result<ScheduledRule, GroundError> {
-    if let Some(v) = rule.unsafe_var() {
+fn schedule_rule<'p>(
+    rule: &'p Rule,
+    traces: &mut TraceIds,
+) -> Result<ScheduledRule<'p>, GroundError> {
+    if let Some(var) = rule.unsafe_var() {
         return Err(GroundError::UnsafeRule {
             rule: rule.to_string(),
-            var: v,
+            var,
         });
     }
-    let mut remaining: Vec<&Literal> = rule.body.iter().collect();
+    schedule_body(rule.head.as_ref(), &rule.body, traces, &|| rule.to_string())
+}
+
+fn schedule_weak<'p>(
+    weak: &'p WeakConstraint,
+    traces: &mut TraceIds,
+) -> Result<ScheduledRule<'p>, GroundError> {
+    if let Some(var) = weak.unsafe_var() {
+        return Err(GroundError::UnsafeRule {
+            rule: weak.to_string(),
+            var,
+        });
+    }
+    schedule_body(None, &weak.body, traces, &|| weak.to_string())
+}
+
+fn schedule_program<'p>(
+    program: &'p Program,
+    traces: &mut TraceIds,
+) -> Result<Vec<ScheduledRule<'p>>, GroundError> {
+    program
+        .rules()
+        .iter()
+        .map(|r| schedule_rule(r, traces))
+        .collect()
+}
+
+fn schedule_body<'p>(
+    head: Option<&'p Atom>,
+    body: &'p [Literal],
+    traces: &mut TraceIds,
+    render: &dyn Fn() -> String,
+) -> Result<ScheduledRule<'p>, GroundError> {
+    let mut remaining: Vec<&'p Literal> = body.iter().collect();
     let mut bound: HashSet<Symbol> = HashSet::new();
-    let mut steps = Vec::with_capacity(remaining.len());
+    let mut steps: Vec<Step<'p>> = Vec::with_capacity(remaining.len());
+    let mut joins: Vec<SigKey> = Vec::new();
     let all_bound = |t: &Term, bound: &HashSet<Symbol>| t.vars().iter().all(|v| bound.contains(v));
     while !remaining.is_empty() {
         // 1. A comparison with all variables bound is a pure filter.
@@ -318,7 +437,7 @@ fn schedule(rule: &Rule) -> Result<ScheduledRule, GroundError> {
             let Literal::Cmp(op, a, b) = remaining.remove(i) else {
                 unreachable!()
             };
-            steps.push(Step::Filter(*op, a.clone(), b.clone()));
+            steps.push(Step::Filter(*op, a, b));
             continue;
         }
         // 2. An `=` with exactly one unbound variable side is a binder.
@@ -337,11 +456,11 @@ fn schedule(rule: &Rule) -> Result<ScheduledRule, GroundError> {
             match (a, b) {
                 (Term::Var(v), rhs) if !bound.contains(v) => {
                     bound.insert(*v);
-                    steps.push(Step::Bind(*v, rhs.clone()));
+                    steps.push(Step::Bind(*v, rhs));
                 }
                 (lhs, Term::Var(v)) => {
                     bound.insert(*v);
-                    steps.push(Step::Bind(*v, lhs.clone()));
+                    steps.push(Step::Bind(*v, lhs));
                 }
                 _ => unreachable!(),
             }
@@ -367,8 +486,19 @@ fn schedule(rule: &Rule) -> Result<ScheduledRule, GroundError> {
             };
             let mut vs = Vec::new();
             a.collect_vars(&mut vs);
-            bound.extend(vs);
-            steps.push(Step::Join(a.clone()));
+            let mut fresh = Vec::new();
+            for v in vs {
+                if bound.insert(v) {
+                    fresh.push(v);
+                }
+            }
+            let key = sig_key(a, traces);
+            joins.push(key);
+            steps.push(Step::Join {
+                pattern: a,
+                key,
+                fresh,
+            });
             continue;
         }
         // 4. Negative literals once bound (safety guarantees this succeeds).
@@ -383,56 +513,619 @@ fn schedule(rule: &Rule) -> Result<ScheduledRule, GroundError> {
             let Literal::Neg(a) = remaining.remove(i) else {
                 unreachable!()
             };
-            steps.push(Step::Naf(a.clone()));
+            steps.push(Step::Naf(a));
             continue;
         }
         // Safety said this cannot happen.
-        let lit = remaining[0].clone();
+        let lit = remaining[0];
         let mut vs = Vec::new();
         lit.collect_vars(&mut vs);
         let var = vs
             .into_iter()
             .find(|v| !bound.contains(v))
             .unwrap_or(Symbol::new("_"));
-        return Err(GroundError::UnsafeRule {
-            rule: rule.to_string(),
-            var,
-        });
+        return Err(GroundError::UnsafeRule { rule: render(), var });
     }
+    let head_key = head.map(|h| sig_key(h, traces));
     Ok(ScheduledRule {
-        head: rule.head.clone(),
+        head,
+        head_key,
         steps,
+        joins,
     })
 }
 
-/// Join index over the current over-approximation, keyed by predicate
-/// signature + trace.
-#[derive(Default)]
-struct PossibleAtoms {
-    by_sig: HashMap<(Symbol, usize, Trace), Vec<AtomId>>,
-    set: HashSet<AtomId>,
+/// Per-signature slice of the join index, with the delta window of the
+/// current semi-naive round.
+///
+/// `ids[..frontier_start]` are *old* atoms (derived before the current
+/// round's delta), `ids[frontier_start..frontier_end]` are the *delta*, and
+/// atoms appended past `frontier_end` stay invisible until the next round.
+#[derive(Clone, Debug, Default)]
+struct SigEntry {
+    ids: Vec<AtomId>,
+    frontier_start: usize,
+    frontier_end: usize,
 }
 
-impl PossibleAtoms {
-    fn insert(&mut self, id: AtomId, atom: &Atom) -> bool {
-        if !self.set.insert(id) {
+/// Join index over the current over-approximation, keyed by `Copy`
+/// signature keys — candidate lookups clone nothing.
+#[derive(Clone, Debug, Default)]
+struct PossibleIndex {
+    by_sig: HashMap<SigKey, SigEntry>,
+    /// All derivable atoms (the heads emitted so far).
+    derivable: HashSet<AtomId>,
+}
+
+impl PossibleIndex {
+    fn insert(&mut self, id: AtomId, key: SigKey) -> bool {
+        if !self.derivable.insert(id) {
             return false;
         }
-        self.by_sig
-            .entry((atom.pred, atom.args.len(), atom.trace.clone()))
-            .or_default()
-            .push(id);
+        self.by_sig.entry(key).or_default().ids.push(id);
         true
     }
 
-    fn candidates(&self, pattern: &Atom) -> &[AtomId] {
+    /// Rotates every delta window forward: the previous delta becomes old,
+    /// atoms appended since become the new delta. Returns true if any
+    /// signature gained atoms (i.e. another round is needed).
+    fn advance(&mut self) -> bool {
+        let mut any = false;
+        for e in self.by_sig.values_mut() {
+            e.frontier_start = e.frontier_end;
+            e.frontier_end = e.ids.len();
+            if e.frontier_end > e.frontier_start {
+                any = true;
+            }
+        }
+        any
+    }
+
+    fn has_delta(&self, key: SigKey) -> bool {
         self.by_sig
-            .get(&(pattern.pred, pattern.args.len(), pattern.trace.clone()))
-            .map_or(&[], Vec::as_slice)
+            .get(&key)
+            .is_some_and(|e| e.frontier_end > e.frontier_start)
     }
 }
 
-/// Grounds `program` with default options.
+/// Which window each join of a rule variant reads.
+#[derive(Clone, Copy, Debug)]
+enum JoinPlan {
+    /// Every join reads the full visible window (seed pass / naive sweep).
+    Full,
+    /// Semi-naive variant: the join at this ordinal reads the delta window,
+    /// earlier joins read pre-delta atoms, later joins read everything
+    /// visible.
+    Delta(usize),
+}
+
+fn plan_range(entry: &SigEntry, join_idx: usize, plan: JoinPlan, naive: bool) -> (usize, usize) {
+    if naive {
+        // Naive sweeps see every atom immediately, including ones derived
+        // earlier in the same pass (matching the retained reference
+        // semantics).
+        return (0, entry.ids.len());
+    }
+    match plan {
+        JoinPlan::Full => (0, entry.frontier_end),
+        JoinPlan::Delta(d) => {
+            if join_idx < d {
+                (0, entry.frontier_start)
+            } else if join_idx == d {
+                (entry.frontier_start, entry.frontier_end)
+            } else {
+                (0, entry.frontier_end)
+            }
+        }
+    }
+}
+
+/// The grounding engine: interned atoms, the join index, emitted rules, and
+/// work counters. Cloneable so [`IncrementalGrounder`] can snapshot a
+/// saturated base.
+#[derive(Clone, Debug)]
+struct Engine {
+    table: AtomTable,
+    traces: TraceIds,
+    possible: PossibleIndex,
+    seen_rules: HashSet<GroundRule>,
+    rules: Vec<GroundRule>,
+    weaks: Vec<GroundWeak>,
+    seen_weaks: HashSet<GroundWeak>,
+    naive: bool,
+    opts: GroundOptions,
+    stats: GroundStats,
+}
+
+impl Engine {
+    fn new(opts: GroundOptions, naive: bool) -> Engine {
+        Engine {
+            table: AtomTable::new(),
+            traces: TraceIds::default(),
+            possible: PossibleIndex::default(),
+            seen_rules: HashSet::new(),
+            rules: Vec::new(),
+            weaks: Vec::new(),
+            seen_weaks: HashSet::new(),
+            naive,
+            opts,
+            stats: GroundStats::default(),
+        }
+    }
+
+    /// Evaluates every rule once against the currently visible window.
+    fn seed_pass(&mut self, rules: &[ScheduledRule<'_>]) -> Result<(), GroundError> {
+        self.stats.passes += 1;
+        for rule in rules {
+            self.eval_rule(rule, JoinPlan::Full)?;
+        }
+        Ok(())
+    }
+
+    /// Semi-naive rounds: repeat until no new atoms appear, evaluating only
+    /// the delta variants whose join signature actually gained atoms.
+    fn delta_rounds(&mut self, sets: &[&[ScheduledRule<'_>]]) -> Result<(), GroundError> {
+        while self.possible.advance() {
+            self.stats.passes += 1;
+            for rules in sets {
+                for rule in *rules {
+                    for (d, key) in rule.joins.iter().enumerate() {
+                        if !self.possible.has_delta(*key) {
+                            continue;
+                        }
+                        self.eval_rule(rule, JoinPlan::Delta(d))?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Naive saturation: re-evaluate every rule over the full atom set until
+    /// a sweep emits no new ground rule. Retained as the reference
+    /// implementation for differential testing and benchmarks.
+    fn naive_fixpoint(&mut self, rules: &[ScheduledRule<'_>]) -> Result<(), GroundError> {
+        loop {
+            self.stats.passes += 1;
+            let before = self.rules.len();
+            for rule in rules {
+                self.eval_rule(rule, JoinPlan::Full)?;
+            }
+            if self.rules.len() == before {
+                return Ok(());
+            }
+        }
+    }
+
+    fn eval_rule(&mut self, rule: &ScheduledRule<'_>, plan: JoinPlan) -> Result<(), GroundError> {
+        let mut bindings = Bindings::new();
+        self.walk(rule, 0, 0, plan, &mut bindings)
+    }
+
+    fn walk(
+        &mut self,
+        rule: &ScheduledRule<'_>,
+        step: usize,
+        join_idx: usize,
+        plan: JoinPlan,
+        bindings: &mut Bindings,
+    ) -> Result<(), GroundError> {
+        if self.table.len() > self.opts.max_atoms {
+            return Err(GroundError::Budget {
+                max_atoms: self.opts.max_atoms,
+            });
+        }
+        if self.opts.deadline.expired() {
+            return Err(GroundError::Exhausted(Exhausted::Deadline));
+        }
+        if step == rule.steps.len() {
+            // Complete binding: emit the ground rule.
+            self.stats.rules_instantiated += 1;
+            let head = match rule.head {
+                Some(h) => match h.substitute(bindings) {
+                    Some(g) => Some(self.table.intern(&g)),
+                    // Head arithmetic failed (e.g. division by zero): skip.
+                    None => return Ok(()),
+                },
+                None => None,
+            };
+            let mut pos = Vec::new();
+            let mut neg = Vec::new();
+            for s in &rule.steps {
+                match s {
+                    Step::Join { pattern, .. } => {
+                        let g = pattern
+                            .substitute(bindings)
+                            .expect("join leaves atom ground");
+                        pos.push(self.table.intern(&g));
+                    }
+                    Step::Naf(a) => {
+                        let Some(g) = a.substitute(bindings) else {
+                            return Ok(());
+                        };
+                        neg.push(self.table.intern(&g));
+                    }
+                    Step::Filter(..) | Step::Bind(..) => {}
+                }
+            }
+            pos.sort_unstable();
+            pos.dedup();
+            neg.sort_unstable();
+            neg.dedup();
+            let gr = GroundRule { head, pos, neg };
+            if self.seen_rules.insert(gr.clone()) {
+                if let Some(h) = gr.head {
+                    let key = rule.head_key.expect("headed rules carry a head key");
+                    self.possible.insert(h, key);
+                }
+                self.rules.push(gr);
+            }
+            return Ok(());
+        }
+        match &rule.steps[step] {
+            Step::Filter(op, a, b) => {
+                let (Some(ga), Some(gb)) = (a.substitute(bindings), b.substitute(bindings)) else {
+                    return Ok(());
+                };
+                if op.eval(&ga, &gb) {
+                    self.walk(rule, step + 1, join_idx, plan, bindings)?;
+                }
+                Ok(())
+            }
+            Step::Bind(v, expr) => {
+                let Some(val) = expr.substitute(bindings) else {
+                    return Ok(());
+                };
+                bindings.insert(*v, val);
+                self.walk(rule, step + 1, join_idx, plan, bindings)?;
+                bindings.remove(v);
+                Ok(())
+            }
+            Step::Naf(_) => self.walk(rule, step + 1, join_idx, plan, bindings),
+            Step::Join {
+                pattern,
+                key,
+                fresh,
+            } => {
+                // Snapshot the candidate window: atoms appended during the
+                // join stay invisible until the next round (or, for naive
+                // sweeps, the next pass over this rule).
+                let candidates: Vec<AtomId> = match self.possible.by_sig.get(key) {
+                    None => return Ok(()),
+                    Some(e) => {
+                        let (start, end) = plan_range(e, join_idx, plan, self.naive);
+                        if start >= end {
+                            return Ok(());
+                        }
+                        e.ids[start..end].to_vec()
+                    }
+                };
+                self.stats.join_candidates += candidates.len() as u64;
+                for id in candidates {
+                    if pattern.match_ground(self.table.resolve(id), bindings) {
+                        self.walk(rule, step + 1, join_idx + 1, plan, bindings)?;
+                    }
+                    // Undo whatever the match bound (a failed match may bind
+                    // a prefix); pre-existing bindings are never overwritten.
+                    for v in fresh {
+                        bindings.remove(v);
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Grounds `program`'s weak constraints against the final
+    /// over-approximation.
+    fn ground_weaks(&mut self, program: &Program) -> Result<(), GroundError> {
+        for weak in program.weak_constraints() {
+            let sched = schedule_weak(weak, &mut self.traces)?;
+            let mut bindings = Bindings::new();
+            self.walk_weak(&sched, &weak.weight, weak.level, 0, &mut bindings);
+        }
+        Ok(())
+    }
+
+    fn walk_weak(
+        &mut self,
+        rule: &ScheduledRule<'_>,
+        weight: &Term,
+        level: i64,
+        step: usize,
+        bindings: &mut Bindings,
+    ) {
+        if step == rule.steps.len() {
+            self.stats.rules_instantiated += 1;
+            let Some(Term::Int(w)) = weight.substitute(bindings) else {
+                return;
+            };
+            let mut pos = Vec::new();
+            let mut neg = Vec::new();
+            for s in &rule.steps {
+                match s {
+                    Step::Join { pattern, .. } => {
+                        let g = pattern
+                            .substitute(bindings)
+                            .expect("join leaves atom ground");
+                        pos.push(self.table.intern(&g));
+                    }
+                    Step::Naf(a) => {
+                        let Some(g) = a.substitute(bindings) else {
+                            return;
+                        };
+                        neg.push(self.table.intern(&g));
+                    }
+                    Step::Filter(..) | Step::Bind(..) => {}
+                }
+            }
+            pos.sort_unstable();
+            pos.dedup();
+            neg.sort_unstable();
+            neg.dedup();
+            let gw = GroundWeak {
+                pos,
+                neg,
+                weight: w,
+                level,
+            };
+            if self.seen_weaks.insert(gw.clone()) {
+                self.weaks.push(gw);
+            }
+            return;
+        }
+        match &rule.steps[step] {
+            Step::Filter(op, a, b) => {
+                let (Some(ga), Some(gb)) = (a.substitute(bindings), b.substitute(bindings)) else {
+                    return;
+                };
+                if op.eval(&ga, &gb) {
+                    self.walk_weak(rule, weight, level, step + 1, bindings);
+                }
+            }
+            Step::Bind(v, expr) => {
+                let Some(val) = expr.substitute(bindings) else {
+                    return;
+                };
+                bindings.insert(*v, val);
+                self.walk_weak(rule, weight, level, step + 1, bindings);
+                bindings.remove(v);
+            }
+            Step::Naf(_) => self.walk_weak(rule, weight, level, step + 1, bindings),
+            Step::Join {
+                pattern,
+                key,
+                fresh,
+            } => {
+                let candidates: Vec<AtomId> = match self.possible.by_sig.get(key) {
+                    None => return,
+                    Some(e) => {
+                        let end = if self.naive {
+                            e.ids.len()
+                        } else {
+                            e.frontier_end
+                        };
+                        if end == 0 {
+                            return;
+                        }
+                        e.ids[..end].to_vec()
+                    }
+                };
+                self.stats.join_candidates += candidates.len() as u64;
+                for id in candidates {
+                    if pattern.match_ground(self.table.resolve(id), bindings) {
+                        self.walk_weak(rule, weight, level, step + 1, bindings);
+                    }
+                    for v in fresh {
+                        bindings.remove(v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Consumes the engine, applying fact-folding simplification (unless
+    /// disabled) and producing the final [`GroundProgram`].
+    fn finish(self) -> GroundProgram {
+        let Engine {
+            table,
+            possible,
+            rules: ground_rules,
+            weaks: ground_weaks,
+            opts,
+            ..
+        } = self;
+
+        if !opts.simplify {
+            // Keep the instantiation untouched (used by explanation tooling).
+            let mut definite_facts: Vec<AtomId> = ground_rules
+                .iter()
+                .filter(|r| r.is_fact())
+                .map(|r| r.head.expect("facts have heads"))
+                .collect();
+            definite_facts.sort_unstable();
+            definite_facts.dedup();
+            let inconsistent = ground_rules
+                .iter()
+                .any(|r| r.is_constraint() && r.pos.is_empty() && r.neg.is_empty());
+            return GroundProgram {
+                table,
+                rules: ground_rules,
+                weaks: ground_weaks,
+                definite_facts,
+                inconsistent,
+            };
+        }
+
+        // --- Simplification ------------------------------------------------
+        // Definite facts: least fixpoint over rules whose negative atoms are
+        // never derivable, via counter-based forward chaining (each eligible
+        // rule counts its outstanding positive premises; an atom becoming a
+        // fact decrements its watchers) — one pass over the rules instead of
+        // a quadratic fixpoint.
+        let derivable = &possible.derivable;
+        let mut fact_set: HashSet<AtomId> = HashSet::new();
+        {
+            let mut need: Vec<usize> = Vec::with_capacity(ground_rules.len());
+            let mut watch: HashMap<AtomId, Vec<usize>> = HashMap::new();
+            let mut queue: Vec<AtomId> = Vec::new();
+            for (ri, r) in ground_rules.iter().enumerate() {
+                let eligible = r.head.is_some() && r.neg.iter().all(|n| !derivable.contains(n));
+                if !eligible {
+                    need.push(usize::MAX);
+                    continue;
+                }
+                need.push(r.pos.len());
+                if r.pos.is_empty() {
+                    let h = r.head.expect("eligible rules have heads");
+                    if fact_set.insert(h) {
+                        queue.push(h);
+                    }
+                } else {
+                    for &p in &r.pos {
+                        watch.entry(p).or_default().push(ri);
+                    }
+                }
+            }
+            while let Some(a) = queue.pop() {
+                let Some(watchers) = watch.get(&a) else {
+                    continue;
+                };
+                for &ri in watchers {
+                    need[ri] -= 1;
+                    if need[ri] == 0 {
+                        let h = ground_rules[ri].head.expect("watched rules have heads");
+                        if fact_set.insert(h) {
+                            queue.push(h);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut simplified: Vec<GroundRule> = Vec::new();
+        let mut seen_simplified: HashSet<GroundRule> = HashSet::new();
+        let mut inconsistent = false;
+        for r in &ground_rules {
+            // `not a` with `a` a definite fact blocks the rule.
+            if r.neg.iter().any(|n| fact_set.contains(n)) {
+                continue;
+            }
+            // A rule whose head is a definite fact contributes nothing beyond
+            // the fact itself.
+            if r.head.is_some_and(|h| fact_set.contains(&h)) {
+                continue;
+            }
+            let pos: Vec<AtomId> = r
+                .pos
+                .iter()
+                .copied()
+                .filter(|p| !fact_set.contains(p))
+                .collect();
+            let neg: Vec<AtomId> = r
+                .neg
+                .iter()
+                .copied()
+                .filter(|n| derivable.contains(n))
+                .collect();
+            // A positive literal that can never be derived falsifies the body.
+            if pos
+                .iter()
+                .any(|p| !derivable.contains(p) && !fact_set.contains(p))
+            {
+                continue;
+            }
+            let new_rule = GroundRule {
+                head: r.head,
+                pos,
+                neg,
+            };
+            if new_rule.is_constraint() && new_rule.pos.is_empty() && new_rule.neg.is_empty() {
+                inconsistent = true;
+            }
+            if seen_simplified.insert(new_rule.clone()) {
+                simplified.push(new_rule);
+            }
+        }
+        let mut definite_facts: Vec<AtomId> = fact_set.into_iter().collect();
+        definite_facts.sort_unstable();
+        for &f in &definite_facts {
+            let fact = GroundRule {
+                head: Some(f),
+                pos: Vec::new(),
+                neg: Vec::new(),
+            };
+            if seen_simplified.insert(fact.clone()) {
+                simplified.push(fact);
+            }
+        }
+
+        // Simplify weak constraints with the same fact/derivability knowledge.
+        let mut weaks: Vec<GroundWeak> = Vec::new();
+        let mut seen_weaks: HashSet<GroundWeak> = HashSet::new();
+        let fact_lookup: HashSet<AtomId> = definite_facts.iter().copied().collect();
+        for w in ground_weaks {
+            if w.neg.iter().any(|n| fact_lookup.contains(n)) {
+                continue;
+            }
+            if w.pos
+                .iter()
+                .any(|p| !derivable.contains(p) && !fact_lookup.contains(p))
+            {
+                continue;
+            }
+            let pos: Vec<AtomId> = w
+                .pos
+                .iter()
+                .copied()
+                .filter(|p| !fact_lookup.contains(p))
+                .collect();
+            let neg: Vec<AtomId> = w
+                .neg
+                .iter()
+                .copied()
+                .filter(|n| derivable.contains(n))
+                .collect();
+            let new_weak = GroundWeak {
+                pos,
+                neg,
+                weight: w.weight,
+                level: w.level,
+            };
+            if seen_weaks.insert(new_weak.clone()) {
+                weaks.push(new_weak);
+            }
+        }
+
+        GroundProgram {
+            table,
+            rules: simplified,
+            weaks,
+            definite_facts,
+            inconsistent,
+        }
+    }
+}
+
+fn run_engine(
+    program: &Program,
+    opts: GroundOptions,
+    naive: bool,
+) -> Result<(GroundProgram, GroundStats), GroundError> {
+    let mut engine = Engine::new(opts, naive);
+    let scheduled = schedule_program(program, &mut engine.traces)?;
+    if naive {
+        engine.naive_fixpoint(&scheduled)?;
+    } else {
+        engine.seed_pass(&scheduled)?;
+        engine.delta_rounds(&[&scheduled])?;
+    }
+    engine.ground_weaks(program)?;
+    let stats = engine.stats;
+    Ok((engine.finish(), stats))
+}
+
+/// Grounds `program` with default options (semi-naive evaluation).
 ///
 /// # Errors
 ///
@@ -442,481 +1135,146 @@ pub fn ground(program: &Program) -> Result<GroundProgram, GroundError> {
     ground_with(program, GroundOptions::default())
 }
 
-/// Grounds `program` with explicit [`GroundOptions`].
+/// Grounds `program` with explicit [`GroundOptions`] (semi-naive evaluation).
 ///
 /// # Errors
 ///
 /// See [`ground`].
 pub fn ground_with(program: &Program, opts: GroundOptions) -> Result<GroundProgram, GroundError> {
-    let scheduled: Vec<ScheduledRule> = program
-        .rules()
-        .iter()
-        .map(schedule)
-        .collect::<Result<_, _>>()?;
-
-    let mut table = AtomTable::new();
-    let mut possible = PossibleAtoms::default();
-    let mut seen_rules: HashSet<GroundRule> = HashSet::new();
-    let mut ground_rules: Vec<GroundRule> = Vec::new();
-
-    // Saturate: keep instantiating until no new atoms or rules appear.
-    loop {
-        let mut changed = false;
-        for rule in &scheduled {
-            let mut bindings = Bindings::new();
-            instantiate(
-                rule,
-                0,
-                &mut bindings,
-                &mut table,
-                &mut possible,
-                &mut seen_rules,
-                &mut ground_rules,
-                &mut changed,
-                opts,
-            )?;
-        }
-        if !changed {
-            break;
-        }
-    }
-
-    // Ground the weak constraints against the final over-approximation.
-    let mut ground_weaks: Vec<GroundWeak> = Vec::new();
-    {
-        let mut seen_weaks: HashSet<GroundWeak> = HashSet::new();
-        for weak in program.weak_constraints() {
-            if let Some(v) = weak.unsafe_var() {
-                return Err(GroundError::UnsafeRule {
-                    rule: weak.to_string(),
-                    var: v,
-                });
-            }
-            let proxy = Rule {
-                head: None,
-                body: weak.body.clone(),
-            };
-            let sched = schedule(&proxy)?;
-            let mut bindings = Bindings::new();
-            instantiate_weak(
-                &sched,
-                &weak.weight,
-                weak.level,
-                0,
-                &mut bindings,
-                &mut table,
-                &possible,
-                &mut seen_weaks,
-                &mut ground_weaks,
-            );
-        }
-    }
-
-    if !opts.simplify {
-        // Keep the instantiation untouched (used by explanation tooling).
-        let mut definite_facts: Vec<AtomId> = ground_rules
-            .iter()
-            .filter(|r| r.is_fact())
-            .map(|r| r.head.expect("facts have heads"))
-            .collect();
-        definite_facts.sort_unstable();
-        definite_facts.dedup();
-        let inconsistent = ground_rules
-            .iter()
-            .any(|r| r.is_constraint() && r.pos.is_empty() && r.neg.is_empty());
-        return Ok(GroundProgram {
-            table,
-            rules: ground_rules,
-            weaks: ground_weaks,
-            definite_facts,
-            inconsistent,
-        });
-    }
-
-    // --- Simplification ---------------------------------------------------
-    // Definite facts: least fixpoint over rules whose negative atoms are
-    // never derivable.
-    let derivable = &possible.set;
-    let mut fact_set: HashSet<AtomId> = HashSet::new();
-    loop {
-        let mut changed = false;
-        for r in &ground_rules {
-            let Some(h) = r.head else { continue };
-            if fact_set.contains(&h) {
-                continue;
-            }
-            if r.pos.iter().all(|p| fact_set.contains(p))
-                && r.neg.iter().all(|n| !derivable.contains(n))
-            {
-                fact_set.insert(h);
-                changed = true;
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
-
-    let mut simplified: Vec<GroundRule> = Vec::new();
-    let mut seen_simplified: HashSet<GroundRule> = HashSet::new();
-    let mut inconsistent = false;
-    for r in &ground_rules {
-        // `not a` with `a` a definite fact blocks the rule.
-        if r.neg.iter().any(|n| fact_set.contains(n)) {
-            continue;
-        }
-        // A rule whose head is a definite fact contributes nothing beyond the
-        // fact itself.
-        if r.head.is_some_and(|h| fact_set.contains(&h)) {
-            continue;
-        }
-        let pos: Vec<AtomId> = r
-            .pos
-            .iter()
-            .copied()
-            .filter(|p| !fact_set.contains(p))
-            .collect();
-        let neg: Vec<AtomId> = r
-            .neg
-            .iter()
-            .copied()
-            .filter(|n| derivable.contains(n))
-            .collect();
-        // A positive literal that can never be derived falsifies the body.
-        if pos
-            .iter()
-            .any(|p| !derivable.contains(p) && !fact_set.contains(p))
-        {
-            continue;
-        }
-        let new_rule = GroundRule {
-            head: r.head,
-            pos,
-            neg,
-        };
-        if new_rule.is_constraint() && new_rule.pos.is_empty() && new_rule.neg.is_empty() {
-            inconsistent = true;
-        }
-        if seen_simplified.insert(new_rule.clone()) {
-            simplified.push(new_rule);
-        }
-    }
-    let mut definite_facts: Vec<AtomId> = fact_set.into_iter().collect();
-    definite_facts.sort_unstable();
-    for &f in &definite_facts {
-        let fact = GroundRule {
-            head: Some(f),
-            pos: Vec::new(),
-            neg: Vec::new(),
-        };
-        if seen_simplified.insert(fact.clone()) {
-            simplified.push(fact);
-        }
-    }
-
-    // Simplify weak constraints with the same fact/derivability knowledge.
-    let mut weaks: Vec<GroundWeak> = Vec::new();
-    let mut seen_weaks: HashSet<GroundWeak> = HashSet::new();
-    let fact_lookup: HashSet<AtomId> = definite_facts.iter().copied().collect();
-    for w in ground_weaks {
-        if w.neg.iter().any(|n| fact_lookup.contains(n)) {
-            continue;
-        }
-        if w.pos
-            .iter()
-            .any(|p| !derivable.contains(p) && !fact_lookup.contains(p))
-        {
-            continue;
-        }
-        let pos: Vec<AtomId> = w
-            .pos
-            .iter()
-            .copied()
-            .filter(|p| !fact_lookup.contains(p))
-            .collect();
-        let neg: Vec<AtomId> = w
-            .neg
-            .iter()
-            .copied()
-            .filter(|n| derivable.contains(n))
-            .collect();
-        let new_weak = GroundWeak {
-            pos,
-            neg,
-            weight: w.weight,
-            level: w.level,
-        };
-        if seen_weaks.insert(new_weak.clone()) {
-            weaks.push(new_weak);
-        }
-    }
-
-    Ok(GroundProgram {
-        table,
-        rules: simplified,
-        weaks,
-        definite_facts,
-        inconsistent,
-    })
+    ground_with_stats(program, opts).map(|(g, _)| g)
 }
 
-/// Instantiates one weak constraint over the final over-approximation.
-#[allow(clippy::too_many_arguments)]
-fn instantiate_weak(
-    rule: &ScheduledRule,
-    weight: &Term,
-    level: i64,
-    step: usize,
-    bindings: &mut Bindings,
-    table: &mut AtomTable,
-    possible: &PossibleAtoms,
-    seen: &mut HashSet<GroundWeak>,
-    out: &mut Vec<GroundWeak>,
-) {
-    if step == rule.steps.len() {
-        let Some(Term::Int(w)) = weight.substitute(bindings) else {
-            return;
-        };
-        let mut pos = Vec::new();
-        let mut neg = Vec::new();
-        for s in &rule.steps {
-            match s {
-                Step::Join(a) => {
-                    let g = a.substitute(bindings).expect("join leaves atom ground");
-                    pos.push(table.intern(&g));
-                }
-                Step::Naf(a) => {
-                    let Some(g) = a.substitute(bindings) else {
-                        return;
-                    };
-                    neg.push(table.intern(&g));
-                }
-                Step::Filter(..) | Step::Bind(..) => {}
-            }
-        }
-        pos.sort_unstable();
-        pos.dedup();
-        neg.sort_unstable();
-        neg.dedup();
-        let gw = GroundWeak {
-            pos,
-            neg,
-            weight: w,
-            level,
-        };
-        if seen.insert(gw.clone()) {
-            out.push(gw);
-        }
-        return;
-    }
-    match &rule.steps[step] {
-        Step::Filter(op, a, b) => {
-            let (Some(ga), Some(gb)) = (a.substitute(bindings), b.substitute(bindings)) else {
-                return;
-            };
-            if op.eval(&ga, &gb) {
-                instantiate_weak(
-                    rule,
-                    weight,
-                    level,
-                    step + 1,
-                    bindings,
-                    table,
-                    possible,
-                    seen,
-                    out,
-                );
-            }
-        }
-        Step::Bind(v, expr) => {
-            let Some(val) = expr.substitute(bindings) else {
-                return;
-            };
-            bindings.insert(*v, val);
-            instantiate_weak(
-                rule,
-                weight,
-                level,
-                step + 1,
-                bindings,
-                table,
-                possible,
-                seen,
-                out,
-            );
-            bindings.remove(v);
-        }
-        Step::Naf(_) => instantiate_weak(
-            rule,
-            weight,
-            level,
-            step + 1,
-            bindings,
-            table,
-            possible,
-            seen,
-            out,
-        ),
-        Step::Join(pattern) => {
-            let candidates: Vec<AtomId> = possible.candidates(pattern).to_vec();
-            for id in candidates {
-                let atom = table.resolve(id).clone();
-                let mut trial = bindings.clone();
-                if pattern.match_ground(&atom, &mut trial) {
-                    instantiate_weak(
-                        rule,
-                        weight,
-                        level,
-                        step + 1,
-                        &mut trial,
-                        table,
-                        possible,
-                        seen,
-                        out,
-                    );
-                }
-            }
-        }
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn instantiate(
-    rule: &ScheduledRule,
-    step: usize,
-    bindings: &mut Bindings,
-    table: &mut AtomTable,
-    possible: &mut PossibleAtoms,
-    seen_rules: &mut HashSet<GroundRule>,
-    out: &mut Vec<GroundRule>,
-    changed: &mut bool,
+/// Like [`ground_with`], additionally reporting [`GroundStats`] counters.
+///
+/// # Errors
+///
+/// See [`ground`].
+pub fn ground_with_stats(
+    program: &Program,
     opts: GroundOptions,
-) -> Result<(), GroundError> {
-    if table.len() > opts.max_atoms {
-        return Err(GroundError::Budget {
-            max_atoms: opts.max_atoms,
-        });
+) -> Result<(GroundProgram, GroundStats), GroundError> {
+    run_engine(program, opts, false)
+}
+
+/// Grounds `program` with the retained *naive* saturation strategy and
+/// default options. Produces the same atoms, rules, and weak constraints as
+/// [`ground`]; kept as the reference implementation for differential testing
+/// and for quantifying the semi-naive speedup.
+///
+/// # Errors
+///
+/// See [`ground`].
+pub fn ground_naive(program: &Program) -> Result<GroundProgram, GroundError> {
+    ground_naive_with(program, GroundOptions::default())
+}
+
+/// Naive-reference grounding with explicit [`GroundOptions`].
+///
+/// # Errors
+///
+/// See [`ground`].
+pub fn ground_naive_with(
+    program: &Program,
+    opts: GroundOptions,
+) -> Result<GroundProgram, GroundError> {
+    ground_naive_with_stats(program, opts).map(|(g, _)| g)
+}
+
+/// Like [`ground_naive_with`], additionally reporting [`GroundStats`].
+///
+/// # Errors
+///
+/// See [`ground`].
+pub fn ground_naive_with_stats(
+    program: &Program,
+    opts: GroundOptions,
+) -> Result<(GroundProgram, GroundStats), GroundError> {
+    run_engine(program, opts, true)
+}
+
+/// A saturated base program that can be re-grounded with small rule deltas
+/// without re-deriving the base.
+///
+/// Construction runs semi-naive saturation over the base once and snapshots
+/// the engine (atom table, join index, emitted rules). Each
+/// [`ground_delta`](IncrementalGrounder::ground_delta) call clones the
+/// snapshot, seeds the delta rules against the full saturated atom set, and
+/// resumes semi-naive rounds over base + delta rules — so only consequences
+/// that actually involve the delta are computed. The learner uses this to
+/// evaluate each candidate hypothesis as a delta on top of a once-grounded
+/// (grammar + context + example) base.
+#[derive(Clone, Debug)]
+pub struct IncrementalGrounder {
+    base: Program,
+    engine: Engine,
+    base_stats: GroundStats,
+}
+
+impl IncrementalGrounder {
+    /// Saturates `base` and snapshots the grounding state.
+    ///
+    /// # Errors
+    ///
+    /// See [`ground`].
+    pub fn new(base: &Program, opts: GroundOptions) -> Result<IncrementalGrounder, GroundError> {
+        let mut engine = Engine::new(opts, false);
+        let scheduled = schedule_program(base, &mut engine.traces)?;
+        engine.seed_pass(&scheduled)?;
+        engine.delta_rounds(&[&scheduled])?;
+        let base_stats = engine.stats;
+        engine.stats = GroundStats::default();
+        Ok(IncrementalGrounder {
+            base: base.clone(),
+            engine,
+            base_stats,
+        })
     }
-    if opts.deadline.expired() {
-        return Err(GroundError::Exhausted(Exhausted::Deadline));
+
+    /// Counters spent saturating the base (once, at construction).
+    pub fn base_stats(&self) -> GroundStats {
+        self.base_stats
     }
-    if step == rule.steps.len() {
-        // Complete binding: emit the ground rule.
-        let head = match &rule.head {
-            Some(h) => match h.substitute(bindings) {
-                Some(g) => Some(table.intern(&g)),
-                // Head arithmetic failed (e.g. division by zero): skip.
-                None => return Ok(()),
-            },
-            None => None,
-        };
-        let mut pos = Vec::new();
-        let mut neg = Vec::new();
-        for s in &rule.steps {
-            match s {
-                Step::Join(a) => {
-                    let g = a.substitute(bindings).expect("join leaves atom ground");
-                    pos.push(table.intern(&g));
-                }
-                Step::Naf(a) => {
-                    let Some(g) = a.substitute(bindings) else {
-                        return Ok(());
-                    };
-                    neg.push(table.intern(&g));
-                }
-                Step::Filter(..) | Step::Bind(..) => {}
-            }
-        }
-        pos.sort_unstable();
-        pos.dedup();
-        neg.sort_unstable();
-        neg.dedup();
-        let gr = GroundRule { head, pos, neg };
-        if seen_rules.insert(gr.clone()) {
-            if let Some(h) = gr.head {
-                let atom = table.resolve(h).clone();
-                if possible.insert(h, &atom) {
-                    *changed = true;
-                }
-            }
-            out.push(gr);
-            *changed = true;
-        }
-        return Ok(());
+
+    /// The base program this grounder was built from.
+    pub fn base(&self) -> &Program {
+        &self.base
     }
-    match &rule.steps[step] {
-        Step::Filter(op, a, b) => {
-            let (Some(ga), Some(gb)) = (a.substitute(bindings), b.substitute(bindings)) else {
-                return Ok(());
-            };
-            if op.eval(&ga, &gb) {
-                instantiate(
-                    rule,
-                    step + 1,
-                    bindings,
-                    table,
-                    possible,
-                    seen_rules,
-                    out,
-                    changed,
-                    opts,
-                )?;
-            }
-            Ok(())
-        }
-        Step::Bind(v, expr) => {
-            let Some(val) = expr.substitute(bindings) else {
-                return Ok(());
-            };
-            bindings.insert(*v, val);
-            instantiate(
-                rule,
-                step + 1,
-                bindings,
-                table,
-                possible,
-                seen_rules,
-                out,
-                changed,
-                opts,
-            )?;
-            bindings.remove(v);
-            Ok(())
-        }
-        Step::Naf(_) => instantiate(
-            rule,
-            step + 1,
-            bindings,
-            table,
-            possible,
-            seen_rules,
-            out,
-            changed,
-            opts,
-        ),
-        Step::Join(pattern) => {
-            // Snapshot candidate list: atoms added during this join are
-            // picked up by the next outer fixpoint pass.
-            let candidates: Vec<AtomId> = possible.candidates(pattern).to_vec();
-            for id in candidates {
-                let atom = table.resolve(id).clone();
-                let mut trial = bindings.clone();
-                if pattern.match_ground(&atom, &mut trial) {
-                    instantiate(
-                        rule,
-                        step + 1,
-                        &mut trial,
-                        table,
-                        possible,
-                        seen_rules,
-                        out,
-                        changed,
-                        opts,
-                    )?;
-                }
-            }
-            Ok(())
-        }
+
+    /// Grounds base + `delta`, reusing the saturated base state. With an
+    /// empty delta this is equivalent to `ground_with(base, opts)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ground`].
+    pub fn ground_delta(&self, delta: &[Rule]) -> Result<GroundProgram, GroundError> {
+        self.ground_delta_with_stats(delta).map(|(g, _)| g)
+    }
+
+    /// Like [`ground_delta`](IncrementalGrounder::ground_delta), additionally
+    /// reporting the counters spent on this delta (the base saturation cost
+    /// is *not* included; see
+    /// [`base_stats`](IncrementalGrounder::base_stats)).
+    ///
+    /// # Errors
+    ///
+    /// See [`ground`].
+    pub fn ground_delta_with_stats(
+        &self,
+        delta: &[Rule],
+    ) -> Result<(GroundProgram, GroundStats), GroundError> {
+        let mut engine = self.engine.clone();
+        let base_sched = schedule_program(&self.base, &mut engine.traces)?;
+        let delta_sched: Vec<ScheduledRule<'_>> = delta
+            .iter()
+            .map(|r| schedule_rule(r, &mut engine.traces))
+            .collect::<Result<_, _>>()?;
+        // Seed only the delta rules over the full saturated base; base rules
+        // already enumerated every pre-existing combination.
+        engine.seed_pass(&delta_sched)?;
+        engine.delta_rounds(&[&base_sched, &delta_sched])?;
+        engine.ground_weaks(&self.base)?;
+        let stats = engine.stats;
+        Ok((engine.finish(), stats))
     }
 }
 
@@ -932,6 +1290,14 @@ mod tests {
             .collect();
         v.sort();
         v
+    }
+
+    /// Order-insensitive rendering for cross-grounder comparison (atom ids
+    /// may differ between strategies).
+    fn rendered_lines(g: &GroundProgram) -> Vec<String> {
+        let mut lines: Vec<String> = g.to_string().lines().map(str::to_string).collect();
+        lines.sort();
+        lines
     }
 
     #[test]
@@ -1094,5 +1460,144 @@ mod tests {
         let g = ground(&p).unwrap();
         assert!(atoms_of(&g).contains(&"first(apple)".to_string()));
         assert!(!atoms_of(&g).contains(&"first(pear)".to_string()));
+    }
+
+    #[test]
+    fn seminaive_matches_naive_reference() {
+        let p: Program = "
+            edge(1, 2). edge(2, 3). edge(3, 4). edge(4, 5).
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- edge(X, Y), path(Y, Z).
+            far(X) :- path(X, Y), Y > 3.
+            near(X) :- path(X, Y), not far(X).
+            :~ path(X, Y). [1@0]
+        "
+        .parse()
+        .unwrap();
+        let (semi, semi_stats) = ground_with_stats(&p, GroundOptions::default()).unwrap();
+        let (naive, naive_stats) = ground_naive_with_stats(&p, GroundOptions::default()).unwrap();
+        assert_eq!(rendered_lines(&semi), rendered_lines(&naive));
+        assert_eq!(atoms_of(&semi), atoms_of(&naive));
+        // The whole point: semi-naive instantiates strictly fewer rules on a
+        // recursive program.
+        assert!(
+            semi_stats.rules_instantiated < naive_stats.rules_instantiated,
+            "semi-naive ({}) should do less work than naive ({})",
+            semi_stats.rules_instantiated,
+            naive_stats.rules_instantiated
+        );
+        assert!(semi_stats.passes >= 2);
+    }
+
+    #[test]
+    fn seminaive_matches_naive_without_simplification() {
+        let p: Program = "
+            edge(1, 2). edge(2, 3).
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- edge(X, Y), path(Y, Z).
+        "
+        .parse()
+        .unwrap();
+        let opts = GroundOptions {
+            simplify: false,
+            ..GroundOptions::default()
+        };
+        let semi = ground_with(&p, opts).unwrap();
+        let naive = ground_naive_with(&p, opts).unwrap();
+        assert_eq!(rendered_lines(&semi), rendered_lines(&naive));
+    }
+
+    #[test]
+    fn incremental_delta_matches_monolithic() {
+        let base: Program = "
+            edge(1, 2). edge(2, 3). edge(3, 4).
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- edge(X, Y), path(Y, Z).
+        "
+        .parse()
+        .unwrap();
+        let delta: Program = "
+            reach(X) :- path(1, X).
+            blocked :- reach(4), not open.
+        "
+        .parse()
+        .unwrap();
+        let inc = IncrementalGrounder::new(&base, GroundOptions::default()).unwrap();
+        let via_delta = inc.ground_delta(delta.rules()).unwrap();
+        let mut combined = base.clone();
+        for r in delta.rules() {
+            combined.push(r.clone());
+        }
+        let monolithic = ground(&combined).unwrap();
+        assert_eq!(rendered_lines(&via_delta), rendered_lines(&monolithic));
+        assert_eq!(atoms_of(&via_delta), atoms_of(&monolithic));
+    }
+
+    #[test]
+    fn incremental_empty_delta_matches_base() {
+        let base: Program = "
+            n(1..4).
+            p(X, Y) :- n(X), n(Y), X < Y.
+            :~ p(X, Y). [1@0]
+        "
+        .parse()
+        .unwrap();
+        let inc = IncrementalGrounder::new(&base, GroundOptions::default()).unwrap();
+        let via_delta = inc.ground_delta(&[]).unwrap();
+        let direct = ground(&base).unwrap();
+        assert_eq!(rendered_lines(&via_delta), rendered_lines(&direct));
+    }
+
+    #[test]
+    fn incremental_delta_is_cheaper_than_regrounding() {
+        let base: Program = "
+            edge(1, 2). edge(2, 3). edge(3, 4). edge(4, 5). edge(5, 6).
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- edge(X, Y), path(Y, Z).
+        "
+        .parse()
+        .unwrap();
+        let delta: Program = "reach(X) :- path(1, X).".parse().unwrap();
+        let inc = IncrementalGrounder::new(&base, GroundOptions::default()).unwrap();
+        let (_, delta_stats) = inc.ground_delta_with_stats(delta.rules()).unwrap();
+        let mut combined = base.clone();
+        for r in delta.rules() {
+            combined.push(r.clone());
+        }
+        let (_, full_stats) = ground_with_stats(&combined, GroundOptions::default()).unwrap();
+        assert!(
+            delta_stats.rules_instantiated < full_stats.rules_instantiated,
+            "delta ({}) should instantiate fewer rules than re-grounding ({})",
+            delta_stats.rules_instantiated,
+            full_stats.rules_instantiated
+        );
+    }
+
+    #[test]
+    fn incremental_rejects_unsafe_delta() {
+        let base: Program = "a.".parse().unwrap();
+        let delta: Program = "p(X) :- not q(X).".parse().unwrap();
+        let inc = IncrementalGrounder::new(&base, GroundOptions::default()).unwrap();
+        assert!(matches!(
+            inc.ground_delta(delta.rules()),
+            Err(GroundError::UnsafeRule { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_absorb_accumulates() {
+        let mut a = GroundStats {
+            passes: 1,
+            rules_instantiated: 10,
+            join_candidates: 5,
+        };
+        a.absorb(GroundStats {
+            passes: 2,
+            rules_instantiated: 3,
+            join_candidates: 7,
+        });
+        assert_eq!(a.passes, 3);
+        assert_eq!(a.rules_instantiated, 13);
+        assert_eq!(a.join_candidates, 12);
     }
 }

@@ -51,8 +51,9 @@ pub use atom::{Atom, CmpOp, Literal, Trace};
 pub use budget::{Deadline, Exhausted, RunBudget};
 pub use explain::{explain_atom, violated_constraints, Derivation};
 pub use ground::{
-    ground, ground_with, AtomId, AtomTable, GroundError, GroundOptions, GroundProgram, GroundRule,
-    GroundWeak,
+    ground, ground_naive, ground_naive_with, ground_naive_with_stats, ground_with,
+    ground_with_stats, AtomId, AtomTable, GroundError, GroundOptions, GroundProgram, GroundRule,
+    GroundStats, GroundWeak, IncrementalGrounder,
 };
 pub use parser::{parse_atom, parse_program, parse_rule, ParseError};
 pub use program::{Program, Rule, WeakConstraint};

@@ -31,18 +31,24 @@ impl AnswerSet {
             .iter()
             .map(|&id| program.atoms().resolve(id).clone())
             .collect();
-        atoms.sort_by_key(|a| a.to_string());
+        // Structural order: no per-comparison String allocation, and it
+        // backs the binary search in `contains`.
+        atoms.sort_by(|a, b| a.ground_cmp(b));
         AnswerSet { atoms }
     }
 
-    /// The atoms of the answer set, sorted by rendered text.
+    /// The atoms of the answer set, sorted by [`Atom::ground_cmp`]
+    /// (predicate name, arity, arguments, trace).
     pub fn atoms(&self) -> &[Atom] {
         &self.atoms
     }
 
-    /// True if the answer set contains `atom`.
+    /// True if the answer set contains `atom` (binary search over the
+    /// sorted atoms).
     pub fn contains(&self, atom: &Atom) -> bool {
-        self.atoms.iter().any(|a| a == atom)
+        self.atoms
+            .binary_search_by(|a| a.ground_cmp(atom))
+            .is_ok()
     }
 
     /// Atoms with the given predicate name.

@@ -1,0 +1,580 @@
+//! `perf` — machine-readable performance harness for the ASP pipeline.
+//!
+//! Times grounding (semi-naive vs the retained naive reference, with work
+//! counters), solving, and end-to-end CAV/XACML learning at several scales,
+//! then writes `BENCH_asp.json` at the repository root alongside a
+//! human-readable table. The JSON schema is documented in
+//! `docs/PERFORMANCE.md`.
+//!
+//! Usage: `cargo run -p agenp-bench --bin perf --release [-- --smoke]`
+//!
+//! `--smoke` runs reduced scales suitable for CI, re-reads the emitted JSON
+//! through a validating parser, and exits nonzero if the file is malformed
+//! or a headline counter claim regresses.
+
+use agenp_asp::{
+    ground_naive_with_stats, ground_with_stats, GroundOptions, GroundStats, Program, Solver,
+};
+use agenp_bench::{birds_program, coloring_program, transitive_closure_program};
+use agenp_core::scenarios::{cav, xacml};
+use agenp_learn::{CompileOptions, LearnOptions, LearnStats, Learner};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One grounder measurement.
+struct GroundRow {
+    workload: &'static str,
+    n: usize,
+    engine: &'static str,
+    micros: u128,
+    stats: GroundStats,
+    atoms: usize,
+    rules: usize,
+}
+
+/// One solver measurement (grounding and solving timed separately).
+struct SolveRow {
+    workload: &'static str,
+    n: usize,
+    ground_micros: u128,
+    solve_micros: u128,
+    models: usize,
+    decisions: u64,
+}
+
+/// One end-to-end learning measurement.
+struct LearnRow {
+    workload: &'static str,
+    n: usize,
+    config: &'static str,
+    micros: u128,
+    cost: u64,
+    stats: LearnStats,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    let ground_rows = run_grounding(smoke);
+    let solve_rows = run_solving(smoke);
+    let (learn_rows, cav_ratio) = run_learning(smoke);
+
+    print_tables(&ground_rows, &solve_rows, &learn_rows, cav_ratio);
+
+    let json = render_json(smoke, &ground_rows, &solve_rows, &learn_rows, cav_ratio);
+    let path = output_path();
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("perf: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("\nwrote {}", path.display());
+
+    // Re-read and validate what actually landed on disk.
+    let on_disk = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("perf: cannot re-read {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = validate_json(&on_disk) {
+        eprintln!("perf: BENCH_asp.json is not valid JSON: {e}");
+        std::process::exit(1);
+    }
+    for key in ["\"grounding\"", "\"solving\"", "\"learning\"", "\"claims\""] {
+        if !on_disk.contains(key) {
+            eprintln!("perf: BENCH_asp.json is missing the {key} section");
+            std::process::exit(1);
+        }
+    }
+    if cav_ratio < 2.0 {
+        eprintln!(
+            "perf: CAV delta grounding must instantiate >= 2x fewer rules than \
+             naive re-grounding (measured ratio {cav_ratio:.2})"
+        );
+        std::process::exit(1);
+    }
+    println!("BENCH_asp.json validated (cav naive/delta instantiation ratio {cav_ratio:.1}x)");
+}
+
+/// `BENCH_asp.json` lives at the repository root regardless of the cwd
+/// cargo chose for the binary.
+fn output_path() -> PathBuf {
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => PathBuf::from(dir).join("../..").join("BENCH_asp.json"),
+        Err(_) => PathBuf::from("BENCH_asp.json"),
+    }
+}
+
+// --- measurement -----------------------------------------------------------
+
+fn run_grounding(smoke: bool) -> Vec<GroundRow> {
+    let workloads: Vec<(&'static str, Vec<usize>, fn(usize) -> Program)> = if smoke {
+        vec![
+            ("coloring", vec![6], coloring_program),
+            ("transitive_closure", vec![12], transitive_closure_program),
+            ("birds", vec![20], birds_program),
+        ]
+    } else {
+        vec![
+            ("coloring", vec![10, 20, 40], coloring_program),
+            (
+                "transitive_closure",
+                vec![20, 40, 80],
+                transitive_closure_program,
+            ),
+            ("birds", vec![50, 100, 200], birds_program),
+        ]
+    };
+    let mut rows = Vec::new();
+    for (name, scales, build) in workloads {
+        for n in scales {
+            let p = build(n);
+            let t = Instant::now();
+            let (g, stats) =
+                ground_with_stats(&p, GroundOptions::default()).expect("workload grounds");
+            rows.push(GroundRow {
+                workload: name,
+                n,
+                engine: "seminaive",
+                micros: t.elapsed().as_micros(),
+                stats,
+                atoms: g.atoms().len(),
+                rules: g.len(),
+            });
+            let t = Instant::now();
+            let (g, stats) =
+                ground_naive_with_stats(&p, GroundOptions::default()).expect("workload grounds");
+            rows.push(GroundRow {
+                workload: name,
+                n,
+                engine: "naive",
+                micros: t.elapsed().as_micros(),
+                stats,
+                atoms: g.atoms().len(),
+                rules: g.len(),
+            });
+        }
+    }
+    rows
+}
+
+fn run_solving(smoke: bool) -> Vec<SolveRow> {
+    let scales: &[usize] = if smoke { &[6] } else { &[6, 10, 14] };
+    let solver = Solver::new();
+    let mut rows = Vec::new();
+    for &n in scales {
+        let p = coloring_program(n);
+        let tg = Instant::now();
+        let (g, _) = ground_with_stats(&p, GroundOptions::default()).expect("grounds");
+        let ground_micros = tg.elapsed().as_micros();
+        let ts = Instant::now();
+        let r = solver.solve(&g);
+        rows.push(SolveRow {
+            workload: "coloring",
+            n,
+            ground_micros,
+            solve_micros: ts.elapsed().as_micros(),
+            models: r.models().len(),
+            decisions: r.stats().decisions,
+        });
+    }
+    rows
+}
+
+/// Runs CAV and XACML learning under the default configuration (delta
+/// grounding + evaluation memo) and the ablation (naive re-grounding, no
+/// memo). Returns the rows plus the headline naive/delta rule-instantiation
+/// ratio on the largest CAV scale.
+fn run_learning(smoke: bool) -> (Vec<LearnRow>, f64) {
+    let cav_scales: &[usize] = if smoke { &[4] } else { &[4, 8, 12] };
+    let xacml_scales: &[usize] = if smoke { &[20] } else { &[40, 100] };
+    let delta_opts = LearnOptions {
+        force_generic: true,
+        ..LearnOptions::default()
+    };
+    let naive_opts = LearnOptions {
+        force_generic: true,
+        eval_cache: false,
+        compile: CompileOptions {
+            naive_ground: true,
+            ..CompileOptions::default()
+        },
+        ..LearnOptions::default()
+    };
+    let mut rows = Vec::new();
+    let mut ratio = 0.0;
+    for &n in cav_scales {
+        let train = cav::samples(n, 7);
+        let task = cav::learning_task(&train, None);
+        let delta = measure_learn("cav", n, "delta_cached", delta_opts, &task);
+        let naive = measure_learn("cav", n, "naive_uncached", naive_opts, &task);
+        let delta_work = delta.stats.rules_instantiated.max(1);
+        ratio = naive.stats.rules_instantiated as f64 / delta_work as f64;
+        rows.push(delta);
+        rows.push(naive);
+    }
+    for &n in xacml_scales {
+        let log = xacml::generate_log(n, 11, 0.0);
+        let task = xacml::learning_task(
+            &log,
+            xacml::SpaceConfig::default(),
+            xacml::NoiseHandling::Filter,
+        );
+        rows.push(measure_learn(
+            "xacml",
+            n,
+            "default",
+            LearnOptions::default(),
+            &task,
+        ));
+        rows.push(measure_learn(
+            "xacml",
+            n,
+            "naive_ground",
+            LearnOptions {
+                compile: CompileOptions {
+                    naive_ground: true,
+                    ..CompileOptions::default()
+                },
+                ..LearnOptions::default()
+            },
+            &task,
+        ));
+    }
+    (rows, ratio)
+}
+
+fn measure_learn(
+    workload: &'static str,
+    n: usize,
+    config: &'static str,
+    opts: LearnOptions,
+    task: &agenp_learn::LearningTask,
+) -> LearnRow {
+    let t = Instant::now();
+    let (h, stats) = Learner::with_options(opts)
+        .learn_with_stats(task)
+        .expect("benchmark task is learnable");
+    LearnRow {
+        workload,
+        n,
+        config,
+        micros: t.elapsed().as_micros(),
+        cost: h.cost,
+        stats,
+    }
+}
+
+// --- human-readable output -------------------------------------------------
+
+fn print_tables(
+    ground_rows: &[GroundRow],
+    solve_rows: &[SolveRow],
+    learn_rows: &[LearnRow],
+    cav_ratio: f64,
+) {
+    println!("-- grounding: semi-naive vs naive reference --");
+    println!(
+        "{:>20} {:>6} {:>10} {:>10} {:>7} {:>12} {:>12} {:>8} {:>8}",
+        "workload", "n", "engine", "micros", "passes", "instantiated", "candidates", "atoms",
+        "rules"
+    );
+    for r in ground_rows {
+        println!(
+            "{:>20} {:>6} {:>10} {:>10} {:>7} {:>12} {:>12} {:>8} {:>8}",
+            r.workload,
+            r.n,
+            r.engine,
+            r.micros,
+            r.stats.passes,
+            r.stats.rules_instantiated,
+            r.stats.join_candidates,
+            r.atoms,
+            r.rules
+        );
+    }
+    println!("\n-- solving (ground vs solve time) --");
+    println!(
+        "{:>20} {:>6} {:>12} {:>12} {:>8} {:>10}",
+        "workload", "n", "ground_us", "solve_us", "models", "decisions"
+    );
+    for r in solve_rows {
+        println!(
+            "{:>20} {:>6} {:>12} {:>12} {:>8} {:>10}",
+            r.workload, r.n, r.ground_micros, r.solve_micros, r.models, r.decisions
+        );
+    }
+    println!("\n-- end-to-end learning: delta+memo vs naive ablation --");
+    println!(
+        "{:>10} {:>6} {:>16} {:>10} {:>6} {:>8} {:>12} {:>8} {:>8} {:>8}",
+        "workload",
+        "n",
+        "config",
+        "micros",
+        "cost",
+        "passes",
+        "instantiated",
+        "solves",
+        "hits",
+        "misses"
+    );
+    for r in learn_rows {
+        println!(
+            "{:>10} {:>6} {:>16} {:>10} {:>6} {:>8} {:>12} {:>8} {:>8} {:>8}",
+            r.workload,
+            r.n,
+            r.config,
+            r.micros,
+            r.cost,
+            r.stats.grounding_passes,
+            r.stats.rules_instantiated,
+            r.stats.solver_calls,
+            r.stats.eval_cache_hits,
+            r.stats.eval_cache_misses
+        );
+    }
+    println!("\ncav naive/delta rule-instantiation ratio: {cav_ratio:.1}x");
+}
+
+// --- JSON emission ---------------------------------------------------------
+
+fn render_json(
+    smoke: bool,
+    ground_rows: &[GroundRow],
+    solve_rows: &[SolveRow],
+    learn_rows: &[LearnRow],
+    cav_ratio: f64,
+) -> String {
+    let grounding: Vec<String> = ground_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"workload\": \"{}\", \"n\": {}, \"engine\": \"{}\", \"micros\": {}, \
+                 \"passes\": {}, \"rules_instantiated\": {}, \"join_candidates\": {}, \
+                 \"atoms\": {}, \"rules\": {}}}",
+                r.workload,
+                r.n,
+                r.engine,
+                r.micros,
+                r.stats.passes,
+                r.stats.rules_instantiated,
+                r.stats.join_candidates,
+                r.atoms,
+                r.rules
+            )
+        })
+        .collect();
+    let solving: Vec<String> = solve_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"workload\": \"{}\", \"n\": {}, \"ground_micros\": {}, \
+                 \"solve_micros\": {}, \"models\": {}, \"decisions\": {}}}",
+                r.workload, r.n, r.ground_micros, r.solve_micros, r.models, r.decisions
+            )
+        })
+        .collect();
+    let learning: Vec<String> = learn_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"workload\": \"{}\", \"n\": {}, \"config\": \"{}\", \"micros\": {}, \
+                 \"cost\": {}, \"grounding_passes\": {}, \"rules_instantiated\": {}, \
+                 \"solver_calls\": {}, \"eval_cache_hits\": {}, \"eval_cache_misses\": {}, \
+                 \"search_nodes\": {}, \"used_monotone\": {}}}",
+                r.workload,
+                r.n,
+                r.config,
+                r.micros,
+                r.cost,
+                r.stats.grounding_passes,
+                r.stats.rules_instantiated,
+                r.stats.solver_calls,
+                r.stats.eval_cache_hits,
+                r.stats.eval_cache_misses,
+                r.stats.search_nodes,
+                r.stats.used_monotone
+            )
+        })
+        .collect();
+    format!(
+        "{{\n\"schema\": \"agenp-bench/perf/v1\",\n\"smoke\": {},\n\
+         \"grounding\": [\n{}\n],\n\"solving\": [\n{}\n],\n\"learning\": [\n{}\n],\n\
+         \"claims\": {{\"cav_naive_over_delta_rule_instantiations\": {:.3}}}\n}}\n",
+        smoke,
+        grounding.join(",\n"),
+        solving.join(",\n"),
+        learning.join(",\n"),
+        cav_ratio
+    )
+}
+
+// --- JSON validation -------------------------------------------------------
+
+/// Minimal validating JSON parser (the workspace deliberately has no JSON
+/// dependency). Accepts exactly the RFC 8259 grammar; returns a position
+/// on failure.
+fn validate_json(input: &str) -> Result<(), String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos),
+        Some(b't') => parse_literal(bytes, pos, b"true"),
+        Some(b'f') => parse_literal(bytes, pos, b"false"),
+        Some(b'n') => parse_literal(bytes, pos, b"null"),
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume '{'
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        *pos += 1;
+        parse_value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume '['
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        parse_value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'u') => {
+                        if bytes.len() < *pos + 5
+                            || !bytes[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
+                        {
+                            return Err(format!("bad \\u escape at byte {pos}"));
+                        }
+                        *pos += 5;
+                    }
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+            }
+            0x00..=0x1f => return Err(format!("raw control character at byte {pos}")),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if bytes.len() >= *pos + lit.len() && &bytes[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut digits = 0;
+    while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+        *pos += 1;
+        digits += 1;
+    }
+    if digits == 0 {
+        return Err(format!("expected number at byte {start}"));
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let mut frac = 0;
+        while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+            frac += 1;
+        }
+        if frac == 0 {
+            return Err(format!("bad fraction at byte {pos}"));
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let mut exp = 0;
+        while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+            exp += 1;
+        }
+        if exp == 0 {
+            return Err(format!("bad exponent at byte {pos}"));
+        }
+    }
+    Ok(())
+}

@@ -262,17 +262,22 @@ fn scale() {
     header("E7 (§III-B / §IV-B) — performance: solving, membership, learning");
     println!("-- answer-set solving (ring coloring, all models) --");
     println!(
-        "{:>8} {:>10} {:>12} {:>12}",
-        "nodes", "models", "time", "decisions"
+        "{:>8} {:>10} {:>12} {:>12} {:>12}",
+        "nodes", "models", "ground", "solve", "decisions"
     );
+    let solver = Solver::new();
     for n in [6usize, 10, 14, 18] {
-        let g = ground(&coloring_program(n)).expect("grounds");
-        let t = Instant::now();
-        let r = Solver::new().solve(&g);
+        let p = coloring_program(n);
+        let tg = Instant::now();
+        let g = ground(&p).expect("grounds");
+        let ground_time = tg.elapsed();
+        let ts = Instant::now();
+        let r = solver.solve(&g);
         println!(
-            "{n:>8} {:>10} {:>12?} {:>12}",
+            "{n:>8} {:>10} {:>12?} {:>12?} {:>12}",
             r.models().len(),
-            t.elapsed(),
+            ground_time,
+            ts.elapsed(),
             r.stats().decisions
         );
     }

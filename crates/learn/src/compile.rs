@@ -12,7 +12,8 @@
 use crate::example::Example;
 use crate::space::Candidate;
 use agenp_asp::{
-    ground, Atom, Bindings, CmpOp, GroundError, Literal, Program, Rule, Solver, Symbol, Trace,
+    ground_naive_with_stats, Atom, Bindings, CmpOp, GroundError, GroundOptions, GroundStats,
+    IncrementalGrounder, Literal, Program, Rule, Solver, Symbol, Trace,
 };
 use agenp_grammar::{Asg, EarleyParser, ParseOptions, ParseTree, ProdId};
 use std::collections::HashMap;
@@ -165,6 +166,10 @@ pub struct CompiledTree {
     pub worlds: Vec<World>,
     /// False if world enumeration hit the cap (monotone path unusable).
     pub worlds_complete: bool,
+    /// Saturated base grounder: hypotheses are grounded as deltas on top of
+    /// `base` instead of re-grounding it per evaluation. `None` when
+    /// compiled with [`CompileOptions::naive_ground`] (benchmark ablation).
+    pub grounder: Option<IncrementalGrounder>,
 }
 
 impl CompiledTree {
@@ -202,6 +207,10 @@ pub struct CompiledExample {
     pub trees: Vec<CompiledTree>,
     /// Rendered example text (diagnostics).
     pub text: String,
+    /// Grounding work spent on this example's tree bases at compile time.
+    pub ground_stats: GroundStats,
+    /// Solver calls made while enumerating worlds.
+    pub solver_calls: u64,
 }
 
 /// Options for example compilation.
@@ -211,6 +220,11 @@ pub struct CompileOptions {
     pub max_trees: usize,
     /// Maximum answer sets enumerated per tree (worlds).
     pub max_worlds: usize,
+    /// Ground tree bases with the retained naive reference grounder and skip
+    /// building incremental base grounders. Benchmark ablation only — the
+    /// learner then re-grounds base + hypothesis from scratch per
+    /// evaluation.
+    pub naive_ground: bool,
 }
 
 impl Default for CompileOptions {
@@ -218,6 +232,7 @@ impl Default for CompileOptions {
         CompileOptions {
             max_trees: 16,
             max_worlds: 64,
+            naive_ground: false,
         }
     }
 }
@@ -247,6 +262,37 @@ impl CompiledExample {
         }
         Some(false)
     }
+
+    /// Like [`CompiledExample::accepted_by`], but exact for arbitrary
+    /// hypotheses: each tree's hypothesis instantiation is grounded as a
+    /// delta over the tree's saturated base and checked for a stable model.
+    /// Returns `Ok(None)` when a tree lacks a base grounder (the
+    /// [`CompileOptions::naive_ground`] ablation); callers then fall back to
+    /// full ASG semantics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates grounding failures from the delta pass.
+    pub fn accepted_by_grounding(
+        &self,
+        rules: &[(ProdId, Rule)],
+    ) -> Result<Option<bool>, GroundError> {
+        for tree in &self.trees {
+            let Some(grounder) = &tree.grounder else {
+                return Ok(None);
+            };
+            let mut delta: Vec<Rule> = Vec::new();
+            for (target, rule) in rules {
+                let cand = Candidate::new(*target, rule.clone());
+                delta.extend(tree.instantiate(&cand));
+            }
+            let g = grounder.ground_delta(&delta)?;
+            if Solver::new().max_models(1).solve(&g).satisfiable() {
+                return Ok(Some(true));
+            }
+        }
+        Ok(Some(false))
+    }
 }
 
 /// Compiles an example against `grammar`.
@@ -270,6 +316,8 @@ pub fn compile_example(
         },
     );
     let mut compiled = Vec::with_capacity(trees.len());
+    let mut ground_stats = GroundStats::default();
+    let mut solver_calls = 0u64;
     for tree in trees {
         let base = with_ctx.tree_program(&tree);
         let mut traces_by_prod: HashMap<ProdId, Vec<Trace>> = HashMap::new();
@@ -279,8 +327,22 @@ pub fn compile_example(
                 .or_default()
                 .push(trace.clone());
         });
-        let g = ground(&base)?;
+        // Ground the base once. The incremental grounder saturates it and
+        // keeps the state around so candidate hypotheses can later be
+        // grounded as deltas without redoing this work.
+        let (g, grounder) = if opts.naive_ground {
+            let (g, st) = ground_naive_with_stats(&base, GroundOptions::default())?;
+            ground_stats.absorb(st);
+            (g, None)
+        } else {
+            let grounder = IncrementalGrounder::new(&base, GroundOptions::default())?;
+            ground_stats.absorb(grounder.base_stats());
+            let (g, st) = grounder.ground_delta_with_stats(&[])?;
+            ground_stats.absorb(st);
+            (g, Some(grounder))
+        };
         let result = Solver::new().max_models(opts.max_worlds).solve(&g);
+        solver_calls += 1;
         let worlds_complete = result.complete();
         let worlds = result
             .models()
@@ -293,6 +355,7 @@ pub fn compile_example(
             traces_by_prod,
             worlds,
             worlds_complete,
+            grounder,
         });
     }
     Ok(CompiledExample {
@@ -300,6 +363,8 @@ pub fn compile_example(
         penalty: example.penalty,
         trees: compiled,
         text: example.text.clone(),
+        ground_stats,
+        solver_calls,
     })
 }
 

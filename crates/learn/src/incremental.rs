@@ -69,10 +69,16 @@ impl Learner {
             };
             let hypothesis = self.learn(&sub)?;
             // Find counterexamples among all examples, preferring hard ones.
-            let violated = fast_violations(&compiled_pos, &compiled_neg, &hypothesis).map_or_else(
-                || task.violations(&hypothesis).map_err(LearnError::Ground),
-                Ok,
-            )?;
+            // Three tiers: precomputed worlds (constraint-only hypotheses),
+            // then delta grounding over the compiled bases, and only in the
+            // naive-ground ablation full ASG re-parsing.
+            let violated = match fast_violations(&compiled_pos, &compiled_neg, &hypothesis) {
+                Some(v) => v,
+                None => match grounded_violations(&compiled_pos, &compiled_neg, &hypothesis)? {
+                    Some(v) => v,
+                    None => task.violations(&hypothesis).map_err(LearnError::Ground)?,
+                },
+            };
             let sacrificed_ok = |is_pos: bool, i: usize| {
                 // A soft example the sub-task already chose to sacrifice is
                 // not a counterexample.
@@ -135,6 +141,38 @@ fn fast_violations(
         }
     }
     Some(out)
+}
+
+/// Delta-grounding violation check over the compiled tree bases; `None` when
+/// the examples were compiled without incremental grounders (the naive-ground
+/// ablation).
+fn grounded_violations(
+    compiled_pos: &[CompiledExample],
+    compiled_neg: &[CompiledExample],
+    hypothesis: &Hypothesis,
+) -> Result<Option<Vec<(bool, usize)>>, LearnError> {
+    let mut out = Vec::new();
+    for (i, c) in compiled_pos.iter().enumerate() {
+        match c.accepted_by_grounding(&hypothesis.rules)? {
+            Some(accepted) => {
+                if !accepted {
+                    out.push((true, i));
+                }
+            }
+            None => return Ok(None),
+        }
+    }
+    for (i, c) in compiled_neg.iter().enumerate() {
+        match c.accepted_by_grounding(&hypothesis.rules)? {
+            Some(accepted) => {
+                if accepted {
+                    out.push((false, i));
+                }
+            }
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(out))
 }
 
 fn pick(examples: &[Example], indices: &[usize]) -> Vec<Example> {

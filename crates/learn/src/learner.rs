@@ -18,7 +18,10 @@
 use crate::compile::{compile_example, CompileOptions, CompiledExample};
 use crate::example::Example;
 use crate::space::{Candidate, HypothesisSpace};
-use agenp_asp::{ground, Deadline, Exhausted, GroundError, Program, Rule, Solver};
+use agenp_asp::{
+    ground_naive_with_stats, Deadline, Exhausted, GroundError, GroundOptions, GroundStats, Program,
+    Rule, Solver,
+};
 use agenp_grammar::{Asg, ProdId};
 use std::collections::HashMap;
 use std::fmt;
@@ -196,6 +199,25 @@ pub struct LearnStats {
     pub search_nodes: u64,
     /// True if the monotone (constraint-only) fast path was used.
     pub used_monotone: bool,
+    /// Grounding passes spent compiling examples and evaluating hypotheses.
+    pub grounding_passes: u64,
+    /// Ground-rule instantiations emitted across all grounding work (the
+    /// primary grounder cost metric; see [`agenp_asp::GroundStats`]).
+    pub rules_instantiated: u64,
+    /// Stable-model solver invocations.
+    pub solver_calls: u64,
+    /// Hypothesis evaluations answered from the memo without re-grounding.
+    pub eval_cache_hits: u64,
+    /// Hypothesis evaluations that had to ground and solve.
+    pub eval_cache_misses: u64,
+}
+
+impl LearnStats {
+    /// Folds a grounder's counters into the learner totals.
+    fn absorb_ground(&mut self, g: GroundStats) {
+        self.grounding_passes += g.passes;
+        self.rules_instantiated += g.rules_instantiated;
+    }
 }
 
 /// Branch-ordering heuristic for the monotone search — the paper's §V-C
@@ -226,6 +248,9 @@ pub struct LearnOptions {
     pub branching: Branching,
     /// Wall-clock deadline for the hypothesis search (default: none).
     pub deadline: Deadline,
+    /// Memoize hypothesis evaluations on the generic path (disable for
+    /// ablation benchmarks; results must be identical either way).
+    pub eval_cache: bool,
 }
 
 impl Default for LearnOptions {
@@ -237,6 +262,7 @@ impl Default for LearnOptions {
             max_nodes: 2_000_000,
             branching: Branching::Guided,
             deadline: Deadline::none(),
+            eval_cache: true,
         }
     }
 }
@@ -325,13 +351,17 @@ impl Learner {
                 .flat_map(|e| e.trees.iter())
                 .map(|t| t.worlds.len())
                 .sum(),
-            search_nodes: 0,
             used_monotone: monotone_ok,
+            ..LearnStats::default()
         };
+        for ex in &compiled {
+            stats.absorb_ground(ex.ground_stats);
+            stats.solver_calls += ex.solver_calls;
+        }
         let hypothesis = if monotone_ok {
             self.learn_monotone(task, &compiled, &mut stats.search_nodes)
         } else {
-            self.learn_generic(task, &compiled, &mut stats.search_nodes)
+            self.learn_generic(task, &compiled, &mut stats)
         }?;
         Ok((hypothesis, stats))
     }
@@ -471,11 +501,10 @@ impl Learner {
         &self,
         task: &LearningTask,
         compiled: &[CompiledExample],
-        nodes_out: &mut u64,
+        stats: &mut LearnStats,
     ) -> Result<Hypothesis, LearnError> {
         let candidates = task.space.candidates();
         let mut cache: HashMap<(usize, usize, Vec<u32>), bool> = HashMap::new();
-        let mut nodes: u64 = 0;
         // Iterative deepening over rule cost.
         let max_rule_cost: u64 = candidates
             .iter()
@@ -497,12 +526,11 @@ impl Learner {
                 budget,
                 &mut chosen,
                 &mut cache,
-                &mut nodes,
+                stats,
                 &mut deadline_hit,
                 &mut best,
             )?;
             if deadline_hit {
-                *nodes_out = nodes;
                 return best
                     .map(|(cost, chosen, sacrificed)| Hypothesis {
                         rules: chosen
@@ -517,8 +545,7 @@ impl Learner {
                     })
                     .ok_or(LearnError::Exhausted(Exhausted::Deadline));
             }
-            if nodes >= self.options.max_nodes {
-                *nodes_out = nodes;
+            if stats.search_nodes >= self.options.max_nodes {
                 return best
                     .map(|(cost, chosen, sacrificed)| Hypothesis {
                         rules: chosen
@@ -534,7 +561,6 @@ impl Learner {
                     .ok_or(LearnError::Budget);
             }
         }
-        *nodes_out = nodes;
         best.map(|(cost, chosen, sacrificed)| Hypothesis {
             rules: chosen
                 .iter()
@@ -559,12 +585,12 @@ impl Learner {
         budget: u64,
         chosen: &mut Vec<u32>,
         cache: &mut HashMap<(usize, usize, Vec<u32>), bool>,
-        nodes: &mut u64,
+        stats: &mut LearnStats,
         deadline_hit: &mut bool,
         best: &mut Option<BestSolution>,
     ) -> Result<(), LearnError> {
-        *nodes += 1;
-        if *deadline_hit || *nodes >= self.options.max_nodes {
+        stats.search_nodes += 1;
+        if *deadline_hit || stats.search_nodes >= self.options.max_nodes {
             return Ok(());
         }
         if self.options.deadline.expired() {
@@ -577,7 +603,7 @@ impl Learner {
             .map(|&c| u64::from(candidates[c as usize].cost))
             .sum();
         if rule_cost == budget {
-            self.evaluate_generic(task, compiled, candidates, chosen, cache, best)?;
+            self.evaluate_generic(task, compiled, candidates, chosen, cache, stats, best)?;
             return Ok(());
         }
         if next >= candidates.len() || rule_cost > budget {
@@ -595,7 +621,7 @@ impl Learner {
                 budget,
                 chosen,
                 cache,
-                nodes,
+                stats,
                 deadline_hit,
                 best,
             )?;
@@ -609,12 +635,13 @@ impl Learner {
             budget,
             chosen,
             cache,
-            nodes,
+            stats,
             deadline_hit,
             best,
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn evaluate_generic(
         &self,
         _task: &LearningTask,
@@ -622,6 +649,7 @@ impl Learner {
         candidates: &[Candidate],
         chosen: &[u32],
         cache: &mut HashMap<(usize, usize, Vec<u32>), bool>,
+        stats: &mut LearnStats,
         best: &mut Option<BestSolution>,
     ) -> Result<(), LearnError> {
         let rule_cost: u64 = chosen
@@ -643,20 +671,44 @@ impl Learner {
                     })
                     .collect();
                 let key = (ei, ti, relevant.clone());
-                let ok = if let Some(&v) = cache.get(&key) {
+                let cached = if self.options.eval_cache {
+                    cache.get(&key).copied()
+                } else {
+                    None
+                };
+                let ok = if let Some(v) = cached {
+                    stats.eval_cache_hits += 1;
                     v
                 } else {
-                    let mut program: Program = tree.base.clone();
+                    stats.eval_cache_misses += 1;
+                    let mut delta: Vec<Rule> = Vec::new();
                     for &ci in &relevant {
-                        for rule in tree.instantiate(&candidates[ci as usize]) {
-                            program.push(rule);
-                        }
+                        delta.extend(tree.instantiate(&candidates[ci as usize]));
                     }
-                    let v = Solver::new()
-                        .max_models(1)
-                        .solve(&ground(&program)?)
-                        .satisfiable();
-                    cache.insert(key, v);
+                    // The hypothesis is a delta over the tree's saturated base
+                    // grounding; only ablation runs re-ground from scratch.
+                    let g = match &tree.grounder {
+                        Some(grounder) => {
+                            let (g, st) = grounder.ground_delta_with_stats(&delta)?;
+                            stats.absorb_ground(st);
+                            g
+                        }
+                        None => {
+                            let mut program: Program = tree.base.clone();
+                            for rule in delta {
+                                program.push(rule);
+                            }
+                            let (g, st) =
+                                ground_naive_with_stats(&program, GroundOptions::default())?;
+                            stats.absorb_ground(st);
+                            g
+                        }
+                    };
+                    let v = Solver::new().max_models(1).solve(&g).satisfiable();
+                    stats.solver_calls += 1;
+                    if self.options.eval_cache {
+                        cache.insert(key, v);
+                    }
                     v
                 };
                 if ok {

@@ -348,6 +348,7 @@ fn world_cap_falls_back_to_generic_path() {
         compile: CompileOptions {
             max_trees: 4,
             max_worlds: 2,
+            ..CompileOptions::default()
         },
         ..Default::default()
     };
@@ -358,4 +359,114 @@ fn world_cap_falls_back_to_generic_path() {
     );
     assert_eq!(h.rules[0].1.to_string(), ":- storm.");
     assert!(task.violations(&h).unwrap().is_empty());
+}
+
+/// A generic-path task (normal rules in the space) for the evaluation-cache
+/// and grounder ablation tests.
+fn generic_task() -> LearningTask {
+    let g: Asg = r#"
+        policy -> "allow" { :- not ok. }
+        policy -> "deny"
+    "#
+    .parse()
+    .unwrap();
+    // The last candidate targets the `deny` production, which no example
+    // parses through: hypothesis subsets that differ only in it project onto
+    // the same relevant set per tree, which is what makes the evaluation
+    // memo earn hits.
+    let space = HypothesisSpace::from_texts(&[
+        (pid(0), "ok :- sunny."),
+        (pid(0), "ok :- rainy."),
+        (pid(1), "aux :- ok."),
+    ]);
+    LearningTask::new(g, space)
+        .pos(Example::in_context("allow", ctx("sunny.")))
+        .neg(Example::in_context("allow", ctx("rainy.")))
+}
+
+#[test]
+fn eval_cache_does_not_change_results() {
+    use agenp_learn::CompileOptions;
+    let task = generic_task();
+    let (with_cache, cached_stats) = Learner::with_options(LearnOptions {
+        force_generic: true,
+        ..Default::default()
+    })
+    .learn_with_stats(&task)
+    .unwrap();
+    let (without_cache, uncached_stats) = Learner::with_options(LearnOptions {
+        force_generic: true,
+        eval_cache: false,
+        compile: CompileOptions {
+            naive_ground: true,
+            ..CompileOptions::default()
+        },
+        ..Default::default()
+    })
+    .learn_with_stats(&task)
+    .unwrap();
+    // Identical hypotheses regardless of cache and grounder choice.
+    assert_eq!(with_cache.cost, without_cache.cost);
+    assert_eq!(
+        with_cache.rules[0].1.to_string(),
+        without_cache.rules[0].1.to_string()
+    );
+    assert!(task.violations(&with_cache).unwrap().is_empty());
+    assert!(task.violations(&without_cache).unwrap().is_empty());
+    // The memo actually fires on the default path and never on the ablation.
+    assert!(cached_stats.eval_cache_hits > 0, "stats: {cached_stats:?}");
+    assert_eq!(uncached_stats.eval_cache_hits, 0);
+    assert!(uncached_stats.eval_cache_misses >= cached_stats.eval_cache_misses);
+}
+
+#[test]
+fn delta_grounding_instantiates_fewer_rules_than_naive() {
+    use agenp_learn::CompileOptions;
+    let task = generic_task();
+    let (_, fast) = Learner::with_options(LearnOptions {
+        force_generic: true,
+        ..Default::default()
+    })
+    .learn_with_stats(&task)
+    .unwrap();
+    let (_, slow) = Learner::with_options(LearnOptions {
+        force_generic: true,
+        eval_cache: false,
+        compile: CompileOptions {
+            naive_ground: true,
+            ..CompileOptions::default()
+        },
+        ..Default::default()
+    })
+    .learn_with_stats(&task)
+    .unwrap();
+    assert!(
+        fast.rules_instantiated < slow.rules_instantiated,
+        "delta+cache {} vs naive {}",
+        fast.rules_instantiated,
+        slow.rules_instantiated
+    );
+    assert!(fast.solver_calls <= slow.solver_calls);
+}
+
+#[test]
+fn incremental_uses_grounded_violations_for_normal_rules() {
+    // Normal rules in the space disable the world fast path; the incremental
+    // driver must still converge via the delta-grounding violation check.
+    let task = generic_task();
+    let batch = Learner::with_options(LearnOptions {
+        force_generic: true,
+        ..Default::default()
+    })
+    .learn(&task)
+    .unwrap();
+    let (inc, stats) = Learner::with_options(LearnOptions {
+        force_generic: true,
+        ..Default::default()
+    })
+    .learn_incremental(&task)
+    .unwrap();
+    assert_eq!(batch.cost, inc.cost);
+    assert!(task.violations(&inc).unwrap().is_empty());
+    assert!(stats.rounds >= 1);
 }
