@@ -16,7 +16,7 @@
 //! joins before `d`, exactly `Δ` at join `d`, and everything derived so far at
 //! joins after `d` — so every new combination of body atoms is enumerated
 //! exactly once over the whole run instead of once per pass. The classic
-//! naive fixpoint is retained as [`ground_naive_with`] as a reference
+//! naive fixpoint is retained behind [`GroundMode::Naive`] as a reference
 //! implementation for differential testing and benchmarking.
 //!
 //! [`IncrementalGrounder`] additionally snapshots a saturated base program so
@@ -283,6 +283,9 @@ pub struct GroundOptions {
     /// Abort with [`GroundError::Exhausted`] once this wall-clock deadline
     /// passes (default: no deadline).
     pub deadline: Deadline,
+    /// Saturation strategy (semi-naive by default; the naive reference is
+    /// kept for differential testing and speedup measurements).
+    pub mode: GroundMode,
 }
 
 impl Default for GroundOptions {
@@ -291,8 +294,48 @@ impl Default for GroundOptions {
             max_atoms: 4_000_000,
             simplify: true,
             deadline: Deadline::none(),
+            mode: GroundMode::SemiNaive,
         }
     }
+}
+
+impl GroundOptions {
+    /// Sets the atom budget.
+    pub fn with_max_atoms(mut self, max_atoms: usize) -> GroundOptions {
+        self.max_atoms = max_atoms;
+        self
+    }
+
+    /// Enables or disables fact-folding simplification.
+    pub fn with_simplify(mut self, simplify: bool) -> GroundOptions {
+        self.simplify = simplify;
+        self
+    }
+
+    /// Sets the grounding deadline.
+    pub fn with_deadline(mut self, deadline: Deadline) -> GroundOptions {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Selects the saturation strategy.
+    pub fn with_mode(mut self, mode: GroundMode) -> GroundOptions {
+        self.mode = mode;
+        self
+    }
+}
+
+/// Which saturation strategy the grounder runs. Both produce identical
+/// atoms, rules, and weak constraints; they differ only in the work spent
+/// re-deriving known facts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum GroundMode {
+    /// Delta-driven semi-naive evaluation (the production strategy).
+    #[default]
+    SemiNaive,
+    /// Full re-saturation every pass — the reference implementation, kept
+    /// for differential testing and for quantifying the semi-naive speedup.
+    Naive,
 }
 
 /// Work counters reported by the grounder.
@@ -524,7 +567,10 @@ fn schedule_body<'p>(
             .into_iter()
             .find(|v| !bound.contains(v))
             .unwrap_or(Symbol::new("_"));
-        return Err(GroundError::UnsafeRule { rule: render(), var });
+        return Err(GroundError::UnsafeRule {
+            rule: render(),
+            var,
+        });
     }
     let head_key = head.map(|h| sig_key(h, traces));
     Ok(ScheduledRule {
@@ -759,6 +805,16 @@ impl Engine {
                     self.possible.insert(h, key);
                 }
                 self.rules.push(gr);
+            }
+            // Re-check the atom budget after interning: semi-naive
+            // evaluation visits each instantiation once, so an entry-only
+            // check would let a small program overshoot the cap and
+            // finish without ever reporting exhaustion (the naive engine
+            // caught this on its redundant second pass).
+            if self.table.len() > self.opts.max_atoms {
+                return Err(GroundError::Budget {
+                    max_atoms: self.opts.max_atoms,
+                });
             }
             return Ok(());
         }
@@ -1135,7 +1191,9 @@ pub fn ground(program: &Program) -> Result<GroundProgram, GroundError> {
     ground_with(program, GroundOptions::default())
 }
 
-/// Grounds `program` with explicit [`GroundOptions`] (semi-naive evaluation).
+/// Grounds `program` with explicit [`GroundOptions`]. The saturation
+/// strategy is selected by [`GroundOptions::mode`]; both modes produce
+/// identical output.
 ///
 /// # Errors
 ///
@@ -1153,19 +1211,21 @@ pub fn ground_with_stats(
     program: &Program,
     opts: GroundOptions,
 ) -> Result<(GroundProgram, GroundStats), GroundError> {
-    run_engine(program, opts, false)
+    run_engine(program, opts, opts.mode == GroundMode::Naive)
 }
 
 /// Grounds `program` with the retained *naive* saturation strategy and
-/// default options. Produces the same atoms, rules, and weak constraints as
-/// [`ground`]; kept as the reference implementation for differential testing
-/// and for quantifying the semi-naive speedup.
+/// default options.
 ///
 /// # Errors
 ///
 /// See [`ground`].
+#[deprecated(note = "use `ground_with` with `GroundOptions::with_mode(GroundMode::Naive)`")]
 pub fn ground_naive(program: &Program) -> Result<GroundProgram, GroundError> {
-    ground_naive_with(program, GroundOptions::default())
+    ground_with(
+        program,
+        GroundOptions::default().with_mode(GroundMode::Naive),
+    )
 }
 
 /// Naive-reference grounding with explicit [`GroundOptions`].
@@ -1173,23 +1233,25 @@ pub fn ground_naive(program: &Program) -> Result<GroundProgram, GroundError> {
 /// # Errors
 ///
 /// See [`ground`].
+#[deprecated(note = "use `ground_with` with `GroundOptions::with_mode(GroundMode::Naive)`")]
 pub fn ground_naive_with(
     program: &Program,
     opts: GroundOptions,
 ) -> Result<GroundProgram, GroundError> {
-    ground_naive_with_stats(program, opts).map(|(g, _)| g)
+    ground_with(program, opts.with_mode(GroundMode::Naive))
 }
 
-/// Like [`ground_naive_with`], additionally reporting [`GroundStats`].
+/// Like naive [`ground_with`], additionally reporting [`GroundStats`].
 ///
 /// # Errors
 ///
 /// See [`ground`].
+#[deprecated(note = "use `ground_with_stats` with `GroundOptions::with_mode(GroundMode::Naive)`")]
 pub fn ground_naive_with_stats(
     program: &Program,
     opts: GroundOptions,
 ) -> Result<(GroundProgram, GroundStats), GroundError> {
-    run_engine(program, opts, true)
+    ground_with_stats(program, opts.with_mode(GroundMode::Naive))
 }
 
 /// A saturated base program that can be re-grounded with small rule deltas
@@ -1475,7 +1537,8 @@ mod tests {
         .parse()
         .unwrap();
         let (semi, semi_stats) = ground_with_stats(&p, GroundOptions::default()).unwrap();
-        let (naive, naive_stats) = ground_naive_with_stats(&p, GroundOptions::default()).unwrap();
+        let (naive, naive_stats) =
+            ground_with_stats(&p, GroundOptions::default().with_mode(GroundMode::Naive)).unwrap();
         assert_eq!(rendered_lines(&semi), rendered_lines(&naive));
         assert_eq!(atoms_of(&semi), atoms_of(&naive));
         // The whole point: semi-naive instantiates strictly fewer rules on a
@@ -1498,12 +1561,9 @@ mod tests {
         "
         .parse()
         .unwrap();
-        let opts = GroundOptions {
-            simplify: false,
-            ..GroundOptions::default()
-        };
+        let opts = GroundOptions::default().with_simplify(false);
         let semi = ground_with(&p, opts).unwrap();
-        let naive = ground_naive_with(&p, opts).unwrap();
+        let naive = ground_with(&p, opts.with_mode(GroundMode::Naive)).unwrap();
         assert_eq!(rendered_lines(&semi), rendered_lines(&naive));
     }
 

@@ -51,10 +51,11 @@ pub use atom::{Atom, CmpOp, Literal, Trace};
 pub use budget::{Deadline, Exhausted, RunBudget};
 pub use explain::{explain_atom, violated_constraints, Derivation};
 pub use ground::{
-    ground, ground_naive, ground_naive_with, ground_naive_with_stats, ground_with,
-    ground_with_stats, AtomId, AtomTable, GroundError, GroundOptions, GroundProgram, GroundRule,
-    GroundStats, GroundWeak, IncrementalGrounder,
+    ground, ground_with, ground_with_stats, AtomId, AtomTable, GroundError, GroundMode,
+    GroundOptions, GroundProgram, GroundRule, GroundStats, GroundWeak, IncrementalGrounder,
 };
+#[allow(deprecated)]
+pub use ground::{ground_naive, ground_naive_with, ground_naive_with_stats};
 pub use parser::{parse_atom, parse_program, parse_rule, ParseError};
 pub use program::{Program, Rule, WeakConstraint};
 pub use solve::{

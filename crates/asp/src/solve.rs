@@ -46,9 +46,7 @@ impl AnswerSet {
     /// True if the answer set contains `atom` (binary search over the
     /// sorted atoms).
     pub fn contains(&self, atom: &Atom) -> bool {
-        self.atoms
-            .binary_search_by(|a| a.ground_cmp(atom))
-            .is_ok()
+        self.atoms.binary_search_by(|a| a.ground_cmp(atom)).is_ok()
     }
 
     /// Atoms with the given predicate name.
@@ -143,6 +141,12 @@ impl SolveResult {
 }
 
 /// Configurable answer-set solver.
+///
+/// A `Solver` is a small `Copy` configuration value with no interior state:
+/// every `solve*` call takes `&self` and allocates its working set locally.
+/// It is therefore `Send + Sync` and can live inside a shared, immutable
+/// decision snapshot queried from many threads at once (the serving tier's
+/// requirement; see `docs/SERVING.md`), or be cheaply copied per worker.
 ///
 /// ```
 /// use agenp_asp::{Program, Solver};
@@ -1148,6 +1152,22 @@ mod tests {
         let mut v: Vec<String> = r.models().iter().map(|m| m.to_string()).collect();
         v.sort();
         v
+    }
+
+    #[test]
+    fn solver_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Solver>();
+        assert_send_sync::<SolveResult>();
+        assert_send_sync::<AnswerSet>();
+        // One shared solver, queried concurrently.
+        let solver = Solver::new();
+        let g = ground(&"p :- not q. q :- not p.".parse::<Program>().unwrap()).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| assert_eq!(solver.solve(&g).models().len(), 2));
+            }
+        });
     }
 
     #[test]

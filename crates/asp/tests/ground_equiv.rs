@@ -6,8 +6,7 @@
 //! grounding for any base/delta split.
 
 use agenp_asp::{
-    ground_naive_with_stats, ground_with_stats, GroundOptions, GroundProgram, IncrementalGrounder,
-    Program, Rule,
+    ground_with_stats, GroundMode, GroundOptions, GroundProgram, IncrementalGrounder, Program, Rule,
 };
 use proptest::prelude::*;
 
@@ -147,20 +146,21 @@ proptest! {
         let program: Program = text.parse().expect("generated programs parse");
         let (semi, _) = ground_with_stats(&program, GroundOptions::default())
             .expect("generated programs ground");
-        let (naive, _) = ground_naive_with_stats(&program, GroundOptions::default())
-            .expect("generated programs ground");
+        let (naive, _) = ground_with_stats(
+            &program,
+            GroundOptions::default().with_mode(GroundMode::Naive),
+        )
+        .expect("generated programs ground");
         prop_assert_eq!(rendered_lines(&semi), rendered_lines(&naive));
     }
 
     #[test]
     fn seminaive_equals_naive_without_simplification(text in arb_program_text()) {
         let program: Program = text.parse().expect("generated programs parse");
-        let opts = GroundOptions {
-            simplify: false,
-            ..GroundOptions::default()
-        };
+        let opts = GroundOptions::default().with_simplify(false);
         let (semi, _) = ground_with_stats(&program, opts).expect("grounds");
-        let (naive, _) = ground_naive_with_stats(&program, opts).expect("grounds");
+        let (naive, _) =
+            ground_with_stats(&program, opts.with_mode(GroundMode::Naive)).expect("grounds");
         prop_assert_eq!(rendered_lines(&semi), rendered_lines(&naive));
     }
 

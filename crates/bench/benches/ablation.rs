@@ -27,11 +27,11 @@ fn bench_ablation(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("learner_generic", n), &task, |b, task| {
             b.iter(|| {
-                Learner::with_options(LearnOptions {
-                    force_generic: true,
-                    max_nodes: 50_000_000,
-                    ..Default::default()
-                })
+                Learner::with_options(
+                    LearnOptions::default()
+                        .with_force_generic(true)
+                        .with_max_nodes(50_000_000),
+                )
                 .learn(task)
                 .expect("learnable")
                 .cost

@@ -12,9 +12,7 @@
 //! through a validating parser, and exits nonzero if the file is malformed
 //! or a headline counter claim regresses.
 
-use agenp_asp::{
-    ground_naive_with_stats, ground_with_stats, GroundOptions, GroundStats, Program, Solver,
-};
+use agenp_asp::{ground_with_stats, GroundMode, GroundOptions, GroundStats, Program, Solver};
 use agenp_bench::{birds_program, coloring_program, transitive_closure_program};
 use agenp_core::scenarios::{cav, xacml};
 use agenp_learn::{CompileOptions, LearnOptions, LearnStats, Learner};
@@ -77,7 +75,7 @@ fn main() {
             std::process::exit(1);
         }
     };
-    if let Err(e) = validate_json(&on_disk) {
+    if let Err(e) = agenp_bench::json::validate(&on_disk) {
         eprintln!("perf: BENCH_asp.json is not valid JSON: {e}");
         std::process::exit(1);
     }
@@ -108,8 +106,11 @@ fn output_path() -> PathBuf {
 
 // --- measurement -----------------------------------------------------------
 
+/// A named workload family: label, scales to run, and the program builder.
+type GroundWorkload = (&'static str, Vec<usize>, fn(usize) -> Program);
+
 fn run_grounding(smoke: bool) -> Vec<GroundRow> {
-    let workloads: Vec<(&'static str, Vec<usize>, fn(usize) -> Program)> = if smoke {
+    let workloads: Vec<GroundWorkload> = if smoke {
         vec![
             ("coloring", vec![6], coloring_program),
             ("transitive_closure", vec![12], transitive_closure_program),
@@ -144,7 +145,8 @@ fn run_grounding(smoke: bool) -> Vec<GroundRow> {
             });
             let t = Instant::now();
             let (g, stats) =
-                ground_naive_with_stats(&p, GroundOptions::default()).expect("workload grounds");
+                ground_with_stats(&p, GroundOptions::default().with_mode(GroundMode::Naive))
+                    .expect("workload grounds");
             rows.push(GroundRow {
                 workload: name,
                 n,
@@ -189,19 +191,11 @@ fn run_solving(smoke: bool) -> Vec<SolveRow> {
 fn run_learning(smoke: bool) -> (Vec<LearnRow>, f64) {
     let cav_scales: &[usize] = if smoke { &[4] } else { &[4, 8, 12] };
     let xacml_scales: &[usize] = if smoke { &[20] } else { &[40, 100] };
-    let delta_opts = LearnOptions {
-        force_generic: true,
-        ..LearnOptions::default()
-    };
-    let naive_opts = LearnOptions {
-        force_generic: true,
-        eval_cache: false,
-        compile: CompileOptions {
-            naive_ground: true,
-            ..CompileOptions::default()
-        },
-        ..LearnOptions::default()
-    };
+    let delta_opts = LearnOptions::default().with_force_generic(true);
+    let naive_opts = LearnOptions::default()
+        .with_force_generic(true)
+        .with_eval_cache(false)
+        .with_compile(CompileOptions::default().with_naive_ground(true));
     let mut rows = Vec::new();
     let mut ratio = 0.0;
     for &n in cav_scales {
@@ -232,13 +226,7 @@ fn run_learning(smoke: bool) -> (Vec<LearnRow>, f64) {
             "xacml",
             n,
             "naive_ground",
-            LearnOptions {
-                compile: CompileOptions {
-                    naive_ground: true,
-                    ..CompileOptions::default()
-                },
-                ..LearnOptions::default()
-            },
+            LearnOptions::default().with_compile(CompileOptions::default().with_naive_ground(true)),
             &task,
         ));
     }
@@ -277,7 +265,14 @@ fn print_tables(
     println!("-- grounding: semi-naive vs naive reference --");
     println!(
         "{:>20} {:>6} {:>10} {:>10} {:>7} {:>12} {:>12} {:>8} {:>8}",
-        "workload", "n", "engine", "micros", "passes", "instantiated", "candidates", "atoms",
+        "workload",
+        "n",
+        "engine",
+        "micros",
+        "passes",
+        "instantiated",
+        "candidates",
+        "atoms",
         "rules"
     );
     for r in ground_rows {
@@ -408,173 +403,4 @@ fn render_json(
         learning.join(",\n"),
         cav_ratio
     )
-}
-
-// --- JSON validation -------------------------------------------------------
-
-/// Minimal validating JSON parser (the workspace deliberately has no JSON
-/// dependency). Accepts exactly the RFC 8259 grammar; returns a position
-/// on failure.
-fn validate_json(input: &str) -> Result<(), String> {
-    let bytes = input.as_bytes();
-    let mut pos = 0usize;
-    skip_ws(bytes, &mut pos);
-    parse_value(bytes, &mut pos)?;
-    skip_ws(bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(format!("trailing content at byte {pos}"));
-    }
-    Ok(())
-}
-
-fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
-    skip_ws(bytes, pos);
-    match bytes.get(*pos) {
-        Some(b'{') => parse_object(bytes, pos),
-        Some(b'[') => parse_array(bytes, pos),
-        Some(b'"') => parse_string(bytes, pos),
-        Some(b't') => parse_literal(bytes, pos, b"true"),
-        Some(b'f') => parse_literal(bytes, pos, b"false"),
-        Some(b'n') => parse_literal(bytes, pos, b"null"),
-        Some(_) => parse_number(bytes, pos),
-        None => Err("unexpected end of input".to_string()),
-    }
-}
-
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
-    *pos += 1; // consume '{'
-    skip_ws(bytes, pos);
-    if bytes.get(*pos) == Some(&b'}') {
-        *pos += 1;
-        return Ok(());
-    }
-    loop {
-        skip_ws(bytes, pos);
-        parse_string(bytes, pos)?;
-        skip_ws(bytes, pos);
-        if bytes.get(*pos) != Some(&b':') {
-            return Err(format!("expected ':' at byte {pos}"));
-        }
-        *pos += 1;
-        parse_value(bytes, pos)?;
-        skip_ws(bytes, pos);
-        match bytes.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b'}') => {
-                *pos += 1;
-                return Ok(());
-            }
-            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
-        }
-    }
-}
-
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
-    *pos += 1; // consume '['
-    skip_ws(bytes, pos);
-    if bytes.get(*pos) == Some(&b']') {
-        *pos += 1;
-        return Ok(());
-    }
-    loop {
-        parse_value(bytes, pos)?;
-        skip_ws(bytes, pos);
-        match bytes.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b']') => {
-                *pos += 1;
-                return Ok(());
-            }
-            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
-        }
-    }
-}
-
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
-    if bytes.get(*pos) != Some(&b'"') {
-        return Err(format!("expected string at byte {pos}"));
-    }
-    *pos += 1;
-    while let Some(&b) = bytes.get(*pos) {
-        match b {
-            b'"' => {
-                *pos += 1;
-                return Ok(());
-            }
-            b'\\' => {
-                *pos += 1;
-                match bytes.get(*pos) {
-                    Some(b'u') => {
-                        if bytes.len() < *pos + 5
-                            || !bytes[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
-                        {
-                            return Err(format!("bad \\u escape at byte {pos}"));
-                        }
-                        *pos += 5;
-                    }
-                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
-                    _ => return Err(format!("bad escape at byte {pos}")),
-                }
-            }
-            0x00..=0x1f => return Err(format!("raw control character at byte {pos}")),
-            _ => *pos += 1,
-        }
-    }
-    Err("unterminated string".to_string())
-}
-
-fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
-    if bytes.len() >= *pos + lit.len() && &bytes[*pos..*pos + lit.len()] == lit {
-        *pos += lit.len();
-        Ok(())
-    } else {
-        Err(format!("bad literal at byte {pos}"))
-    }
-}
-
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
-    let start = *pos;
-    if bytes.get(*pos) == Some(&b'-') {
-        *pos += 1;
-    }
-    let mut digits = 0;
-    while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
-        *pos += 1;
-        digits += 1;
-    }
-    if digits == 0 {
-        return Err(format!("expected number at byte {start}"));
-    }
-    if bytes.get(*pos) == Some(&b'.') {
-        *pos += 1;
-        let mut frac = 0;
-        while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
-            *pos += 1;
-            frac += 1;
-        }
-        if frac == 0 {
-            return Err(format!("bad fraction at byte {pos}"));
-        }
-    }
-    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
-        *pos += 1;
-        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
-            *pos += 1;
-        }
-        let mut exp = 0;
-        while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
-            *pos += 1;
-            exp += 1;
-        }
-        if exp == 0 {
-            return Err(format!("bad exponent at byte {pos}"));
-        }
-    }
-    Ok(())
 }

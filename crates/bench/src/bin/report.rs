@@ -670,11 +670,11 @@ fn ablation() {
         let fast = Learner::new().learn(&task);
         let e1 = t1.elapsed();
         let t2 = Instant::now();
-        let slow = Learner::with_options(LearnOptions {
-            force_generic: true,
-            max_nodes: 50_000_000,
-            ..Default::default()
-        })
+        let slow = Learner::with_options(
+            LearnOptions::default()
+                .with_force_generic(true)
+                .with_max_nodes(50_000_000),
+        )
         .learn(&task);
         let e2 = t2.elapsed();
         let note = match (&fast, &slow) {
@@ -707,10 +707,9 @@ fn ablation() {
         let train = cav::samples(n, 7);
         let task = cav::learning_task(&train, None);
         let guided = Learner::new().learn_with_stats(&task).expect("learnable").1;
-        let costfirst = Learner::with_options(LearnOptions {
-            branching: agenp_learn::Branching::CostFirst,
-            ..Default::default()
-        })
+        let costfirst = Learner::with_options(
+            LearnOptions::default().with_branching(agenp_learn::Branching::CostFirst),
+        )
         .learn_with_stats(&task)
         .expect("learnable")
         .1;

@@ -9,6 +9,8 @@
 use agenp_asp::Program;
 use agenp_grammar::Asg;
 
+pub mod json;
+
 /// A 2-colorable ring-coloring program over `n` nodes — a classic
 /// non-stratified benchmark with answer sets for the solver to enumerate.
 pub fn coloring_program(n: usize) -> Program {

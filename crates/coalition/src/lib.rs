@@ -32,6 +32,6 @@ mod trust;
 pub use caswiki::{CasWiki, Contribution, ContributionError, ContributionProducer};
 pub use fabric::{
     distributed_cav_learning, supervised_cav_learning, warm_start_comparison, CoalitionConfig,
-    CoalitionError, CoalitionOutcome, NodeOutcome, NodeReport, WarmStartOutcome,
+    CoalitionError, CoalitionOutcome, DecisionPlane, NodeOutcome, NodeReport, WarmStartOutcome,
 };
 pub use trust::TrustModel;

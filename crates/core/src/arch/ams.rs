@@ -1,22 +1,34 @@
 //! The Autonomous Management System: one coalition party wiring together
-//! PReP, PAdaP, PCP, PIP, the repositories, and the PDP/PEP decision path
-//! (paper Fig. 2).
+//! PReP, PAdaP, PCP, PIP, the repositories, and the shared-snapshot
+//! PDP/PEP decision path (paper Fig. 2; `docs/SERVING.md`).
+//!
+//! Decision-making is split out of the mutable AMS: every control-plane
+//! mutation ([`Ams::adopt_gpm`], [`Ams::set_context`],
+//! [`Ams::refresh_policies`], [`Ams::adapt`]) publishes an immutable
+//! [`DecisionSnapshot`] through a [`PdpHandle`], and [`Ams::decide`] — a
+//! `&self` method — serves against whatever snapshot is current. Worker
+//! threads can clone [`Ams::serving_handle`] and decide concurrently while
+//! the control loop builds the next snapshot.
 
 use crate::arch::goals::{GoalMonitor, GoalPolicy, GoalViolation};
 use crate::arch::padap::{Adaptation, Feedback, Padap};
 use crate::arch::pcp::{Pcp, Verdict};
 use crate::arch::prep::{CanonicalTranslator, PolicyTranslator, Prep};
 use crate::arch::repr::RepresentationsRepository;
+use crate::arch::serve::{DecisionOutcome, DecisionSnapshot, PdpHandle};
 use agenp_asp::{Exhausted, Program, RunBudget};
 use agenp_grammar::{Asg, AsgError};
 use agenp_learn::{HypothesisSpace, LearnError, LearnOptions, Learner};
-use agenp_policy::{
-    CombiningAlg, Decision, Enforcement, Pdp, Pep, PolicyRepository, QualityReport, Request,
-};
+use agenp_policy::{CombiningAlg, Decision, Enforcement, PolicyRepository, QualityReport, Request};
 use std::fmt;
+use std::sync::Mutex;
 
 /// Errors surfaced by the AMS control loop.
-#[derive(Debug)]
+///
+/// `Clone` because a degraded [`DecisionSnapshot`] carries the error that
+/// degraded it, and every [`DecisionOutcome`] served from that snapshot
+/// hands the caller its own copy.
+#[derive(Clone, Debug)]
 pub enum AmsError {
     /// Policy generation failed.
     Generation(AsgError),
@@ -65,6 +77,22 @@ impl From<LearnError> for AmsError {
     }
 }
 
+/// What the serving tier does when a policy refresh fails.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DegradedMode {
+    /// Publish a degraded snapshot: every decision renders a fail-safe
+    /// [`Decision::Deny`] carrying the refresh error, until a refresh
+    /// succeeds. The conservative default.
+    #[default]
+    DenyByDefault,
+    /// Keep serving the last successfully published snapshot, untouched.
+    /// Decisions stay consistent (if stale); the refresh error is only
+    /// reported to the caller of the failed refresh. Coalition fabrics use
+    /// this to ride out transient partner faults (see
+    /// `agenp-coalition`).
+    ServeLastGood,
+}
+
 /// An Autonomous Management System instance.
 #[derive(Debug)]
 pub struct Ams {
@@ -78,15 +106,18 @@ pub struct Ams {
     space: HypothesisSpace,
     repr_repo: RepresentationsRepository,
     policy_repo: PolicyRepository,
-    pdp: Pdp,
-    pep: Pep,
+    serving: PdpHandle,
+    combining: CombiningAlg,
+    degraded_mode: DegradedMode,
     prep: Prep,
     padap: Padap,
     pcp: Pcp,
     translator: Box<dyn PolicyTranslator>,
     context: Program,
     feedback: Vec<Feedback>,
-    goals: GoalMonitor,
+    /// Behind a `Mutex` so `decide(&self)` can feed the monitor from any
+    /// serving thread; the lock is held only for two counter bumps.
+    goals: Mutex<GoalMonitor>,
     budget: RunBudget,
 }
 
@@ -96,38 +127,41 @@ impl Ams {
     pub fn new(name: &str, initial_gpm: Asg, space: HypothesisSpace) -> Ams {
         let mut repr_repo = RepresentationsRepository::new();
         repr_repo.store(initial_gpm.clone(), "initial");
-        Ams {
+        let ams = Ams {
             name: name.to_owned(),
             gpm: initial_gpm.clone(),
             initial_gpm,
             space,
             repr_repo,
             policy_repo: PolicyRepository::new(),
-            pdp: Pdp::new(CombiningAlg::DenyOverrides),
-            pep: Pep::default(),
+            serving: PdpHandle::new(),
+            combining: CombiningAlg::DenyOverrides,
+            degraded_mode: DegradedMode::default(),
             prep: Prep::new(),
             padap: Padap::new(),
             pcp: Pcp::new(),
             translator: Box::new(CanonicalTranslator),
             context: Program::new(),
             feedback: Vec::new(),
-            goals: GoalMonitor::new(Vec::new(), 32),
+            goals: Mutex::new(GoalMonitor::new(Vec::new(), 32)),
             budget: RunBudget::default(),
-        }
+        };
+        ams.publish_current();
+        ams
     }
 
     /// Applies a [`RunBudget`] to every long-running call the AMS makes:
-    /// policy generation (grounding + solving per candidate tree),
-    /// membership checks, and adaptation (the learner's node budget and
-    /// deadline).
+    /// policy generation (grounding + solving per candidate tree), PCP
+    /// screening, membership checks, and adaptation (the learner's node
+    /// budget and deadline).
     pub fn set_run_budget(&mut self, budget: RunBudget) {
         self.budget = budget;
         self.prep.budget = budget;
-        self.padap.set_learner(Learner::with_options(LearnOptions {
-            deadline: budget.deadline,
-            max_nodes: budget.max_nodes,
-            ..LearnOptions::default()
-        }));
+        self.padap.set_learner(Learner::with_options(
+            LearnOptions::default()
+                .with_deadline(budget.deadline)
+                .with_max_nodes(budget.max_nodes),
+        ));
     }
 
     /// The currently configured run budget.
@@ -135,20 +169,48 @@ impl Ams {
         &self.budget
     }
 
+    /// Sets what happens to the serving tier when a refresh fails (see
+    /// [`DegradedMode`]).
+    pub fn set_degraded_mode(&mut self, mode: DegradedMode) {
+        self.degraded_mode = mode;
+    }
+
+    /// The configured degraded-mode behavior.
+    pub fn degraded_mode(&self) -> DegradedMode {
+        self.degraded_mode
+    }
+
+    /// A cheap-to-clone, `Send + Sync` handle onto this AMS's serving
+    /// tier. Worker threads decide through the handle while the AMS
+    /// mutates and republishes; a clone stays wired to this AMS for its
+    /// whole life.
+    pub fn serving_handle(&self) -> PdpHandle {
+        self.serving.clone()
+    }
+
+    /// The snapshot currently being served (diagnostics; deciding through
+    /// [`Ams::decide`] or a [`PdpHandle`] is the normal path).
+    pub fn current_snapshot(&self) -> std::sync::Arc<DecisionSnapshot> {
+        self.serving.snapshot()
+    }
+
     /// Installs the PBMS-provided goal policies (paper policy type (ii)),
     /// assessed over a sliding window of `window` decisions.
     pub fn set_goals(&mut self, goals: Vec<GoalPolicy>, window: usize) {
-        self.goals = GoalMonitor::new(goals, window);
+        self.goals = Mutex::new(GoalMonitor::new(goals, window));
     }
 
     /// The goal monitor (metrics can be fed externally too).
     pub fn goals_mut(&mut self) -> &mut GoalMonitor {
-        &mut self.goals
+        self.goals.get_mut().expect("goal monitor poisoned")
     }
 
     /// Unmet goals right now.
     pub fn goal_violations(&self) -> Vec<GoalViolation> {
-        self.goals.violations()
+        self.goals
+            .lock()
+            .expect("goal monitor poisoned")
+            .violations()
     }
 
     /// The Fig. 2 trigger: adapt only when the system is not meeting its
@@ -158,11 +220,11 @@ impl Ams {
     ///
     /// Propagates adaptation failures.
     pub fn adapt_if_off_goal(&mut self) -> Result<Option<Adaptation>, AmsError> {
-        if !self.goals.adaptation_needed() {
+        if !self.goals_mut().adaptation_needed() {
             return Ok(None);
         }
         let adaptation = self.adapt()?;
-        self.goals.reset();
+        self.goals_mut().reset();
         Ok(Some(adaptation))
     }
 
@@ -176,9 +238,12 @@ impl Ams {
         &mut self.pcp
     }
 
-    /// Updates the current context (normally fed by the PIP).
+    /// Updates the current context (normally fed by the PIP) and publishes
+    /// a snapshot so in-flight deciders see the policies and context move
+    /// together.
     pub fn set_context(&mut self, context: Program) {
         self.context = context;
+        self.publish_current();
     }
 
     /// The current context.
@@ -192,10 +257,12 @@ impl Ams {
     }
 
     /// Replaces the current GPM directly (e.g. when adopting a model shared
-    /// by a trusted coalition partner) and records it.
+    /// by a trusted coalition partner), records it, and publishes a
+    /// snapshot.
     pub fn adopt_gpm(&mut self, gpm: Asg, note: &str) {
         self.repr_repo.store(gpm.clone(), note);
         self.gpm = gpm;
+        self.publish_current();
     }
 
     /// The representations repository (GPM versions).
@@ -208,16 +275,53 @@ impl Ams {
         &self.policy_repo
     }
 
+    /// Builds a snapshot of the current state and publishes it; returns the
+    /// assigned epoch.
+    fn publish_current(&self) -> u64 {
+        self.serving.publish(
+            DecisionSnapshot::new(self.policy_repo.policies().to_vec(), self.combining)
+                .with_gpm(self.gpm.clone())
+                .with_context(self.context.clone()),
+        )
+    }
+
     /// PReP step: regenerates the policy repository from the current GPM
-    /// and context, screening candidates through the PCP. Returns the
+    /// and context, screening candidates through the PCP under the run
+    /// budget, and publishes the result as a new snapshot. Returns the
     /// generated strings with their verdicts.
+    ///
+    /// On failure the serving tier degrades per [`DegradedMode`]:
+    /// deny-by-default publishes a denying snapshot carrying the error;
+    /// serve-last-good leaves the previous snapshot in place.
     ///
     /// # Errors
     ///
     /// [`AmsError::Generation`] on grounding failures.
     pub fn refresh_policies(&mut self) -> Result<Vec<(String, Verdict)>, AmsError> {
+        match self.try_refresh() {
+            Ok(screened) => {
+                self.publish_current();
+                Ok(screened)
+            }
+            Err(e) => {
+                if self.degraded_mode == DegradedMode::DenyByDefault {
+                    self.serving.publish(
+                        DecisionSnapshot::new(self.policy_repo.policies().to_vec(), self.combining)
+                            .with_gpm(self.gpm.clone())
+                            .with_context(self.context.clone())
+                            .degraded(e.clone()),
+                    );
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn try_refresh(&mut self) -> Result<Vec<(String, Verdict)>, AmsError> {
         let strings = self.prep.generate(&self.gpm, &self.context)?;
-        let screened = self.pcp.screen(&self.gpm, &self.context, &strings)?;
+        let screened = self
+            .pcp
+            .screen_within(&self.gpm, &self.context, &strings, &self.budget)?;
         let accepted: Vec<String> = screened
             .iter()
             .filter(|(_, v)| *v == Verdict::Accepted)
@@ -239,22 +343,37 @@ impl Ams {
         Ok(screened)
     }
 
-    /// PDP step: decides a request against the generated policies. The
-    /// outcome feeds the goal monitor (`grant_rate`, `gap_rate`).
-    pub fn decide(&mut self, request: &Request) -> Decision {
-        let d = self.pdp.decide(&self.policy_repo, request);
-        self.goals.observe_bool("grant_rate", d == Decision::Permit);
-        self.goals.observe_bool(
+    /// PDP + PEP step: decides a request against the currently served
+    /// snapshot — policies, enforcement, degradation error, and cache
+    /// diagnostics in one [`DecisionOutcome`]. A `&self` method: any
+    /// number of threads may call it (or [`PdpHandle::decide`] on a cloned
+    /// handle) concurrently with control-plane mutations. The outcome
+    /// feeds the goal monitor (`grant_rate`, `gap_rate`).
+    pub fn decide(&self, request: &Request) -> DecisionOutcome {
+        let outcome = self.serving.decide(request);
+        let mut goals = self.goals.lock().expect("goal monitor poisoned");
+        goals.observe_bool("grant_rate", outcome.decision == Decision::Permit);
+        goals.observe_bool(
             "gap_rate",
-            matches!(d, Decision::NotApplicable | Decision::Indeterminate),
+            matches!(
+                outcome.decision,
+                Decision::NotApplicable | Decision::Indeterminate
+            ),
         );
-        d
+        outcome
     }
 
     /// PEP step: decides and enforces.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `decide`, whose `DecisionOutcome` carries the enforcement"
+    )]
     pub fn decide_and_enforce(&mut self, request: &Request) -> (Decision, Enforcement) {
-        let d = self.decide(request);
-        (d, self.pep.enforce(d))
+        let outcome = self.decide(request);
+        (
+            outcome.decision,
+            outcome.enforcement.unwrap_or(Enforcement::Blocked),
+        )
     }
 
     /// Records observed feedback for the next adaptation round.
@@ -268,8 +387,8 @@ impl Ams {
     }
 
     /// PAdaP step: re-learns the GPM from the initial grammar plus all
-    /// accumulated feedback, stores the new version, and regenerates
-    /// policies.
+    /// accumulated feedback, stores the new version, and regenerates (and
+    /// republishes) policies.
     ///
     /// # Errors
     ///
@@ -306,19 +425,15 @@ impl Ams {
             .accepts_within(policy, &self.budget)?)
     }
 
-    /// Degradation-aware decision path: refreshes policies and decides, but
-    /// when regeneration fails — e.g. a budget or deadline overrun — falls
-    /// back to a deny-by-default decision over the *last good* repository
-    /// instead of propagating the error. The error (if any) is returned
-    /// alongside so callers can log or retry.
+    /// Degradation-aware decision path: refreshes policies and decides.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `refresh_policies` + `decide`; the `DecisionOutcome` carries the error"
+    )]
     pub fn decide_resilient(&mut self, request: &Request) -> (Decision, Option<AmsError>) {
-        match self.refresh_policies() {
-            Ok(_) => (self.decide(request), None),
-            Err(e) => (
-                self.pdp.decide_degraded(&self.policy_repo, request),
-                Some(e),
-            ),
-        }
+        let refresh_err = self.refresh_policies().err();
+        let outcome = self.decide(request);
+        (outcome.decision, refresh_err.or(outcome.error))
     }
 }
 
@@ -355,6 +470,7 @@ mod tests {
         let d0 = ams.decide(&req);
         // Both permit and deny rules exist → deny-overrides → Deny.
         assert_eq!(d0, Decision::Deny);
+        assert!(d0.error.is_none());
 
         // Feedback: under lockdown, permits are invalid.
         let lockdown: Program = "lockdown.".parse().unwrap();
@@ -376,9 +492,9 @@ mod tests {
         // Under lockdown only deny policies remain.
         assert!(!ams.admits("permit if subject clearance = high").unwrap());
         assert!(ams.admits("deny if subject clearance = high").unwrap());
-        let (d, e) = ams.decide_and_enforce(&req);
-        assert_eq!(d, Decision::Deny);
-        assert_eq!(e, Enforcement::Blocked);
+        let outcome = ams.decide(&req);
+        assert_eq!(outcome.decision, Decision::Deny);
+        assert_eq!(outcome.enforcement, Some(Enforcement::Blocked));
         // Version history: initial + adapted.
         assert_eq!(ams.representations().len(), 2);
     }
@@ -392,18 +508,47 @@ mod tests {
         ams.set_run_budget(RunBudget::default().with_max_atoms(1));
         let err = ams.refresh_policies().unwrap_err();
         assert_eq!(err.exhaustion(), Some(Exhausted::Atoms));
-        // The resilient path degrades to deny-by-default.
+        // The failed refresh published a degraded snapshot: decisions deny
+        // by default and carry the error.
         let req = Request::new().subject("clearance", "high");
-        let (d, e) = ams.decide_resilient(&req);
-        assert_eq!(d, Decision::Deny);
-        assert!(e.is_some());
-        assert_eq!(Pep::default().enforce(d), Enforcement::Blocked);
+        let outcome = ams.decide(&req);
+        assert_eq!(outcome.decision, Decision::Deny);
+        assert_eq!(outcome.enforcement, Some(Enforcement::Blocked));
+        assert_eq!(
+            outcome.error.as_ref().and_then(AmsError::exhaustion),
+            Some(Exhausted::Atoms)
+        );
+        assert!(ams.current_snapshot().is_degraded());
         // Restoring a sane budget recovers fully.
         ams.set_run_budget(RunBudget::default());
         assert_eq!(ams.refresh_policies().unwrap().len(), 4);
-        let (d2, e2) = ams.decide_resilient(&req);
-        assert_eq!(d2, Decision::Deny); // permit+deny under deny-overrides
-        assert!(e2.is_none());
+        let outcome = ams.decide(&req);
+        assert_eq!(outcome.decision, Decision::Deny); // permit+deny under deny-overrides
+        assert!(outcome.error.is_none());
+        assert!(!ams.current_snapshot().is_degraded());
+    }
+
+    #[test]
+    fn serve_last_good_keeps_the_previous_snapshot() {
+        let (g, space) = gate();
+        let mut ams = Ams::new("zeta", g, space);
+        ams.set_degraded_mode(DegradedMode::ServeLastGood);
+        ams.refresh_policies().unwrap();
+        let good_epoch = ams.current_snapshot().epoch();
+        let req = Request::new().subject("clearance", "high");
+        assert_eq!(ams.decide(&req), Decision::Deny); // permit+deny combine
+
+        // A refresh that fails must leave the good snapshot serving.
+        ams.set_run_budget(RunBudget::default().with_max_atoms(1));
+        assert!(ams.refresh_policies().is_err());
+        let outcome = ams.decide(&req);
+        assert_eq!(outcome.epoch, good_epoch, "snapshot must not have moved");
+        assert_eq!(outcome.decision, Decision::Deny);
+        assert!(
+            outcome.error.is_none(),
+            "last-good snapshot is not degraded"
+        );
+        assert!(!ams.current_snapshot().is_degraded());
     }
 
     #[test]
@@ -423,7 +568,8 @@ mod tests {
     }
 
     #[test]
-    fn degraded_decisions_are_recorded_in_history() {
+    #[allow(deprecated)]
+    fn deprecated_shims_preserve_old_semantics() {
         let (g, space) = gate();
         let mut ams = Ams::new("epsilon", g, space);
         ams.set_run_budget(RunBudget::default().with_max_atoms(1));
@@ -431,6 +577,29 @@ mod tests {
         let (d, err) = ams.decide_resilient(&req);
         assert_eq!(d, Decision::Deny);
         assert!(err.unwrap().exhaustion().is_some());
+        ams.set_run_budget(RunBudget::default());
+        let (d2, err2) = ams.decide_resilient(&req);
+        assert_eq!(d2, Decision::Deny);
+        assert!(err2.is_none());
+        let (d3, e3) = ams.decide_and_enforce(&req);
+        assert_eq!(d3, Decision::Deny);
+        assert_eq!(e3, Enforcement::Blocked);
+    }
+
+    #[test]
+    fn snapshot_swaps_are_visible_through_cloned_handles() {
+        let (g, space) = gate();
+        let mut ams = Ams::new("eta", g, space);
+        let handle = ams.serving_handle();
+        let req = Request::new().subject("clearance", "high");
+        // Before any refresh: no policies → NotApplicable.
+        assert_eq!(handle.decide(&req).decision, Decision::NotApplicable);
+        ams.refresh_policies().unwrap();
+        // Same handle, no re-wiring: the new snapshot is already visible
+        // and the stale cached NotApplicable is not served.
+        let outcome = handle.decide(&req);
+        assert_eq!(outcome.decision, Decision::Deny);
+        assert!(!outcome.cached);
     }
 
     #[test]

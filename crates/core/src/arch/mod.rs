@@ -1,7 +1,8 @@
 //! The AGENP architecture (paper §III, Fig. 2): the components an
 //! Autonomous Managed System wires together — Policy Refinement Point,
 //! Policy Adaptation Point, Policy Checking Point, Policy Information
-//! Point, and the repositories.
+//! Point, and the repositories — plus the shared-snapshot PDP serving tier
+//! (`docs/SERVING.md`) that splits decision-making out of the mutable AMS.
 
 mod ams;
 mod goals;
@@ -10,11 +11,16 @@ mod pcp;
 mod pip;
 mod prep;
 mod repr;
+mod serve;
 
-pub use ams::{Ams, AmsError};
+pub use ams::{Ams, AmsError, DegradedMode};
 pub use goals::{GoalDirection, GoalMonitor, GoalPolicy, GoalViolation};
 pub use padap::{Adaptation, Feedback, Padap};
 pub use pcp::{Pcp, Verdict};
 pub use pip::{ContextProvider, Pip, StaticContext};
 pub use prep::{CanonicalTranslator, FnTranslator, PolicyTranslator, Prep};
 pub use repr::{GpmVersion, RepresentationsRepository};
+pub use serve::{
+    DecisionCache, DecisionOutcome, DecisionSnapshot, PdpHandle, PdpServer, ServeStats,
+    ServerReport, SnapshotSwap,
+};

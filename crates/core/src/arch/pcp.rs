@@ -3,7 +3,7 @@
 //! Detector screens generated (or externally shared) policy strings against
 //! pre-defined restriction constraints before they reach the repository.
 
-use agenp_asp::{Program, Rule};
+use agenp_asp::{Program, Rule, RunBudget};
 use agenp_grammar::{Asg, AsgError, ProdId};
 use agenp_policy::{Policy, QualityChecker, QualityReport, Request};
 
@@ -56,15 +56,33 @@ impl Pcp {
         context: &Program,
         policies: &[String],
     ) -> Result<Vec<(String, Verdict)>, AsgError> {
+        self.screen_within(gpm, context, policies, &RunBudget::default())
+    }
+
+    /// [`Pcp::screen`] under an explicit [`RunBudget`]: every membership
+    /// check (restricted and unrestricted) runs with the budget's atom,
+    /// step, and deadline caps, so a pathological candidate cannot stall
+    /// the screening pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates grounding failures, including budget exhaustion.
+    pub fn screen_within(
+        &self,
+        gpm: &Asg,
+        context: &Program,
+        policies: &[String],
+        budget: &RunBudget,
+    ) -> Result<Vec<(String, Verdict)>, AsgError> {
         let restricted = gpm
             .with_added_rules(&self.restrictions)?
             .with_context(context);
         let unrestricted = gpm.with_context(context);
         let mut out = Vec::with_capacity(policies.len());
         for p in policies {
-            let verdict = if restricted.accepts(p)? {
+            let verdict = if restricted.accepts_within(p, budget)? {
                 Verdict::Accepted
-            } else if unrestricted.accepts(p)? {
+            } else if unrestricted.accepts_within(p, budget)? {
                 Verdict::Violation
             } else {
                 Verdict::Malformed
@@ -116,5 +134,30 @@ mod tests {
         assert_eq!(verdicts[1].1, Verdict::Violation);
         assert_eq!(verdicts[2].1, Verdict::Malformed);
         assert_eq!(pcp.restrictions().len(), 1);
+    }
+
+    #[test]
+    fn screening_respects_the_run_budget() {
+        let gpm: Asg = r#"
+            policy -> "share" level
+            level -> "public" { lvl(0). }
+            level -> "secret" { lvl(2). }
+        "#
+        .parse()
+        .unwrap();
+        let pcp = Pcp::new();
+        let ctx = Program::new();
+        let err = pcp
+            .screen_within(
+                &gpm,
+                &ctx,
+                &["share public".to_owned()],
+                &RunBudget::default().with_max_atoms(0),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, AsgError::Exhausted(_) | AsgError::Ground(_)),
+            "expected a budget error, got {err:?}"
+        );
     }
 }

@@ -5,7 +5,11 @@ use agenp_asp::Program;
 use std::fmt;
 
 /// A source of context facts (ASP programs) for the AMS.
-pub trait ContextProvider: fmt::Debug {
+///
+/// `Send + Sync` so a PIP (and the AMS that embeds it) can sit behind the
+/// shared-snapshot serving tier and be polled from the control thread
+/// while worker threads serve decisions.
+pub trait ContextProvider: fmt::Debug + Send + Sync {
     /// The current context program.
     fn current_context(&self) -> Program;
 }

@@ -12,7 +12,10 @@ use std::fmt;
 ///
 /// The canonical translator understands the `agenp-policy` textual form;
 /// scenarios provide their own translators for domain-specific languages.
-pub trait PolicyTranslator: fmt::Debug {
+///
+/// `Send + Sync` so the AMS embedding the translator stays shareable
+/// across the serving tier's threads.
+pub trait PolicyTranslator: fmt::Debug + Send + Sync {
     /// Translates one generated string; `None` if the string is
     /// informational only (not directly enforceable).
     fn translate(&self, text: &str, id: &str) -> Option<PolicyRule>;

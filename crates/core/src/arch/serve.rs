@@ -1,0 +1,713 @@
+//! The shared-snapshot PDP serving tier: decision-making split out of the
+//! mutable [`Ams`](crate::arch::Ams) into an immutable, `Send + Sync`
+//! [`DecisionSnapshot`] that any number of worker threads query
+//! concurrently while the control loop builds the next snapshot off to the
+//! side (the ROADMAP's "heavy traffic from millions of users" target; see
+//! `docs/SERVING.md`).
+//!
+//! The tier has three layers:
+//!
+//! * [`SnapshotSwap`] — one atomic slot holding an `Arc<DecisionSnapshot>`.
+//!   Readers take a momentary read lock *only* to clone the `Arc`; the
+//!   decision itself runs with no lock held. Publishing a new snapshot is a
+//!   pointer swap, never a wait-for-readers.
+//! * [`DecisionCache`] — a sharded request→decision memo keyed by
+//!   [`Request::canonical_key`] and stamped with the snapshot *epoch*; a
+//!   published snapshot bumps the epoch, which invalidates every cached
+//!   entry at once without touching the shards.
+//! * [`PdpHandle`] — a cheap `Clone` handle combining both, plus a
+//!   [`PdpServer`] that drives a closed-loop multi-threaded workload
+//!   against a handle and reports throughput and hit rates.
+
+use crate::arch::ams::AmsError;
+use agenp_asp::{Program, RunBudget};
+use agenp_grammar::Asg;
+use agenp_policy::{evaluate_policies, CombiningAlg, Decision, Enforcement, Pep, Policy, Request};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+/// Number of cache shards. A small power of two: enough to keep worker
+/// threads off each other's locks, few enough that per-shard maps stay
+/// dense.
+const CACHE_SHARDS: usize = 16;
+
+/// An immutable, consistent view of everything the PDP needs to answer a
+/// request: the translated policy set, the combining algorithm, and the
+/// compiled GPM plus grounded context the policies were generated from.
+///
+/// Snapshots are built by the control loop ([`Ams::refresh_policies`],
+/// `adopt_gpm`, `set_context`) and published through a [`PdpHandle`]; they
+/// are never mutated afterwards, so worker threads can decide against one
+/// without synchronization. A snapshot built from a *failed* refresh
+/// carries the error and renders deny-by-default.
+///
+/// [`Ams::refresh_policies`]: crate::arch::Ams::refresh_policies
+#[derive(Clone, Debug)]
+pub struct DecisionSnapshot {
+    epoch: u64,
+    policies: Vec<Policy>,
+    combining: CombiningAlg,
+    gpm: Option<Asg>,
+    context: Program,
+    error: Option<AmsError>,
+}
+
+impl DecisionSnapshot {
+    /// A snapshot serving `policies` under `combining`, with no GPM or
+    /// context attached and epoch 0 (the epoch is assigned on publish).
+    pub fn new(policies: Vec<Policy>, combining: CombiningAlg) -> DecisionSnapshot {
+        DecisionSnapshot {
+            epoch: 0,
+            policies,
+            combining,
+            gpm: None,
+            context: Program::new(),
+            error: None,
+        }
+    }
+
+    /// Attaches the GPM the policies were generated from, enabling
+    /// [`DecisionSnapshot::admits`].
+    pub fn with_gpm(mut self, gpm: Asg) -> DecisionSnapshot {
+        self.gpm = Some(gpm);
+        self
+    }
+
+    /// Attaches the grounded context the policies were generated under.
+    pub fn with_context(mut self, context: Program) -> DecisionSnapshot {
+        self.context = context;
+        self
+    }
+
+    /// Marks the snapshot as degraded: the pipeline upstream failed with
+    /// `error`, and every decision renders a fail-safe [`Decision::Deny`].
+    pub fn degraded(mut self, error: AmsError) -> DecisionSnapshot {
+        self.error = Some(error);
+        self
+    }
+
+    /// The snapshot's epoch (assigned when published; 0 before).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The policy set served by this snapshot.
+    pub fn policies(&self) -> &[Policy] {
+        &self.policies
+    }
+
+    /// The combining algorithm applied across policies.
+    pub fn combining(&self) -> CombiningAlg {
+        self.combining
+    }
+
+    /// The GPM the policies were generated from, if attached.
+    pub fn gpm(&self) -> Option<&Asg> {
+        self.gpm.as_ref()
+    }
+
+    /// The context the policies were generated under.
+    pub fn context(&self) -> &Program {
+        &self.context
+    }
+
+    /// The upstream failure this snapshot degrades for, if any.
+    pub fn error(&self) -> Option<&AmsError> {
+        self.error.as_ref()
+    }
+
+    /// True when the snapshot was built from a failed refresh and renders
+    /// deny-by-default.
+    pub fn is_degraded(&self) -> bool {
+        self.error.is_some()
+    }
+
+    /// Renders a decision — pure, lock-free, safe from any thread.
+    /// Degraded snapshots deny unconditionally rather than evaluating
+    /// possibly-stale policies as if they were fresh.
+    pub fn decide(&self, request: &Request) -> Decision {
+        if self.error.is_some() {
+            return Decision::Deny;
+        }
+        evaluate_policies(&self.policies, self.combining, request)
+    }
+
+    /// Does the snapshot's GPM admit `policy` under the snapshot's
+    /// context? The ASP solver is a small `Copy` configuration value, so
+    /// membership checks run against the shared snapshot without cloning
+    /// any solver state. Returns `Ok(false)` when no GPM is attached.
+    ///
+    /// # Errors
+    ///
+    /// [`AmsError::Generation`] on grounding failures or budget overruns.
+    pub fn admits(&self, policy: &str, budget: &RunBudget) -> Result<bool, AmsError> {
+        match &self.gpm {
+            Some(g) => Ok(g
+                .with_context(&self.context)
+                .accepts_within(policy, budget)?),
+            None => Ok(false),
+        }
+    }
+}
+
+/// One atomic slot holding the current [`DecisionSnapshot`] behind an
+/// [`Arc`].
+///
+/// Implementation note: with only `std` available, the slot is an
+/// `RwLock<Arc<_>>` rather than a true lock-free atomic pointer. Readers
+/// hold the read lock exactly long enough to clone the `Arc` (a refcount
+/// increment), then decide with no lock held; writers swap the pointer
+/// under the write lock. The lock is therefore never held across policy
+/// evaluation, grounding, or solving on either side.
+#[derive(Debug)]
+pub struct SnapshotSwap {
+    slot: RwLock<Arc<DecisionSnapshot>>,
+}
+
+impl SnapshotSwap {
+    /// A swap slot initially holding `snapshot`.
+    pub fn new(snapshot: DecisionSnapshot) -> SnapshotSwap {
+        SnapshotSwap {
+            slot: RwLock::new(Arc::new(snapshot)),
+        }
+    }
+
+    /// The current snapshot. The read lock is held only for the `Arc`
+    /// clone; the returned snapshot stays valid (and consistent) for as
+    /// long as the caller keeps it, even across concurrent publishes.
+    pub fn load(&self) -> Arc<DecisionSnapshot> {
+        self.slot.read().expect("snapshot slot poisoned").clone()
+    }
+
+    /// Publishes `snapshot`, replacing the current one. In-flight readers
+    /// keep their old `Arc` until they drop it.
+    pub fn store(&self, snapshot: DecisionSnapshot) {
+        *self.slot.write().expect("snapshot slot poisoned") = Arc::new(snapshot);
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct CacheEntry {
+    epoch: u64,
+    decision: Decision,
+}
+
+/// A sharded request→decision memo, keyed by [`Request::canonical_key`]
+/// and invalidated wholesale by snapshot epoch: every entry is stamped
+/// with the epoch it was computed under, and a lookup under any other
+/// epoch is a miss (the stale entry is evicted on sight). Publishing a
+/// snapshot therefore invalidates the whole cache in O(1) without
+/// touching the shards.
+#[derive(Debug)]
+pub struct DecisionCache {
+    shards: Vec<RwLock<HashMap<String, CacheEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl Default for DecisionCache {
+    fn default() -> DecisionCache {
+        DecisionCache::new()
+    }
+}
+
+impl DecisionCache {
+    /// An empty cache.
+    pub fn new() -> DecisionCache {
+        DecisionCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &RwLock<HashMap<String, CacheEntry>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % CACHE_SHARDS]
+    }
+
+    /// The decision cached for `key` under `epoch`, if any. An entry from
+    /// a different epoch counts as a miss and is evicted.
+    pub fn get(&self, key: &str, epoch: u64) -> Option<Decision> {
+        let shard = self.shard(key);
+        let stale = {
+            let map = shard.read().expect("cache shard poisoned");
+            match map.get(key) {
+                Some(e) if e.epoch == epoch => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(e.decision);
+                }
+                Some(_) => true,
+                None => false,
+            }
+        };
+        if stale {
+            let mut map = shard.write().expect("cache shard poisoned");
+            // Re-check under the write lock: a racing insert may already
+            // have refreshed the entry for the current epoch.
+            if map.get(key).is_some_and(|e| e.epoch != epoch) {
+                map.remove(key);
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Caches `decision` for `key` under `epoch`, superseding any entry
+    /// from another epoch.
+    pub fn insert(&self, key: String, epoch: u64, decision: Decision) {
+        let mut map = self.shard(&key).write().expect("cache shard poisoned");
+        map.insert(key, CacheEntry { epoch, decision });
+    }
+
+    /// Number of entries currently resident (all epochs).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// True when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Monotone counters for a serving handle.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Decisions rendered through the handle.
+    pub decisions: u64,
+    /// Decisions answered from the cache.
+    pub cache_hits: u64,
+    /// Decisions that had to evaluate the snapshot.
+    pub cache_misses: u64,
+    /// Stale-epoch entries evicted on lookup.
+    pub invalidations: u64,
+    /// Snapshots published.
+    pub publishes: u64,
+}
+
+impl ServeStats {
+    /// Fraction of decisions answered from the cache (0.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.decisions == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.decisions as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PdpShared {
+    swap: SnapshotSwap,
+    cache: DecisionCache,
+    epoch: AtomicU64,
+    decisions: AtomicU64,
+    publishes: AtomicU64,
+    pep: Pep,
+}
+
+/// The outcome of one decision through the serving tier: the decision
+/// itself, the enforcement the PEP derives from it, the upstream error the
+/// serving snapshot degrades for (if any), and cache/epoch diagnostics.
+///
+/// Compares directly against a [`Decision`] so existing
+/// `assert_eq!(ams.decide(&req), Decision::Deny)`-style call sites keep
+/// working.
+#[derive(Clone, Debug)]
+pub struct DecisionOutcome {
+    /// The rendered decision.
+    pub decision: Decision,
+    /// The enforcement action derived by the PEP.
+    pub enforcement: Option<Enforcement>,
+    /// The upstream failure behind a degraded snapshot, if any.
+    pub error: Option<AmsError>,
+    /// Epoch of the snapshot that answered.
+    pub epoch: u64,
+    /// True when the decision came from the cache.
+    pub cached: bool,
+}
+
+impl PartialEq<Decision> for DecisionOutcome {
+    fn eq(&self, other: &Decision) -> bool {
+        self.decision == *other
+    }
+}
+
+impl PartialEq<DecisionOutcome> for Decision {
+    fn eq(&self, other: &DecisionOutcome) -> bool {
+        *self == other.decision
+    }
+}
+
+/// A cheap-to-clone, `Send + Sync` handle onto the serving tier: the
+/// snapshot slot, the sharded cache, and the PEP. Worker threads clone the
+/// handle and call [`PdpHandle::decide`] freely; the control loop publishes
+/// new snapshots through the same handle.
+#[derive(Clone, Debug)]
+pub struct PdpHandle {
+    inner: Arc<PdpShared>,
+}
+
+impl Default for PdpHandle {
+    fn default() -> PdpHandle {
+        PdpHandle::new()
+    }
+}
+
+impl PdpHandle {
+    /// A handle serving an empty snapshot (epoch 0, no policies: every
+    /// request renders `NotApplicable` until something is published).
+    pub fn new() -> PdpHandle {
+        PdpHandle {
+            inner: Arc::new(PdpShared {
+                swap: SnapshotSwap::new(DecisionSnapshot::new(
+                    Vec::new(),
+                    CombiningAlg::DenyOverrides,
+                )),
+                cache: DecisionCache::new(),
+                epoch: AtomicU64::new(0),
+                decisions: AtomicU64::new(0),
+                publishes: AtomicU64::new(0),
+                pep: Pep::default(),
+            }),
+        }
+    }
+
+    /// Publishes `snapshot` as the new current snapshot, assigning it the
+    /// next epoch. Returns the assigned epoch. In-flight readers finish
+    /// against their old snapshot; the epoch bump invalidates every cached
+    /// decision.
+    pub fn publish(&self, mut snapshot: DecisionSnapshot) -> u64 {
+        let epoch = self.inner.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        snapshot.epoch = epoch;
+        self.inner.swap.store(snapshot);
+        self.inner.publishes.fetch_add(1, Ordering::Relaxed);
+        epoch
+    }
+
+    /// The current snapshot (consistent for as long as the caller holds
+    /// it).
+    pub fn snapshot(&self) -> Arc<DecisionSnapshot> {
+        self.inner.swap.load()
+    }
+
+    /// Renders a decision against the current snapshot, answering from the
+    /// sharded cache when a same-epoch entry exists.
+    pub fn decide(&self, request: &Request) -> DecisionOutcome {
+        let snapshot = self.inner.swap.load();
+        self.inner.decisions.fetch_add(1, Ordering::Relaxed);
+        let key = request.canonical_key();
+        if let Some(decision) = self.inner.cache.get(&key, snapshot.epoch) {
+            return DecisionOutcome {
+                decision,
+                enforcement: Some(self.inner.pep.enforce(decision)),
+                error: snapshot.error.clone(),
+                epoch: snapshot.epoch,
+                cached: true,
+            };
+        }
+        let decision = snapshot.decide(request);
+        self.inner.cache.insert(key, snapshot.epoch, decision);
+        DecisionOutcome {
+            decision,
+            enforcement: Some(self.inner.pep.enforce(decision)),
+            error: snapshot.error.clone(),
+            epoch: snapshot.epoch,
+            cached: false,
+        }
+    }
+
+    /// Snapshot of the handle's counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            decisions: self.inner.decisions.load(Ordering::Relaxed),
+            cache_hits: self.inner.cache.hits.load(Ordering::Relaxed),
+            cache_misses: self.inner.cache.misses.load(Ordering::Relaxed),
+            invalidations: self.inner.cache.invalidations.load(Ordering::Relaxed),
+            publishes: self.inner.publishes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Entries resident in the decision cache (all epochs).
+    pub fn cache_len(&self) -> usize {
+        self.inner.cache.len()
+    }
+}
+
+/// One thread's share of a [`PdpServer`] run.
+#[derive(Clone, Copy, Debug, Default)]
+struct WorkerTally {
+    decisions: u64,
+    permits: u64,
+    denies: u64,
+    gaps: u64,
+}
+
+/// Aggregate result of a closed-loop [`PdpServer`] run.
+#[derive(Clone, Debug)]
+pub struct ServerReport {
+    /// Worker threads driven.
+    pub threads: usize,
+    /// Total decisions rendered.
+    pub decisions: u64,
+    /// Wall-clock time for the whole run.
+    pub elapsed: Duration,
+    /// Decisions per second (0.0 for an empty run).
+    pub throughput: f64,
+    /// Cache hits during the run (delta, not lifetime).
+    pub cache_hits: u64,
+    /// Cache misses during the run (delta, not lifetime).
+    pub cache_misses: u64,
+    /// Permits rendered.
+    pub permits: u64,
+    /// Denies rendered.
+    pub denies: u64,
+    /// `NotApplicable` / `Indeterminate` rendered.
+    pub gaps: u64,
+}
+
+impl ServerReport {
+    /// Fraction of this run's decisions answered from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Drives a closed-loop request workload against a [`PdpHandle`]: `threads`
+/// workers each render `decisions_per_thread` back-to-back decisions,
+/// cycling through the workload from a per-thread offset (so threads hit
+/// overlapping but phase-shifted request streams, exercising both cache
+/// hits and shard contention).
+#[derive(Clone, Debug)]
+pub struct PdpServer {
+    handle: PdpHandle,
+    threads: usize,
+}
+
+impl PdpServer {
+    /// A single-threaded server over `handle`.
+    pub fn new(handle: PdpHandle) -> PdpServer {
+        PdpServer { handle, threads: 1 }
+    }
+
+    /// Sets the number of worker threads (minimum 1).
+    pub fn with_threads(mut self, threads: usize) -> PdpServer {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The handle this server drives.
+    pub fn handle(&self) -> &PdpHandle {
+        &self.handle
+    }
+
+    /// Runs the closed loop and reports aggregate throughput.
+    pub fn run(&self, workload: &[Request], decisions_per_thread: usize) -> ServerReport {
+        let before = self.handle.stats();
+        let start = Instant::now();
+        let mut tallies: Vec<WorkerTally> = Vec::with_capacity(self.threads);
+        if workload.is_empty() || decisions_per_thread == 0 {
+            tallies.resize(self.threads, WorkerTally::default());
+        } else {
+            std::thread::scope(|scope| {
+                let mut workers = Vec::with_capacity(self.threads);
+                for t in 0..self.threads {
+                    let handle = self.handle.clone();
+                    workers.push(scope.spawn(move || {
+                        let mut tally = WorkerTally::default();
+                        let offset = t * workload.len() / self.threads.max(1);
+                        for i in 0..decisions_per_thread {
+                            let req = &workload[(offset + i) % workload.len()];
+                            let outcome = handle.decide(req);
+                            tally.decisions += 1;
+                            match outcome.decision {
+                                Decision::Permit => tally.permits += 1,
+                                Decision::Deny => tally.denies += 1,
+                                Decision::NotApplicable | Decision::Indeterminate => {
+                                    tally.gaps += 1
+                                }
+                            }
+                        }
+                        tally
+                    }));
+                }
+                for w in workers {
+                    tallies.push(w.join().expect("worker panicked"));
+                }
+            });
+        }
+        let elapsed = start.elapsed();
+        let after = self.handle.stats();
+        let decisions: u64 = tallies.iter().map(|t| t.decisions).sum();
+        let throughput = if elapsed.as_secs_f64() > 0.0 {
+            decisions as f64 / elapsed.as_secs_f64()
+        } else {
+            0.0
+        };
+        ServerReport {
+            threads: self.threads,
+            decisions,
+            elapsed,
+            throughput,
+            cache_hits: after.cache_hits - before.cache_hits,
+            cache_misses: after.cache_misses - before.cache_misses,
+            permits: tallies.iter().map(|t| t.permits).sum(),
+            denies: tallies.iter().map(|t| t.denies).sum(),
+            gaps: tallies.iter().map(|t| t.gaps).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agenp_policy::{Category, Cond, Effect, PolicyRule};
+
+    fn permit_dba_policies() -> Vec<Policy> {
+        vec![Policy::new(
+            "p",
+            vec![PolicyRule::new(
+                "allow-dba",
+                Effect::Permit,
+                Cond::eq(Category::Subject, "role", "dba"),
+            )],
+        )]
+    }
+
+    #[test]
+    fn snapshot_is_send_sync_and_decides() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DecisionSnapshot>();
+        assert_send_sync::<PdpHandle>();
+        assert_send_sync::<SnapshotSwap>();
+        assert_send_sync::<DecisionCache>();
+        let snap = DecisionSnapshot::new(permit_dba_policies(), CombiningAlg::DenyOverrides);
+        assert_eq!(
+            snap.decide(&Request::new().subject("role", "dba")),
+            Decision::Permit
+        );
+        assert_eq!(
+            snap.decide(&Request::new().subject("role", "guest")),
+            Decision::NotApplicable
+        );
+    }
+
+    #[test]
+    fn degraded_snapshot_denies_everything() {
+        let snap = DecisionSnapshot::new(permit_dba_policies(), CombiningAlg::DenyOverrides)
+            .degraded(AmsError::Generation(agenp_grammar::AsgError::Exhausted(
+                agenp_asp::Exhausted::Atoms,
+            )));
+        assert!(snap.is_degraded());
+        assert_eq!(
+            snap.decide(&Request::new().subject("role", "dba")),
+            Decision::Deny
+        );
+    }
+
+    #[test]
+    fn handle_caches_within_an_epoch() {
+        let handle = PdpHandle::new();
+        handle.publish(DecisionSnapshot::new(
+            permit_dba_policies(),
+            CombiningAlg::DenyOverrides,
+        ));
+        let req = Request::new().subject("role", "dba");
+        let first = handle.decide(&req);
+        assert!(!first.cached);
+        assert_eq!(first.decision, Decision::Permit);
+        let second = handle.decide(&req);
+        assert!(second.cached);
+        assert_eq!(second.decision, Decision::Permit);
+        assert_eq!(second.epoch, first.epoch);
+        let stats = handle.stats();
+        assert_eq!(stats.decisions, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert!(stats.hit_rate() > 0.4);
+    }
+
+    #[test]
+    fn publish_bumps_epoch_and_invalidates() {
+        let handle = PdpHandle::new();
+        let e1 = handle.publish(DecisionSnapshot::new(
+            permit_dba_policies(),
+            CombiningAlg::DenyOverrides,
+        ));
+        let req = Request::new().subject("role", "dba");
+        assert_eq!(handle.decide(&req).decision, Decision::Permit);
+        assert!(handle.decide(&req).cached);
+        // New snapshot with no policies: the cached Permit must not
+        // survive the swap.
+        let e2 = handle.publish(DecisionSnapshot::new(
+            Vec::new(),
+            CombiningAlg::DenyOverrides,
+        ));
+        assert_eq!(e2, e1 + 1);
+        let outcome = handle.decide(&req);
+        assert!(!outcome.cached, "stale entry served across epochs");
+        assert_eq!(outcome.decision, Decision::NotApplicable);
+        assert_eq!(outcome.epoch, e2);
+        assert!(handle.stats().invalidations >= 1);
+    }
+
+    #[test]
+    fn outcome_compares_with_decision() {
+        let handle = PdpHandle::new();
+        let outcome = handle.decide(&Request::new());
+        assert_eq!(outcome, Decision::NotApplicable);
+        assert_eq!(Decision::NotApplicable, outcome);
+        assert_eq!(outcome.enforcement, Some(Enforcement::Escalated));
+    }
+
+    #[test]
+    fn server_reports_throughput_and_hits() {
+        let handle = PdpHandle::new();
+        handle.publish(DecisionSnapshot::new(
+            permit_dba_policies(),
+            CombiningAlg::DenyOverrides,
+        ));
+        let workload: Vec<Request> = (0..8)
+            .map(|i| Request::new().subject("role", if i % 2 == 0 { "dba" } else { "guest" }))
+            .collect();
+        let report = PdpServer::new(handle).with_threads(2).run(&workload, 100);
+        assert_eq!(report.threads, 2);
+        assert_eq!(report.decisions, 200);
+        assert_eq!(report.permits + report.denies + report.gaps, 200);
+        assert_eq!(report.permits, 100); // half the workload matches
+        assert!(report.cache_hits > 0, "repeat requests must hit");
+        assert!(
+            report.hit_rate() > 0.5,
+            "8 distinct keys over 200 decisions"
+        );
+        assert!(report.throughput >= 0.0);
+    }
+
+    #[test]
+    fn empty_workload_reports_zero() {
+        let report = PdpServer::new(PdpHandle::new())
+            .with_threads(4)
+            .run(&[], 100);
+        assert_eq!(report.decisions, 0);
+        assert_eq!(report.hit_rate(), 0.0);
+    }
+}

@@ -12,7 +12,7 @@
 use crate::example::Example;
 use crate::space::Candidate;
 use agenp_asp::{
-    ground_naive_with_stats, Atom, Bindings, CmpOp, GroundError, GroundOptions, GroundStats,
+    ground_with_stats, Atom, Bindings, CmpOp, GroundError, GroundMode, GroundOptions, GroundStats,
     IncrementalGrounder, Literal, Program, Rule, Solver, Symbol, Trace,
 };
 use agenp_grammar::{Asg, EarleyParser, ParseOptions, ParseTree, ProdId};
@@ -237,6 +237,26 @@ impl Default for CompileOptions {
     }
 }
 
+impl CompileOptions {
+    /// Sets the maximum parse trees per example.
+    pub fn with_max_trees(mut self, max_trees: usize) -> CompileOptions {
+        self.max_trees = max_trees;
+        self
+    }
+
+    /// Sets the maximum answer sets enumerated per tree.
+    pub fn with_max_worlds(mut self, max_worlds: usize) -> CompileOptions {
+        self.max_worlds = max_worlds;
+        self
+    }
+
+    /// Enables or disables the naive-reference grounding ablation.
+    pub fn with_naive_ground(mut self, naive_ground: bool) -> CompileOptions {
+        self.naive_ground = naive_ground;
+        self
+    }
+}
+
 impl CompiledExample {
     /// Is the example's string admitted under the hypothesis? Only valid
     /// for constraint-only hypotheses with completely enumerated worlds;
@@ -331,7 +351,8 @@ pub fn compile_example(
         // keeps the state around so candidate hypotheses can later be
         // grounded as deltas without redoing this work.
         let (g, grounder) = if opts.naive_ground {
-            let (g, st) = ground_naive_with_stats(&base, GroundOptions::default())?;
+            let (g, st) =
+                ground_with_stats(&base, GroundOptions::default().with_mode(GroundMode::Naive))?;
             ground_stats.absorb(st);
             (g, None)
         } else {

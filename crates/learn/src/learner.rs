@@ -19,8 +19,8 @@ use crate::compile::{compile_example, CompileOptions, CompiledExample};
 use crate::example::Example;
 use crate::space::{Candidate, HypothesisSpace};
 use agenp_asp::{
-    ground_naive_with_stats, Deadline, Exhausted, GroundError, GroundOptions, GroundStats, Program,
-    Rule, Solver,
+    ground_with_stats, Deadline, Exhausted, GroundError, GroundMode, GroundOptions, GroundStats,
+    Program, Rule, Solver,
 };
 use agenp_grammar::{Asg, ProdId};
 use std::collections::HashMap;
@@ -141,7 +141,7 @@ impl fmt::Display for Hypothesis {
 }
 
 /// Errors raised by the learner.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub enum LearnError {
     /// A candidate rule is unsafe.
     UnsafeCandidate(String),
@@ -264,6 +264,51 @@ impl Default for LearnOptions {
             deadline: Deadline::none(),
             eval_cache: true,
         }
+    }
+}
+
+impl LearnOptions {
+    /// Sets the maximum total hypothesis cost considered.
+    pub fn with_max_cost(mut self, max_cost: u64) -> LearnOptions {
+        self.max_cost = max_cost;
+        self
+    }
+
+    /// Sets the example compilation bounds.
+    pub fn with_compile(mut self, compile: CompileOptions) -> LearnOptions {
+        self.compile = compile;
+        self
+    }
+
+    /// Enables or disables forcing the generic search path (ablation).
+    pub fn with_force_generic(mut self, force_generic: bool) -> LearnOptions {
+        self.force_generic = force_generic;
+        self
+    }
+
+    /// Sets the search node budget for the generic path.
+    pub fn with_max_nodes(mut self, max_nodes: u64) -> LearnOptions {
+        self.max_nodes = max_nodes;
+        self
+    }
+
+    /// Selects the branch-ordering heuristic for the monotone path.
+    pub fn with_branching(mut self, branching: Branching) -> LearnOptions {
+        self.branching = branching;
+        self
+    }
+
+    /// Sets the wall-clock deadline for the hypothesis search.
+    pub fn with_deadline(mut self, deadline: Deadline) -> LearnOptions {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Enables or disables hypothesis-evaluation memoization on the
+    /// generic path (disable for ablation benchmarks).
+    pub fn with_eval_cache(mut self, eval_cache: bool) -> LearnOptions {
+        self.eval_cache = eval_cache;
+        self
     }
 }
 
@@ -698,8 +743,10 @@ impl Learner {
                             for rule in delta {
                                 program.push(rule);
                             }
-                            let (g, st) =
-                                ground_naive_with_stats(&program, GroundOptions::default())?;
+                            let (g, st) = ground_with_stats(
+                                &program,
+                                GroundOptions::default().with_mode(GroundMode::Naive),
+                            )?;
                             stats.absorb_ground(st);
                             g
                         }

@@ -79,12 +79,9 @@ fn monotone_and_generic_paths_agree() {
         .neg(Example::in_context("allow", ctx("weather(rain).")))
         .neg(Example::in_context("deny", ctx("weather(clear).")));
     let fast = Learner::new().learn(&task).unwrap();
-    let slow = Learner::with_options(LearnOptions {
-        force_generic: true,
-        ..Default::default()
-    })
-    .learn(&task)
-    .unwrap();
+    let slow = Learner::with_options(LearnOptions::default().with_force_generic(true))
+        .learn(&task)
+        .unwrap();
     assert_eq!(fast.cost, slow.cost);
     assert!(task.violations(&fast).unwrap().is_empty());
     assert!(task.violations(&slow).unwrap().is_empty());
@@ -284,12 +281,9 @@ fn stats_report_the_search_shape() {
     assert!(stats.search_nodes >= 1);
     assert_eq!(h.cost, 1);
     // Guided and cost-first branching agree on optimal cost.
-    let cf = Learner::with_options(LearnOptions {
-        branching: Branching::CostFirst,
-        ..Default::default()
-    })
-    .learn(&task)
-    .unwrap();
+    let cf = Learner::with_options(LearnOptions::default().with_branching(Branching::CostFirst))
+        .learn(&task)
+        .unwrap();
     assert_eq!(cf.cost, h.cost);
 }
 
@@ -299,10 +293,9 @@ fn expired_deadline_aborts_monotone_learning() {
     let task = LearningTask::new(weather_grammar(), weather_space())
         .pos(Example::in_context("allow", ctx("weather(clear).")))
         .neg(Example::in_context("allow", ctx("weather(rain).")));
-    let learner = Learner::with_options(LearnOptions {
-        deadline: Deadline::after(std::time::Duration::ZERO),
-        ..Default::default()
-    });
+    let learner = Learner::with_options(
+        LearnOptions::default().with_deadline(Deadline::after(std::time::Duration::ZERO)),
+    );
     match learner.learn(&task) {
         Err(LearnError::Exhausted(Exhausted::Deadline)) => {}
         other => panic!("expected Exhausted(Deadline), got {other:?}"),
@@ -315,11 +308,11 @@ fn expired_deadline_aborts_generic_learning() {
     let task = LearningTask::new(weather_grammar(), weather_space())
         .pos(Example::in_context("allow", ctx("weather(clear).")))
         .neg(Example::in_context("allow", ctx("weather(rain).")));
-    let learner = Learner::with_options(LearnOptions {
-        force_generic: true,
-        deadline: Deadline::after(std::time::Duration::ZERO),
-        ..Default::default()
-    });
+    let learner = Learner::with_options(
+        LearnOptions::default()
+            .with_force_generic(true)
+            .with_deadline(Deadline::after(std::time::Duration::ZERO)),
+    );
     match learner.learn(&task) {
         Err(LearnError::Exhausted(Exhausted::Deadline)) => {}
         other => panic!("expected Exhausted(Deadline), got {other:?}"),
@@ -344,14 +337,11 @@ fn world_cap_falls_back_to_generic_path() {
     let task = LearningTask::new(g, space)
         .pos(Example::in_context("allow", ctx("calm.")))
         .neg(Example::in_context("allow", ctx("storm.")));
-    let opts = LearnOptions {
-        compile: CompileOptions {
-            max_trees: 4,
-            max_worlds: 2,
-            ..CompileOptions::default()
-        },
-        ..Default::default()
-    };
+    let opts = LearnOptions::default().with_compile(
+        CompileOptions::default()
+            .with_max_trees(4)
+            .with_max_worlds(2),
+    );
     let (h, stats) = Learner::with_options(opts).learn_with_stats(&task).unwrap();
     assert!(
         !stats.used_monotone,
@@ -388,21 +378,16 @@ fn generic_task() -> LearningTask {
 fn eval_cache_does_not_change_results() {
     use agenp_learn::CompileOptions;
     let task = generic_task();
-    let (with_cache, cached_stats) = Learner::with_options(LearnOptions {
-        force_generic: true,
-        ..Default::default()
-    })
-    .learn_with_stats(&task)
-    .unwrap();
-    let (without_cache, uncached_stats) = Learner::with_options(LearnOptions {
-        force_generic: true,
-        eval_cache: false,
-        compile: CompileOptions {
-            naive_ground: true,
-            ..CompileOptions::default()
-        },
-        ..Default::default()
-    })
+    let (with_cache, cached_stats) =
+        Learner::with_options(LearnOptions::default().with_force_generic(true))
+            .learn_with_stats(&task)
+            .unwrap();
+    let (without_cache, uncached_stats) = Learner::with_options(
+        LearnOptions::default()
+            .with_force_generic(true)
+            .with_eval_cache(false)
+            .with_compile(CompileOptions::default().with_naive_ground(true)),
+    )
     .learn_with_stats(&task)
     .unwrap();
     // Identical hypotheses regardless of cache and grounder choice.
@@ -423,21 +408,15 @@ fn eval_cache_does_not_change_results() {
 fn delta_grounding_instantiates_fewer_rules_than_naive() {
     use agenp_learn::CompileOptions;
     let task = generic_task();
-    let (_, fast) = Learner::with_options(LearnOptions {
-        force_generic: true,
-        ..Default::default()
-    })
-    .learn_with_stats(&task)
-    .unwrap();
-    let (_, slow) = Learner::with_options(LearnOptions {
-        force_generic: true,
-        eval_cache: false,
-        compile: CompileOptions {
-            naive_ground: true,
-            ..CompileOptions::default()
-        },
-        ..Default::default()
-    })
+    let (_, fast) = Learner::with_options(LearnOptions::default().with_force_generic(true))
+        .learn_with_stats(&task)
+        .unwrap();
+    let (_, slow) = Learner::with_options(
+        LearnOptions::default()
+            .with_force_generic(true)
+            .with_eval_cache(false)
+            .with_compile(CompileOptions::default().with_naive_ground(true)),
+    )
     .learn_with_stats(&task)
     .unwrap();
     assert!(
@@ -454,18 +433,12 @@ fn incremental_uses_grounded_violations_for_normal_rules() {
     // Normal rules in the space disable the world fast path; the incremental
     // driver must still converge via the delta-grounding violation check.
     let task = generic_task();
-    let batch = Learner::with_options(LearnOptions {
-        force_generic: true,
-        ..Default::default()
-    })
-    .learn(&task)
-    .unwrap();
-    let (inc, stats) = Learner::with_options(LearnOptions {
-        force_generic: true,
-        ..Default::default()
-    })
-    .learn_incremental(&task)
-    .unwrap();
+    let batch = Learner::with_options(LearnOptions::default().with_force_generic(true))
+        .learn(&task)
+        .unwrap();
+    let (inc, stats) = Learner::with_options(LearnOptions::default().with_force_generic(true))
+        .learn_incremental(&task)
+        .unwrap();
     assert_eq!(batch.cost, inc.cost);
     assert!(task.violations(&inc).unwrap().is_empty());
     assert!(stats.rounds >= 1);

@@ -165,6 +165,41 @@ impl Request {
             .flat_map(|(c, m)| m.iter().map(move |(n, v)| (*c, n.as_str(), v)))
     }
 
+    /// An injective, deterministic encoding of the request, suitable as a
+    /// cache key: `BTreeMap` iteration fixes the order, names are
+    /// length-prefixed, and values carry a type tag plus length prefix so
+    /// no two distinct requests share a key (unlike the `Display` form,
+    /// where `Str("true")` and `Bool(true)` collide).
+    pub fn canonical_key(&self) -> String {
+        let mut key = String::new();
+        for (c, n, v) in self.iter() {
+            key.push_str(c.name());
+            key.push('.');
+            key.push_str(&n.len().to_string());
+            key.push(':');
+            key.push_str(n);
+            key.push('=');
+            match v {
+                AttrValue::Str(s) => {
+                    key.push_str("s:");
+                    key.push_str(&s.len().to_string());
+                    key.push(':');
+                    key.push_str(s);
+                }
+                AttrValue::Int(i) => {
+                    key.push_str("i:");
+                    key.push_str(&i.to_string());
+                }
+                AttrValue::Bool(b) => {
+                    key.push_str("b:");
+                    key.push_str(if *b { "1" } else { "0" });
+                }
+            }
+            key.push(';');
+        }
+        key
+    }
+
     /// Number of attributes across all categories.
     pub fn len(&self) -> usize {
         self.attrs.values().map(BTreeMap::len).sum()
@@ -222,6 +257,21 @@ mod tests {
     fn display_is_deterministic() {
         let a = Request::new().subject("role", "dba").subject("age", 30i64);
         assert_eq!(a.to_string(), "{subject.age=30, subject.role=dba}");
+    }
+
+    #[test]
+    fn canonical_key_is_injective_where_display_is_not() {
+        let s = Request::new().subject("flag", "true");
+        let b = Request::new().subject("flag", true);
+        assert_eq!(s.to_string(), b.to_string()); // Display collides…
+        assert_ne!(s.canonical_key(), b.canonical_key()); // …the key must not
+        let i = Request::new().subject("n", "3");
+        let j = Request::new().subject("n", 3i64);
+        assert_ne!(i.canonical_key(), j.canonical_key());
+        // Same request built in a different order keys identically.
+        let a = Request::new().subject("role", "dba").subject("age", 30i64);
+        let b = Request::new().subject("age", 30i64).subject("role", "dba");
+        assert_eq!(a.canonical_key(), b.canonical_key());
     }
 
     #[test]

@@ -39,5 +39,5 @@ pub use bridge::{
 };
 pub use minimize::minimize_policies;
 pub use model::{CombiningAlg, Cond, CondOp, Decision, Effect, Policy, PolicyRule};
-pub use pdp::{DecisionRecord, Enforcement, Pdp, Pep, PolicyRepository};
+pub use pdp::{evaluate_policies, DecisionRecord, Enforcement, Pdp, Pep, PolicyRepository};
 pub use quality::{Conflict, QualityChecker, QualityReport, ResolutionStrategy};

@@ -66,6 +66,19 @@ impl PolicyRepository {
     }
 }
 
+/// Evaluates a request against a policy slice under a combining algorithm —
+/// the pure decision kernel shared by the stateful [`Pdp`] and the
+/// shared-snapshot serving tier (`agenp-core`'s `DecisionSnapshot`), which
+/// must render decisions from an immutable policy set without a repository
+/// or history.
+pub fn evaluate_policies(
+    policies: &[Policy],
+    combining: CombiningAlg,
+    request: &Request,
+) -> Decision {
+    combining.combine(policies.iter().map(|p| p.evaluate(request)))
+}
+
 /// One monitored decision, kept for the PAdaP's adaptation loop.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct DecisionRecord {
@@ -100,11 +113,14 @@ impl Pdp {
         }
     }
 
+    /// The combining algorithm this PDP applies across policies.
+    pub fn combining(&self) -> CombiningAlg {
+        self.combining
+    }
+
     /// Evaluates a request against a repository and records the outcome.
     pub fn decide(&mut self, repo: &PolicyRepository, request: &Request) -> Decision {
-        let decision = self
-            .combining
-            .combine(repo.policies().iter().map(|p| p.evaluate(request)));
+        let decision = evaluate_policies(repo.policies(), self.combining, request);
         self.history.push(DecisionRecord {
             request: request.clone(),
             decision,
@@ -130,8 +146,7 @@ impl Pdp {
 
     /// Evaluates without recording (pure query).
     pub fn peek(&self, repo: &PolicyRepository, request: &Request) -> Decision {
-        self.combining
-            .combine(repo.policies().iter().map(|p| p.evaluate(request)))
+        evaluate_policies(repo.policies(), self.combining, request)
     }
 
     /// The decision history (oldest first).

@@ -92,7 +92,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     let d = ams.decide(&Request::new().subject("clearance", "high"));
-    println!("decision for high clearance under lockdown: {d}");
+    println!("decision for high clearance under lockdown: {}", d.decision);
     Ok(())
 }
 
@@ -100,7 +100,7 @@ fn run_requests(ams: &mut Ams) {
     for clearance in ["high", "high", "high", "low", "low", "high", "low", "high"] {
         let req = Request::new().subject("clearance", clearance);
         let d = ams.decide(&req);
-        let mark = match d {
+        let mark = match d.decision {
             Decision::Permit => "permit",
             Decision::Deny => "deny",
             _ => "gap",

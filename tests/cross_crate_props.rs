@@ -29,11 +29,11 @@ proptest! {
         let train = cav::samples(5, seed);
         let task = cav::learning_task(&train, None);
         let fast = Learner::new().learn(&task);
-        let slow = Learner::with_options(LearnOptions {
-            force_generic: true,
-            max_nodes: 800_000,
-            ..Default::default()
-        })
+        let slow = Learner::with_options(
+            LearnOptions::default()
+                .with_force_generic(true)
+                .with_max_nodes(800_000),
+        )
         .learn(&task);
         match (fast, slow) {
             (Ok(a), Ok(b)) => prop_assert_eq!(a.cost, b.cost),
@@ -109,11 +109,11 @@ proptest! {
         let task = cav::learning_task(&train, None);
         let native = Learner::new().learn(&task);
         let meta = Learner::new().learn_meta(&task);
-        let generic = Learner::with_options(LearnOptions {
-            force_generic: true,
-            max_nodes: 2_000_000,
-            ..Default::default()
-        })
+        let generic = Learner::with_options(
+            LearnOptions::default()
+                .with_force_generic(true)
+                .with_max_nodes(2_000_000),
+        )
         .learn(&task);
         match (native, meta, generic) {
             (Ok(a), Ok(b), Ok(c)) => {
