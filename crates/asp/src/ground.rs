@@ -1168,6 +1168,34 @@ fn run_engine(
     opts: GroundOptions,
     naive: bool,
 ) -> Result<(GroundProgram, GroundStats), GroundError> {
+    let mut span = agenp_obs::span!(
+        "asp.ground",
+        mode = if naive { "naive" } else { "seminaive" },
+        rules = program.rules().len(),
+    );
+    let result = run_engine_inner(program, opts, naive);
+    match &result {
+        Ok((_, stats)) => {
+            span.record("passes", stats.passes);
+            span.record("rules_instantiated", stats.rules_instantiated);
+            span.record("join_candidates", stats.join_candidates);
+            crate::obs::GroundMetrics::publish(stats);
+        }
+        Err(_) => {
+            span.record("error", true);
+            if agenp_obs::enabled() {
+                crate::obs::GroundMetrics::global().errors.incr();
+            }
+        }
+    }
+    result
+}
+
+fn run_engine_inner(
+    program: &Program,
+    opts: GroundOptions,
+    naive: bool,
+) -> Result<(GroundProgram, GroundStats), GroundError> {
     let mut engine = Engine::new(opts, naive);
     let scheduled = schedule_program(program, &mut engine.traces)?;
     if naive {
@@ -1321,6 +1349,28 @@ impl IncrementalGrounder {
     ///
     /// See [`ground`].
     pub fn ground_delta_with_stats(
+        &self,
+        delta: &[Rule],
+    ) -> Result<(GroundProgram, GroundStats), GroundError> {
+        let mut span = agenp_obs::span!("asp.ground.delta", delta_rules = delta.len());
+        let result = self.ground_delta_inner(delta);
+        if span.is_live() {
+            match &result {
+                Ok((_, stats)) => {
+                    span.record("passes", stats.passes);
+                    span.record("rules_instantiated", stats.rules_instantiated);
+                    crate::obs::GroundMetrics::publish(stats);
+                }
+                Err(_) => {
+                    span.record("error", true);
+                    crate::obs::GroundMetrics::global().errors.incr();
+                }
+            }
+        }
+        result
+    }
+
+    fn ground_delta_inner(
         &self,
         delta: &[Rule],
     ) -> Result<(GroundProgram, GroundStats), GroundError> {

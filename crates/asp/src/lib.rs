@@ -41,6 +41,7 @@ mod atom;
 mod budget;
 mod explain;
 mod ground;
+pub mod obs;
 mod parser;
 mod program;
 mod solve;

@@ -227,6 +227,23 @@ impl Solver {
 
     /// Solves a ground program.
     pub fn solve(&self, program: &GroundProgram) -> SolveResult {
+        let mut span = agenp_obs::span!(
+            "asp.solve",
+            atoms = program.atoms().len(),
+            rules = program.rules().len(),
+        );
+        let result = self.solve_inner(program);
+        if span.is_live() {
+            span.record("models", result.models.len());
+            span.record("decisions", result.stats.decisions);
+            span.record("conflicts", result.stats.conflicts);
+            span.record("stratified", result.stats.used_stratified);
+            crate::obs::SolveMetrics::publish(&result.stats);
+        }
+        result
+    }
+
+    fn solve_inner(&self, program: &GroundProgram) -> SolveResult {
         let mut stats = SolveStats::default();
         if program.proven_inconsistent() {
             return SolveResult {

@@ -82,14 +82,22 @@ impl DecisionPlane {
     ///
     /// Propagates the refresh failure; serving is unaffected.
     pub fn refresh(&mut self) -> Result<usize, AmsError> {
+        let mut span = agenp_obs::span!("coalition.refresh", good_epoch = self.good_epoch);
         match self.ams.refresh_policies() {
             Ok(screened) => {
                 self.good_epoch = self.ams.current_snapshot().epoch();
                 self.stale = false;
+                span.record("epoch", self.good_epoch);
                 Ok(screened.len())
             }
             Err(e) => {
                 self.stale = true;
+                if span.is_live() {
+                    span.record("stale", true);
+                    agenp_obs::registry()
+                        .counter("coalition.refresh_failures")
+                        .incr();
+                }
                 Err(e)
             }
         }
@@ -332,6 +340,33 @@ pub fn supervised_cav_learning(
 /// One supervised party: attempt the learning round up to
 /// `1 + max_retries` times, sleeping the backoff delay between attempts.
 fn run_party(
+    cfg: &CoalitionConfig,
+    wiki: &CasWiki,
+    injector: &FaultInjector,
+    i: usize,
+) -> NodeOutcome {
+    let mut span = agenp_obs::span!("coalition.party", party = i);
+    let outcome = run_party_inner(cfg, wiki, injector, i);
+    if span.is_live() {
+        let r = agenp_obs::registry();
+        match &outcome {
+            NodeOutcome::Ok(_) => span.record("outcome", "ok"),
+            NodeOutcome::Retried(_, attempts) => {
+                span.record("outcome", "retried");
+                span.record("retries", *attempts as u64);
+                r.counter("coalition.party_retries").add(*attempts as u64);
+            }
+            NodeOutcome::Failed { reason, .. } => {
+                span.record("outcome", "failed");
+                span.record("reason", reason.as_str());
+                r.counter("coalition.party_failures").incr();
+            }
+        }
+    }
+    outcome
+}
+
+fn run_party_inner(
     cfg: &CoalitionConfig,
     wiki: &CasWiki,
     injector: &FaultInjector,

@@ -63,7 +63,14 @@ impl AmsError {
     }
 }
 
-impl std::error::Error for AmsError {}
+impl std::error::Error for AmsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AmsError::Generation(e) => Some(e),
+            AmsError::Learning(e) => Some(e),
+        }
+    }
+}
 
 impl From<AsgError> for AmsError {
     fn from(e: AsgError) -> AmsError {
@@ -298,12 +305,22 @@ impl Ams {
     ///
     /// [`AmsError::Generation`] on grounding failures.
     pub fn refresh_policies(&mut self) -> Result<Vec<(String, Verdict)>, AmsError> {
+        let mut span = agenp_obs::span!("ams.refresh");
         match self.try_refresh() {
             Ok(screened) => {
+                span.record("screened", screened.len());
                 self.publish_current();
                 Ok(screened)
             }
             Err(e) => {
+                span.record("error", true);
+                span.record(
+                    "degraded_mode",
+                    match self.degraded_mode {
+                        DegradedMode::DenyByDefault => "deny_by_default",
+                        DegradedMode::ServeLastGood => "serve_last_good",
+                    },
+                );
                 if self.degraded_mode == DegradedMode::DenyByDefault {
                     self.serving.publish(
                         DecisionSnapshot::new(self.policy_repo.policies().to_vec(), self.combining)
@@ -311,6 +328,13 @@ impl Ams {
                             .with_context(self.context.clone())
                             .degraded(e.clone()),
                     );
+                }
+                // A degraded-mode transition is exactly when an operator
+                // wants the telemetry that led up to it: flush the flight
+                // recorder through the installed exporter, if any.
+                drop(span);
+                if agenp_obs::enabled() {
+                    let _ = agenp_obs::dump("degraded");
                 }
                 Err(e)
             }
@@ -395,6 +419,7 @@ impl Ams {
     /// [`AmsError::Learning`] if the feedback admits no hypothesis;
     /// [`AmsError::Generation`] if regeneration fails.
     pub fn adapt(&mut self) -> Result<Adaptation, AmsError> {
+        let _span = agenp_obs::span!("ams.adapt", observations = self.feedback.len());
         let adaptation = self
             .padap
             .adapt(&self.initial_gpm, &self.space, &self.feedback)?;
@@ -549,6 +574,52 @@ mod tests {
             "last-good snapshot is not degraded"
         );
         assert!(!ams.current_snapshot().is_degraded());
+    }
+
+    #[test]
+    fn serve_last_good_survives_consecutive_failed_refreshes() {
+        let (g, space) = gate();
+        let mut ams = Ams::new("theta", g, space);
+        ams.set_degraded_mode(DegradedMode::ServeLastGood);
+        ams.refresh_policies().unwrap();
+        let good_epoch = ams.current_snapshot().epoch();
+        let req = Request::new().subject("clearance", "high");
+
+        // Three refreshes in a row fail; the last-good snapshot must keep
+        // serving unchanged through all of them.
+        ams.set_run_budget(RunBudget::default().with_max_atoms(1));
+        for round in 0..3 {
+            let err = ams.refresh_policies().unwrap_err();
+            // Each failure surfaces the full error chain: AmsError →
+            // AsgError → the typed exhaustion kind.
+            assert_eq!(err.exhaustion(), Some(Exhausted::Atoms), "round {round}");
+            let source = std::error::Error::source(&err)
+                .expect("AmsError must expose its cause through source()");
+            assert!(
+                source.to_string().contains("atom"),
+                "round {round}: {source}"
+            );
+            let outcome = ams.decide(&req);
+            assert_eq!(
+                outcome.epoch, good_epoch,
+                "round {round}: epoch moved under ServeLastGood"
+            );
+            assert_eq!(outcome.decision, Decision::Deny);
+            assert!(outcome.error.is_none(), "round {round}: snapshot degraded");
+            assert!(!ams.current_snapshot().is_degraded());
+        }
+
+        // Recovery publishes a strictly newer epoch (monotonicity), and the
+        // epoch counter advanced exactly once despite three failures.
+        ams.set_run_budget(RunBudget::default());
+        ams.refresh_policies().unwrap();
+        let recovered = ams.current_snapshot().epoch();
+        assert_eq!(
+            recovered,
+            good_epoch + 1,
+            "failed ServeLastGood refreshes must not burn epochs"
+        );
+        assert!(ams.decide(&req).error.is_none());
     }
 
     #[test]

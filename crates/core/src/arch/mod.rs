@@ -6,6 +6,7 @@
 
 mod ams;
 mod goals;
+mod obs;
 mod padap;
 mod pcp;
 mod pip;
@@ -15,6 +16,7 @@ mod serve;
 
 pub use ams::{Ams, AmsError, DegradedMode};
 pub use goals::{GoalDirection, GoalMonitor, GoalPolicy, GoalViolation};
+pub use obs::ServeMetrics;
 pub use padap::{Adaptation, Feedback, Padap};
 pub use pcp::{Pcp, Verdict};
 pub use pip::{ContextProvider, Pip, StaticContext};

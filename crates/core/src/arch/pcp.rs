@@ -74,20 +74,38 @@ impl Pcp {
         policies: &[String],
         budget: &RunBudget,
     ) -> Result<Vec<(String, Verdict)>, AsgError> {
+        let mut span = agenp_obs::span!(
+            "core.pcp.screen",
+            candidates = policies.len(),
+            restrictions = self.restrictions.len(),
+        );
         let restricted = gpm
             .with_added_rules(&self.restrictions)?
             .with_context(context);
         let unrestricted = gpm.with_context(context);
         let mut out = Vec::with_capacity(policies.len());
+        let (mut accepted, mut violations, mut malformed) = (0u64, 0u64, 0u64);
         for p in policies {
             let verdict = if restricted.accepts_within(p, budget)? {
+                accepted += 1;
                 Verdict::Accepted
             } else if unrestricted.accepts_within(p, budget)? {
+                violations += 1;
                 Verdict::Violation
             } else {
+                malformed += 1;
                 Verdict::Malformed
             };
             out.push((p.clone(), verdict));
+        }
+        if span.is_live() {
+            span.record("accepted", accepted);
+            span.record("violations", violations);
+            span.record("malformed", malformed);
+            let r = agenp_obs::registry();
+            r.counter("core.pcp.accepted").add(accepted);
+            r.counter("core.pcp.violations").add(violations);
+            r.counter("core.pcp.malformed").add(malformed);
         }
         Ok(out)
     }

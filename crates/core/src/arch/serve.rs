@@ -394,8 +394,18 @@ impl PdpHandle {
     pub fn publish(&self, mut snapshot: DecisionSnapshot) -> u64 {
         let epoch = self.inner.epoch.fetch_add(1, Ordering::Relaxed) + 1;
         snapshot.epoch = epoch;
+        let degraded = snapshot.is_degraded();
+        let mut span = agenp_obs::span!("serve.publish", epoch = epoch, degraded = degraded);
+        span.record("policies", snapshot.policies.len());
         self.inner.swap.store(snapshot);
         self.inner.publishes.fetch_add(1, Ordering::Relaxed);
+        if span.is_live() {
+            let m = crate::arch::obs::ServeMetrics::global();
+            m.publishes.incr();
+            if degraded {
+                m.degraded_publishes.incr();
+            }
+        }
         epoch
     }
 
@@ -407,7 +417,30 @@ impl PdpHandle {
 
     /// Renders a decision against the current snapshot, answering from the
     /// sharded cache when a same-epoch entry exists.
+    ///
+    /// When telemetry is enabled the decision is also mirrored into the
+    /// global `serve.*` metrics (including a latency histogram); with
+    /// telemetry disabled the only extra cost on this hot path is one
+    /// relaxed atomic load.
     pub fn decide(&self, request: &Request) -> DecisionOutcome {
+        if !agenp_obs::enabled() {
+            return self.decide_inner(request);
+        }
+        let start = agenp_obs::monotonic_ns();
+        let outcome = self.decide_inner(request);
+        let m = crate::arch::obs::ServeMetrics::global();
+        m.decide_latency_ns
+            .record(agenp_obs::monotonic_ns().saturating_sub(start));
+        m.decisions.incr();
+        if outcome.cached {
+            m.cache_hits.incr();
+        } else {
+            m.cache_misses.incr();
+        }
+        outcome
+    }
+
+    fn decide_inner(&self, request: &Request) -> DecisionOutcome {
         let snapshot = self.inner.swap.load();
         self.inner.decisions.fetch_add(1, Ordering::Relaxed);
         let key = request.canonical_key();

@@ -197,6 +197,15 @@ impl Asg {
     ///
     /// Propagates grounding failures from annotation programs.
     pub fn accepts_tokens(&self, tokens: &[Symbol]) -> Result<bool, AsgError> {
+        let mut span = agenp_obs::span!("grammar.membership", tokens = tokens.len());
+        let result = self.accepts_tokens_inner(tokens);
+        if span.is_live() {
+            record_membership(&mut span, &result);
+        }
+        result
+    }
+
+    fn accepts_tokens_inner(&self, tokens: &[Symbol]) -> Result<bool, AsgError> {
         let parser = EarleyParser::new(&self.cfg);
         for tree in parser.parse_with(tokens, ParseOptions::default()) {
             if self.tree_admitted(&tree)? {
@@ -213,6 +222,19 @@ impl Asg {
     /// [`AsgError::Exhausted`] when the budget runs out mid-check; other
     /// failures as in [`Asg::accepts_tokens`].
     pub fn accepts_tokens_within(
+        &self,
+        tokens: &[Symbol],
+        budget: &RunBudget,
+    ) -> Result<bool, AsgError> {
+        let mut span = agenp_obs::span!("grammar.membership", tokens = tokens.len());
+        let result = self.accepts_tokens_within_inner(tokens, budget);
+        if span.is_live() {
+            record_membership(&mut span, &result);
+        }
+        result
+    }
+
+    fn accepts_tokens_within_inner(
         &self,
         tokens: &[Symbol],
         budget: &RunBudget,
@@ -395,6 +417,25 @@ impl Asg {
             ));
         });
         out
+    }
+}
+
+/// Folds one membership-check outcome into the span and the global
+/// `grammar.membership_*` counters (only called for live spans).
+fn record_membership(span: &mut agenp_obs::SpanGuard, result: &Result<bool, AsgError>) {
+    let r = agenp_obs::registry();
+    r.counter("grammar.membership_checks").incr();
+    match result {
+        Ok(accepted) => {
+            span.record("accepted", *accepted);
+            if *accepted {
+                r.counter("grammar.membership_accepted").incr();
+            }
+        }
+        Err(_) => {
+            span.record("error", true);
+            r.counter("grammar.membership_errors").incr();
+        }
     }
 }
 

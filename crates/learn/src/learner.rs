@@ -354,6 +354,32 @@ impl Learner {
         &self,
         task: &LearningTask,
     ) -> Result<(Hypothesis, LearnStats), LearnError> {
+        let mut span = agenp_obs::span!(
+            "learn.run",
+            candidates = task.space.len(),
+            positives = task.positive.len(),
+            negatives = task.negative.len(),
+        );
+        let result = self.learn_with_stats_inner(task);
+        if span.is_live() {
+            match &result {
+                Ok((hypothesis, stats)) => {
+                    span.record("hypothesis_rules", hypothesis.rules.len());
+                    span.record("monotone", stats.used_monotone);
+                    span.record("search_nodes", stats.search_nodes);
+                    span.record("eval_cache_hits", stats.eval_cache_hits);
+                    crate::obs::LearnMetrics::publish(stats);
+                }
+                Err(_) => span.record("error", true),
+            }
+        }
+        result
+    }
+
+    fn learn_with_stats_inner(
+        &self,
+        task: &LearningTask,
+    ) -> Result<(Hypothesis, LearnStats), LearnError> {
         // Validate the space.
         for c in task.space.candidates() {
             if let Some(v) = c.rule.unsafe_var() {

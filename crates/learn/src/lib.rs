@@ -50,6 +50,7 @@ mod example;
 mod incremental;
 mod learner;
 mod meta;
+pub mod obs;
 mod space;
 
 pub use compile::{

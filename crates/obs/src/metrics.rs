@@ -1,0 +1,408 @@
+//! The lock-light metrics registry: named counters, gauges, and
+//! fixed-bucket histograms behind `Send + Sync` handles.
+//!
+//! Handles are `Arc`s resolved once (get-or-register takes a short
+//! read-lock on the name map); every subsequent update touches only
+//! atomics. Counters are sharded across cache-line-padded slots so worker
+//! threads incrementing the same counter do not bounce one cache line
+//! between cores.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Number of padded slots per counter. A small power of two: enough to
+/// spread the serving tier's worker threads, small enough that reading a
+/// counter stays a handful of loads.
+const COUNTER_SHARDS: usize = 8;
+
+/// One cache line per atomic so sharded increments never false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+/// Round-robin shard assignment per thread, fixed at first use.
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % COUNTER_SHARDS;
+    }
+    SHARD.with(|s| *s)
+}
+
+/// A monotone counter sharded over padded atomics.
+#[derive(Default)]
+pub struct Counter {
+    shards: [PaddedU64; COUNTER_SHARDS],
+}
+
+impl Counter {
+    /// Adds `n` to the calling thread's shard.
+    pub fn add(&self, n: u64) {
+        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current total across all shards.
+    pub fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Counter")
+            .field("value", &self.value())
+            .finish()
+    }
+}
+
+/// A last-value-wins signed gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn value(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Default histogram bucket upper bounds: nanosecond latencies from 1 µs
+/// to ~1 s in powers of four, matching the `*_ns` metric naming
+/// convention (`docs/OBSERVABILITY.md`).
+pub const DEFAULT_NS_BOUNDS: [u64; 11] = [
+    1_000,
+    4_000,
+    16_000,
+    64_000,
+    256_000,
+    1_024_000,
+    4_096_000,
+    16_384_000,
+    65_536_000,
+    262_144_000,
+    1_048_576_000,
+];
+
+/// A fixed-bucket histogram: `bounds.len() + 1` atomic buckets (the last
+/// is the implicit `+Inf` overflow), plus a running count and sum.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        let idx = self.bounds.partition_point(|b| v > *b);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Ascending bucket upper bounds; the final bucket is `+Inf`.
+    pub bounds: Vec<u64>,
+    /// One count per bound, plus the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// The upper bound of the bucket containing the `q`-quantile
+    /// observation (`None` when empty or when the quantile lands in the
+    /// overflow bucket).
+    pub fn quantile_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank.max(1) {
+                return self.bounds.get(i).copied();
+            }
+        }
+        None
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A registered metric handle.
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A point-in-time value of one registered metric.
+#[derive(Clone, Debug)]
+pub struct MetricSample {
+    /// The registered name (`<crate>.<component>.<what>`).
+    pub name: String,
+    /// The value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// The value half of a [`MetricSample`].
+#[derive(Clone, Debug)]
+pub enum MetricValue {
+    /// Monotone counter total.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(i64),
+    /// Histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// A `Send + Sync` name→metric registry. Registration is get-or-create
+/// and idempotent; the returned `Arc` handle is the hot-path interface,
+/// so the name map is only consulted once per call site.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(m) = self.metrics.read().expect("metrics poisoned").get(name) {
+            return match m {
+                Metric::Counter(c) => c.clone(),
+                _ => panic!("metric `{name}` is not a counter"),
+            };
+        }
+        let mut map = self.metrics.write().expect("metrics poisoned");
+        match map
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric `{name}` is not a counter"),
+        }
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(m) = self.metrics.read().expect("metrics poisoned").get(name) {
+            return match m {
+                Metric::Gauge(g) => g.clone(),
+                _ => panic!("metric `{name}` is not a gauge"),
+            };
+        }
+        let mut map = self.metrics.write().expect("metrics poisoned");
+        match map
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric `{name}` is not a gauge"),
+        }
+    }
+
+    /// The histogram registered under `name` with the default
+    /// nanosecond-latency buckets ([`DEFAULT_NS_BOUNDS`]).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &DEFAULT_NS_BOUNDS)
+    }
+
+    /// The histogram registered under `name`, creating it with `bounds` on
+    /// first use (later calls reuse the original bounds).
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram_with(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        if let Some(m) = self.metrics.read().expect("metrics poisoned").get(name) {
+            return match m {
+                Metric::Histogram(h) => h.clone(),
+                _ => panic!("metric `{name}` is not a histogram"),
+            };
+        }
+        let mut map = self.metrics.write().expect("metrics poisoned");
+        match map
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(bounds))))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric `{name}` is not a histogram"),
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.read().expect("metrics poisoned").len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Point-in-time values of every registered metric, in name order.
+    pub fn snapshot(&self) -> Vec<MetricSample> {
+        self.metrics
+            .read()
+            .expect("metrics poisoned")
+            .iter()
+            .map(|(name, m)| MetricSample {
+                name: name.clone(),
+                value: match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.value()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.value()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_sum_across_threads() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("t.count");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 4000);
+        // Re-registration returns the same counter.
+        assert_eq!(reg.counter("t.count").value(), 4000);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn gauges_set_and_drift() {
+        let g = MetricsRegistry::new().gauge("t.gauge");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(g.value(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram_with("t.lat", &[10, 100, 1000]);
+        for v in [1, 5, 50, 500, 5000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 5556);
+        assert_eq!(snap.counts, vec![2, 1, 1, 1]);
+        assert_eq!(snap.quantile_bound(0.5), Some(100));
+        assert_eq!(snap.quantile_bound(1.0), None, "max lands in +Inf");
+        assert!(snap.mean() > 1000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("t.mixed");
+        reg.counter("t.mixed");
+    }
+
+    #[test]
+    fn snapshot_is_name_ordered() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z.last");
+        reg.counter("a.first");
+        let names: Vec<String> = reg.snapshot().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["a.first", "z.last"]);
+    }
+}

@@ -1,0 +1,146 @@
+//! The flight recorder: a bounded ring buffer of finished
+//! [`SpanRecord`]s that can be snapshotted at any time and dumped as
+//! JSON on demand or on error/degraded-mode transitions.
+
+use crate::span::SpanRecord;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Default ring capacity: enough for every run boundary of a full
+/// autonomic loop plus a serving soak, small enough to snapshot cheaply.
+pub const DEFAULT_RECORDER_CAPACITY: usize = 4096;
+
+/// A bounded, thread-safe ring buffer of span records. When full, the
+/// oldest record is overwritten and counted in `dropped`.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    ring: Mutex<VecDeque<SpanRecord>>,
+    capacity: AtomicUsize,
+    recorded: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> FlightRecorder {
+        FlightRecorder::with_capacity(DEFAULT_RECORDER_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder bounded to `capacity` spans (minimum 1).
+    pub fn with_capacity(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            ring: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 1 << 16))),
+            capacity: AtomicUsize::new(capacity.max(1)),
+            recorded: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Rebounds the ring (evicting oldest records if shrinking).
+    pub fn set_capacity(&self, capacity: usize) {
+        let capacity = capacity.max(1);
+        self.capacity.store(capacity, Ordering::Relaxed);
+        let mut ring = self.ring.lock().expect("flight recorder poisoned");
+        while ring.len() > capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The current bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Appends one finished span, evicting the oldest when full.
+    pub fn record(&self, record: SpanRecord) {
+        let capacity = self.capacity();
+        let mut ring = self.ring.lock().expect("flight recorder poisoned");
+        if ring.len() >= capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(record);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Spans currently resident.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("flight recorder poisoned").len()
+    }
+
+    /// True when no spans are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Spans recorded over the recorder's lifetime (resident + evicted).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Spans evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Copies out the resident spans, oldest first.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        self.ring
+            .lock()
+            .expect("flight recorder poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Empties the ring (lifetime counters are preserved).
+    pub fn clear(&self) {
+        self.ring.lock().expect("flight recorder poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent: None,
+            name: "t.span",
+            thread: 1,
+            start_ns: id,
+            dur_ns: 10,
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_when_full() {
+        let r = FlightRecorder::with_capacity(3);
+        for id in 0..5 {
+            r.record(rec(id));
+        }
+        let ids: Vec<u64> = r.snapshot().iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+        assert_eq!(r.recorded(), 5);
+        assert_eq!(r.dropped(), 2);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts() {
+        let r = FlightRecorder::with_capacity(4);
+        for id in 0..4 {
+            r.record(rec(id));
+        }
+        r.set_capacity(2);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 2);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.recorded(), 4, "lifetime counter survives clear");
+    }
+}

@@ -1,0 +1,267 @@
+//! Structured spans: RAII guards with parent/child nesting, monotonic
+//! timing, and key=value fields, recorded into the global
+//! [`FlightRecorder`](crate::FlightRecorder) on drop.
+//!
+//! Spans are meant for *run boundaries* — a grounding pass, a solve, a
+//! learning round, a snapshot publish — not per-request hot paths (those
+//! get histograms). The [`span!`](crate::span!) macro checks the global
+//! enabled flag first, so a disabled build pays one relaxed load and a
+//! branch per site.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// A typed span/field value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Text.
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> FieldValue {
+        FieldValue::U64(v)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> FieldValue {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> FieldValue {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> FieldValue {
+        FieldValue::I64(v)
+    }
+}
+impl From<i32> for FieldValue {
+    fn from(v: i32) -> FieldValue {
+        FieldValue::I64(v as i64)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> FieldValue {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> FieldValue {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_owned())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> FieldValue {
+        FieldValue::Str(v)
+    }
+}
+
+/// One finished span as stored in the flight recorder.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Process-unique span id (monotone).
+    pub id: u64,
+    /// Enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Static span name (`<crate>.<operation>`).
+    pub name: &'static str,
+    /// Small dense id of the recording thread.
+    pub thread: u64,
+    /// Nanoseconds since the process-wide monotonic epoch at span start.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+    /// key=value fields attached to the span.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// Nanoseconds since the process-wide monotonic epoch (established on
+/// first use; never goes backwards).
+pub fn monotonic_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+fn next_span_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+fn thread_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static ID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ID.with(|id| *id)
+}
+
+thread_local! {
+    /// Innermost live span on this thread, for parent/child linking.
+    static CURRENT_SPAN: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+struct ActiveSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    start: Instant,
+    start_ns: u64,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// RAII span guard. Created through [`span!`](crate::span!); a disabled
+/// guard is an empty shell whose every operation is a null-check.
+pub struct SpanGuard(Option<Box<ActiveSpan>>);
+
+impl SpanGuard {
+    /// Starts a live span nested under the thread's current span.
+    pub fn enter(name: &'static str) -> SpanGuard {
+        let id = next_span_id();
+        let parent = CURRENT_SPAN.with(|c| c.replace(Some(id)));
+        SpanGuard(Some(Box::new(ActiveSpan {
+            id,
+            parent,
+            name,
+            start: Instant::now(),
+            start_ns: monotonic_ns(),
+            fields: Vec::new(),
+        })))
+    }
+
+    /// A guard that records nothing (the disabled path).
+    pub fn noop() -> SpanGuard {
+        SpanGuard(None)
+    }
+
+    /// Attaches (or appends) a key=value field.
+    pub fn record(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if let Some(s) = &mut self.0 {
+            s.fields.push((key, value.into()));
+        }
+    }
+
+    /// The span id (`None` for a noop guard).
+    pub fn id(&self) -> Option<u64> {
+        self.0.as_ref().map(|s| s.id)
+    }
+
+    /// True when this guard will record on drop.
+    pub fn is_live(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(s) = self.0.take() {
+            CURRENT_SPAN.with(|c| c.set(s.parent));
+            crate::recorder().record(SpanRecord {
+                id: s.id,
+                parent: s.parent,
+                name: s.name,
+                thread: thread_id(),
+                start_ns: s.start_ns,
+                dur_ns: s.start.elapsed().as_nanos() as u64,
+                fields: s.fields,
+            });
+        }
+    }
+}
+
+impl std::fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Some(s) => f.debug_struct("SpanGuard").field("name", &s.name).finish(),
+            None => f.write_str("SpanGuard(noop)"),
+        }
+    }
+}
+
+/// Starts a [`SpanGuard`] when the global telemetry flag is on, a noop
+/// guard otherwise. Fields are `key = value` pairs evaluated only when
+/// the span is live... except the values, which are evaluated eagerly —
+/// keep them to already-computed scalars.
+///
+/// ```
+/// agenp_obs::install(agenp_obs::ObsConfig::enabled());
+/// {
+///     let mut span = agenp_obs::span!("doc.example", items = 3u64);
+///     span.record("done", true);
+/// }
+/// assert!(agenp_obs::recorder().len() >= 1);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:literal $(, $key:ident = $value:expr)* $(,)?) => {{
+        #[allow(unused_mut)]
+        let mut guard = if $crate::enabled() {
+            $crate::SpanGuard::enter($name)
+        } else {
+            $crate::SpanGuard::noop()
+        };
+        $( guard.record(stringify!($key), $value); )*
+        guard
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_conversions_cover_scalars() {
+        assert_eq!(FieldValue::from(3u32), FieldValue::U64(3));
+        assert_eq!(FieldValue::from(3usize), FieldValue::U64(3));
+        assert_eq!(FieldValue::from(-3i32), FieldValue::I64(-3));
+        assert_eq!(FieldValue::from(true), FieldValue::Bool(true));
+        assert_eq!(FieldValue::from("x"), FieldValue::Str("x".into()));
+    }
+
+    #[test]
+    fn noop_guard_is_inert() {
+        let mut g = SpanGuard::noop();
+        g.record("k", 1u64);
+        assert!(!g.is_live());
+        assert_eq!(g.id(), None);
+    }
+
+    #[test]
+    fn nesting_links_parents_on_one_thread() {
+        let outer = SpanGuard::enter("t.outer");
+        let inner = SpanGuard::enter("t.inner");
+        let (outer_id, inner_id) = (outer.id().unwrap(), inner.id().unwrap());
+        assert_ne!(outer_id, inner_id);
+        drop(inner);
+        drop(outer);
+        let spans = crate::recorder().snapshot();
+        let inner_rec = spans.iter().find(|s| s.id == inner_id).unwrap();
+        assert_eq!(inner_rec.parent, Some(outer_id));
+        let outer_rec = spans.iter().find(|s| s.id == outer_id).unwrap();
+        assert!(outer_rec.dur_ns >= inner_rec.dur_ns);
+    }
+
+    #[test]
+    fn monotonic_clock_never_regresses() {
+        let a = monotonic_ns();
+        let b = monotonic_ns();
+        assert!(b >= a);
+    }
+}

@@ -126,6 +126,7 @@ impl Pdp {
             decision,
             policy_version: repo.version(),
         });
+        record_decision(decision);
         decision
     }
 
@@ -141,6 +142,12 @@ impl Pdp {
             decision,
             policy_version: repo.version(),
         });
+        if agenp_obs::enabled() {
+            agenp_obs::registry()
+                .counter("policy.pdp.degraded_decisions")
+                .incr();
+        }
+        record_decision(decision);
         decision
     }
 
@@ -158,6 +165,23 @@ impl Pdp {
     pub fn take_history(&mut self) -> Vec<DecisionRecord> {
         std::mem::take(&mut self.history)
     }
+}
+
+/// Bumps the global `policy.pdp.*` outcome counters (no-op when telemetry
+/// is disabled).
+fn record_decision(decision: Decision) {
+    if !agenp_obs::enabled() {
+        return;
+    }
+    let r = agenp_obs::registry();
+    r.counter("policy.pdp.decisions").incr();
+    r.counter(match decision {
+        Decision::Permit => "policy.pdp.permit",
+        Decision::Deny => "policy.pdp.deny",
+        Decision::NotApplicable => "policy.pdp.not_applicable",
+        Decision::Indeterminate => "policy.pdp.indeterminate",
+    })
+    .incr();
 }
 
 /// The action the PEP performs after a decision.
