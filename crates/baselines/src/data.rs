@@ -1,11 +1,10 @@
 //! Tabular datasets with mixed categorical/numeric features, the input
 //! format shared by all baseline learners.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One feature value.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum Feature {
     /// A numeric feature.
     Num(f64),
@@ -43,7 +42,7 @@ impl fmt::Display for Feature {
 }
 
 /// A labelled dataset.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Dataset {
     /// Feature names (column headers).
     pub feature_names: Vec<String>,

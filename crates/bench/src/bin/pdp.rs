@@ -71,7 +71,8 @@ fn main() {
     print_tables(&rows, &parity, &stress);
 
     let speedup_4t = speedup(&rows, 4);
-    let json = render_json(smoke, &rows, &parity, &stress, speedup_4t);
+    let cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    let json = render_json(smoke, &rows, &parity, &stress, speedup_4t, cpus);
     let path = output_path();
     if let Err(e) = std::fs::write(&path, &json) {
         eprintln!("pdp: cannot write {}: {e}", path.display());
@@ -113,7 +114,6 @@ fn main() {
     }
     // The scaling gate only means something when the hardware can actually
     // run 4 workers in parallel (CI runners can; 1-CPU boxes cannot).
-    let cpus = std::thread::available_parallelism().map_or(1, usize::from);
     if cpus >= 4 {
         if let Some(s) = speedup_4t {
             if s < 2.0 {
@@ -330,6 +330,7 @@ fn render_json(
     parity: &ParityOutcome,
     stress: &StressOutcome,
     speedup_4t: Option<f64>,
+    cpus: usize,
 ) -> String {
     let throughput: Vec<String> = rows
         .iter()
@@ -353,7 +354,7 @@ fn render_json(
          \"throughput\": [\n{}\n],\n\
          \"parity\": {{\"requests\": {}, \"mismatches\": {}}},\n\
          \"stress\": {{\"decisions\": {}, \"swaps\": {}, \"stale_served\": {}}},\n\
-         \"claims\": {{\"speedup_4t_over_1t\": {}}}\n}}\n",
+         \"claims\": {{\"speedup_4t_over_1t\": {}, \"cpus\": {}}}\n}}\n",
         smoke,
         throughput.join(",\n"),
         parity.requests,
@@ -364,6 +365,7 @@ fn render_json(
         match speedup_4t {
             Some(s) => format!("{s:.3}"),
             None => "null".to_string(),
-        }
+        },
+        cpus
     )
 }

@@ -9,9 +9,8 @@
 use crate::resilience::{panic_message, FaultInjector};
 use agenp_asp::Program;
 use agenp_learn::Example;
-use parking_lot::RwLock;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread;
 
 /// One contributed experience: a policy string, the context, and whether
@@ -79,14 +78,25 @@ impl CasWiki {
         CasWiki::default()
     }
 
+    // Contributions are independent rows, so a lock poisoned by a panicking
+    // writer still holds consistent data; recover the guard instead of
+    // propagating the poison (parking_lot semantics, which this used before).
+    fn read(&self) -> RwLockReadGuard<'_, Vec<Contribution>> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, Vec<Contribution>> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Contributes one experience.
     pub fn contribute(&self, contribution: Contribution) {
-        self.inner.write().push(contribution);
+        self.write().push(contribution);
     }
 
     /// Contributes a batch.
     pub fn contribute_all(&self, contributions: impl IntoIterator<Item = Contribution>) {
-        self.inner.write().extend(contributions);
+        self.write().extend(contributions);
     }
 
     /// Contributes a batch through a fault injector acting as the "link"
@@ -146,18 +156,17 @@ impl CasWiki {
 
     /// Number of stored contributions.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.read().len()
     }
 
     /// True if the wiki is empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.read().is_empty()
     }
 
     /// Retrieves contributions whose contributor passes `filter`.
     pub fn retrieve(&self, filter: impl Fn(&str) -> bool) -> Vec<Contribution> {
-        self.inner
-            .read()
+        self.read()
             .iter()
             .filter(|c| filter(&c.contributor))
             .cloned()
@@ -166,7 +175,7 @@ impl CasWiki {
 
     /// Retrieves everything.
     pub fn retrieve_all(&self) -> Vec<Contribution> {
-        self.inner.read().clone()
+        self.read().clone()
     }
 }
 

@@ -27,6 +27,7 @@ pub mod datashare;
 mod fabric;
 pub mod federated;
 pub mod resilience;
+pub mod sim;
 mod trust;
 
 pub use caswiki::{CasWiki, Contribution, ContributionError, ContributionProducer};

@@ -6,14 +6,20 @@
 //! link, a corrupted shared-repository write. This module makes those
 //! failure modes *first-class and reproducible*: a [`FaultPlan`] names the
 //! faults, a [`FaultInjector`] applies them deterministically from a seed,
-//! and [`RetryPolicy`]/[`Backoff`] govern how the fabric recovers. See
-//! `docs/RESILIENCE.md` for the full fault model.
+//! [`RetryPolicy`]/[`Backoff`] govern how the fabric recovers, and a
+//! [`ChaosPlan`]/[`ChaosInjector`] extends the same seed into fabric-wide
+//! chaos — message loss/duplication/reordering, named partitions with
+//! heals, crash-restart waves, and degraded-mode waves — for the
+//! deterministic simulation in [`crate::sim`]. See `docs/RESILIENCE.md`
+//! for the full fault model.
 
 mod backoff;
+mod chaos;
 mod faults;
 
 pub use agenp_asp::{Deadline, Exhausted, RunBudget};
 pub use backoff::{Backoff, RetryPolicy};
+pub use chaos::{ChaosInjector, ChaosPlan, CrashWave, DegradedWave, PartitionSpec};
 pub use faults::{Fault, FaultInjector, FaultPlan};
 
 /// Renders a panic payload (as returned by `catch_unwind` or

@@ -1,0 +1,241 @@
+//! Continuously-asserted invariants for chaos runs.
+//!
+//! Every decision a simulated party renders is checked on the spot:
+//!
+//! * **No stale-epoch serves** — the outcome's epoch must be exactly the
+//!   epoch of the party's most recent publish; an older epoch means a
+//!   decision escaped a snapshot swap.
+//! * **Deny-by-default** — a party whose current snapshot is denying
+//!   (bootstrap, crash-restart state loss, degraded publish) must render
+//!   `Deny` and carry the degradation error on every decision.
+//! * **Decision parity** — a healthy party serving version `v` must
+//!   render exactly what [`coalition_policies`]`(v)` evaluates to for the
+//!   request (memoized per `(version, request)`), and must never be
+//!   ahead of the repository head.
+//!
+//! Scheduled checks (bounded reconvergence after heal, final
+//! convergence) report through the same [`InvariantChecker`]. Violations
+//! are counted exactly and the first [`MAX_RECORDED`] are kept with full
+//! detail for the post-mortem.
+
+use super::scenario::coalition_policies;
+use agenp_core::arch::DecisionOutcome;
+use agenp_policy::{evaluate_policies, CombiningAlg, Decision, Request};
+use std::collections::HashMap;
+
+/// Violations kept with full detail (the count is always exact).
+pub const MAX_RECORDED: usize = 32;
+
+/// One invariant violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Tick the violation was detected.
+    pub tick: u64,
+    /// The party involved, if party-specific.
+    pub party: Option<usize>,
+    /// Stable violation kind: `stale-epoch`, `deny-by-default`,
+    /// `decision-parity`, `version-ahead`, `reconvergence`,
+    /// `final-convergence`.
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// Checks every decision and scheduled assertion in a chaos run.
+#[derive(Debug, Default)]
+pub struct InvariantChecker {
+    expected: HashMap<(u64, usize), Decision>,
+    recorded: Vec<Violation>,
+    total: u64,
+}
+
+impl InvariantChecker {
+    /// A fresh checker.
+    pub fn new() -> InvariantChecker {
+        InvariantChecker::default()
+    }
+
+    /// The expected decision for workload request `idx` under coalition
+    /// policy version `version` (memoized pure evaluation).
+    pub fn expected(&mut self, version: u64, idx: usize, request: &Request) -> Decision {
+        *self.expected.entry((version, idx)).or_insert_with(|| {
+            evaluate_policies(
+                &coalition_policies(version),
+                CombiningAlg::DenyOverrides,
+                request,
+            )
+        })
+    }
+
+    /// Records a violation (detail kept for the first [`MAX_RECORDED`]).
+    pub fn report(&mut self, tick: u64, party: Option<usize>, kind: &'static str, detail: String) {
+        self.total += 1;
+        if self.recorded.len() < MAX_RECORDED {
+            self.recorded.push(Violation {
+                tick,
+                party,
+                kind,
+                detail,
+            });
+        }
+    }
+
+    /// Checks one rendered decision. `serving_version` is `Some(v)` when
+    /// the party's current snapshot is healthy at version `v`, `None`
+    /// when it is denying; `last_publish_epoch` is the epoch the party's
+    /// most recent publish was assigned; `head` is the repository head.
+    #[allow(clippy::too_many_arguments)] // one call site; a params struct would only rename the nine fields
+    pub fn check_outcome(
+        &mut self,
+        tick: u64,
+        party: usize,
+        serving_version: Option<u64>,
+        last_publish_epoch: u64,
+        head: u64,
+        idx: usize,
+        request: &Request,
+        outcome: &DecisionOutcome,
+    ) {
+        if outcome.epoch != last_publish_epoch {
+            self.report(
+                tick,
+                Some(party),
+                "stale-epoch",
+                format!(
+                    "outcome epoch {} but last publish was {}",
+                    outcome.epoch, last_publish_epoch
+                ),
+            );
+        }
+        match serving_version {
+            None => {
+                if outcome.decision != Decision::Deny || outcome.error.is_none() {
+                    self.report(
+                        tick,
+                        Some(party),
+                        "deny-by-default",
+                        format!(
+                            "denying snapshot rendered {:?} (error: {})",
+                            outcome.decision,
+                            outcome.error.is_some()
+                        ),
+                    );
+                }
+            }
+            Some(version) => {
+                if version > head {
+                    self.report(
+                        tick,
+                        Some(party),
+                        "version-ahead",
+                        format!("serving v{version} but repository head is v{head}"),
+                    );
+                }
+                let want = self.expected(version, idx, request);
+                if outcome.error.is_some() || outcome.decision != want {
+                    self.report(
+                        tick,
+                        Some(party),
+                        "decision-parity",
+                        format!(
+                            "v{version} request {idx}: got {:?} (error: {}), expected {:?}",
+                            outcome.decision,
+                            outcome.error.is_some(),
+                            want
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Exact number of violations detected.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The recorded violations (first [`MAX_RECORDED`], in order).
+    pub fn recorded(&self) -> &[Violation] {
+        &self.recorded
+    }
+
+    /// Consumes the checker into its recorded violations.
+    pub fn into_recorded(self) -> Vec<Violation> {
+        self.recorded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agenp_core::arch::{AmsError, DecisionSnapshot, PdpHandle};
+    use agenp_policy::CombiningAlg;
+
+    fn outcome_for(version: u64, request: &Request) -> (DecisionOutcome, u64) {
+        let handle = PdpHandle::new();
+        let epoch = handle.publish(DecisionSnapshot::new(
+            coalition_policies(version),
+            CombiningAlg::DenyOverrides,
+        ));
+        (handle.decide(request), epoch)
+    }
+
+    #[test]
+    fn clean_outcomes_pass_and_violations_are_caught() {
+        let mut c = InvariantChecker::new();
+        let req = Request::new()
+            .subject("role", "auditor")
+            .action("kind", "read");
+        let (ok, epoch) = outcome_for(1, &req);
+        c.check_outcome(5, 0, Some(1), epoch, 1, 0, &req, &ok);
+        assert_eq!(c.total(), 0);
+
+        // Same outcome claimed against a newer publish: stale epoch.
+        c.check_outcome(6, 0, Some(1), epoch + 1, 1, 0, &req, &ok);
+        assert_eq!(c.total(), 1);
+        assert_eq!(c.recorded()[0].kind, "stale-epoch");
+
+        // A healthy permit from a party that should be denying.
+        c.check_outcome(7, 1, None, epoch, 1, 0, &req, &ok);
+        assert!(c.recorded().iter().any(|v| v.kind == "deny-by-default"));
+
+        // Serving ahead of the repository head.
+        c.check_outcome(8, 2, Some(3), epoch, 1, 0, &req, &ok);
+        assert!(c.recorded().iter().any(|v| v.kind == "version-ahead"));
+
+        // Wrong decision for the claimed version: operator is only
+        // permitted on odd versions.
+        let op = Request::new()
+            .subject("role", "operator")
+            .action("kind", "read");
+        let (odd, odd_epoch) = outcome_for(1, &op);
+        c.check_outcome(9, 3, Some(2), odd_epoch, 2, 4, &op, &odd);
+        assert!(c.recorded().iter().any(|v| v.kind == "decision-parity"));
+    }
+
+    #[test]
+    fn denying_outcomes_must_carry_the_error() {
+        let mut c = InvariantChecker::new();
+        let req = Request::new()
+            .subject("role", "guest")
+            .action("kind", "read");
+        let handle = PdpHandle::new();
+        let epoch = handle.publish(
+            DecisionSnapshot::new(Vec::new(), CombiningAlg::DenyOverrides)
+                .degraded(AmsError::Unavailable("test".into())),
+        );
+        let out = handle.decide(&req);
+        c.check_outcome(1, 0, None, epoch, 0, 0, &req, &out);
+        assert_eq!(c.total(), 0, "degraded deny with error is legitimate");
+    }
+
+    #[test]
+    fn recording_caps_but_counting_does_not() {
+        let mut c = InvariantChecker::new();
+        for i in 0..(MAX_RECORDED as u64 + 10) {
+            c.report(i, None, "reconvergence", "lag".to_owned());
+        }
+        assert_eq!(c.total(), MAX_RECORDED as u64 + 10);
+        assert_eq!(c.recorded().len(), MAX_RECORDED);
+    }
+}

@@ -19,7 +19,7 @@ use crate::arch::serve::{DecisionOutcome, DecisionSnapshot, PdpHandle};
 use agenp_asp::{Exhausted, Program, RunBudget};
 use agenp_grammar::{Asg, AsgError};
 use agenp_learn::{HypothesisSpace, LearnError, LearnOptions, Learner};
-use agenp_policy::{CombiningAlg, Decision, Enforcement, PolicyRepository, QualityReport, Request};
+use agenp_policy::{CombiningAlg, Decision, PolicyRepository, QualityReport, Request};
 use std::fmt;
 use std::sync::Mutex;
 
@@ -34,6 +34,10 @@ pub enum AmsError {
     Generation(AsgError),
     /// Adaptation (learning) failed.
     Learning(LearnError),
+    /// The party cannot serve at all: no valid snapshot exists (fresh
+    /// start, state lost in a crash-restart, or the shared repository is
+    /// unreachable). Decisions deny by default until a refresh succeeds.
+    Unavailable(String),
 }
 
 impl fmt::Display for AmsError {
@@ -41,6 +45,7 @@ impl fmt::Display for AmsError {
         match self {
             AmsError::Generation(e) => write!(f, "policy generation failed: {e}"),
             AmsError::Learning(e) => write!(f, "policy adaptation failed: {e}"),
+            AmsError::Unavailable(why) => write!(f, "party unavailable: {why}"),
         }
     }
 }
@@ -59,6 +64,7 @@ impl AmsError {
             AmsError::Learning(LearnError::Budget) => Some(Exhausted::Nodes),
             AmsError::Learning(LearnError::Ground(g)) => g.exhausted(),
             AmsError::Learning(_) => None,
+            AmsError::Unavailable(_) => None,
         }
     }
 }
@@ -68,6 +74,7 @@ impl std::error::Error for AmsError {
         match self {
             AmsError::Generation(e) => Some(e),
             AmsError::Learning(e) => Some(e),
+            AmsError::Unavailable(_) => None,
         }
     }
 }
@@ -333,9 +340,7 @@ impl Ams {
                 // wants the telemetry that led up to it: flush the flight
                 // recorder through the installed exporter, if any.
                 drop(span);
-                if agenp_obs::enabled() {
-                    let _ = agenp_obs::dump("degraded");
-                }
+                agenp_obs::dump_if_enabled("degraded");
                 Err(e)
             }
         }
@@ -387,19 +392,6 @@ impl Ams {
         outcome
     }
 
-    /// PEP step: decides and enforces.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use `decide`, whose `DecisionOutcome` carries the enforcement"
-    )]
-    pub fn decide_and_enforce(&mut self, request: &Request) -> (Decision, Enforcement) {
-        let outcome = self.decide(request);
-        (
-            outcome.decision,
-            outcome.enforcement.unwrap_or(Enforcement::Blocked),
-        )
-    }
-
     /// Records observed feedback for the next adaptation round.
     pub fn observe(&mut self, feedback: Feedback) {
         self.feedback.push(feedback);
@@ -449,23 +441,13 @@ impl Ams {
             .with_context(&self.context)
             .accepts_within(policy, &self.budget)?)
     }
-
-    /// Degradation-aware decision path: refreshes policies and decides.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use `refresh_policies` + `decide`; the `DecisionOutcome` carries the error"
-    )]
-    pub fn decide_resilient(&mut self, request: &Request) -> (Decision, Option<AmsError>) {
-        let refresh_err = self.refresh_policies().err();
-        let outcome = self.decide(request);
-        (outcome.decision, refresh_err.or(outcome.error))
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use agenp_grammar::ProdId;
+    use agenp_policy::Enforcement;
 
     fn gate() -> (Asg, HypothesisSpace) {
         let g: Asg = r#"
@@ -636,25 +618,6 @@ mod tests {
         ams.set_run_budget(RunBudget::default().with_max_steps(0));
         let err = ams.admits("allow").unwrap_err();
         assert_eq!(err.exhaustion(), Some(Exhausted::Steps));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_preserve_old_semantics() {
-        let (g, space) = gate();
-        let mut ams = Ams::new("epsilon", g, space);
-        ams.set_run_budget(RunBudget::default().with_max_atoms(1));
-        let req = Request::new().subject("clearance", "low");
-        let (d, err) = ams.decide_resilient(&req);
-        assert_eq!(d, Decision::Deny);
-        assert!(err.unwrap().exhaustion().is_some());
-        ams.set_run_budget(RunBudget::default());
-        let (d2, err2) = ams.decide_resilient(&req);
-        assert_eq!(d2, Decision::Deny);
-        assert!(err2.is_none());
-        let (d3, e3) = ams.decide_and_enforce(&req);
-        assert_eq!(d3, Decision::Deny);
-        assert_eq!(e3, Enforcement::Blocked);
     }
 
     #[test]

@@ -26,7 +26,7 @@ use agenp_policy::{evaluate_policies, CombiningAlg, Decision, Enforcement, Pep, 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
@@ -34,6 +34,66 @@ use std::time::{Duration, Instant};
 /// threads off each other's locks, few enough that per-shard maps stay
 /// dense.
 const CACHE_SHARDS: usize = 16;
+
+/// Number of stripes for the hot-path statistics counters.
+const COUNTER_STRIPES: usize = 16;
+
+/// The stripe this thread bumps. Threads are assigned stripes round-robin
+/// at first use, so up to [`COUNTER_STRIPES`] concurrent workers never
+/// share a counter cache line.
+#[inline]
+fn counter_stripe() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static STRIPE: usize = NEXT.fetch_add(1, Ordering::Relaxed) % COUNTER_STRIPES;
+    }
+    STRIPE.with(|s| *s)
+}
+
+/// An [`AtomicU64`] alone on its cache line, so two stripes never falsely
+/// share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedCounter(AtomicU64);
+
+/// A monotone counter striped across cache lines. A single shared
+/// `AtomicU64` bumped per decision turns into a coherence-traffic hotspot
+/// under multi-threaded serving (every `fetch_add` bounces the line
+/// between cores); striping makes the bump core-local and pays for it
+/// with a 16-way sum on the (rare) read side.
+struct StripedU64 {
+    stripes: [PaddedCounter; COUNTER_STRIPES],
+}
+
+impl Default for StripedU64 {
+    fn default() -> StripedU64 {
+        StripedU64 {
+            stripes: std::array::from_fn(|_| PaddedCounter::default()),
+        }
+    }
+}
+
+impl StripedU64 {
+    #[inline]
+    fn incr(&self) {
+        self.stripes[counter_stripe()]
+            .0
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn sum(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for StripedU64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "StripedU64({})", self.sum())
+    }
+}
 
 /// An immutable, consistent view of everything the PDP needs to answer a
 /// request: the translated policy set, the combining algorithm, and the
@@ -205,9 +265,9 @@ struct CacheEntry {
 #[derive(Debug)]
 pub struct DecisionCache {
     shards: Vec<RwLock<HashMap<String, CacheEntry>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    invalidations: AtomicU64,
+    hits: StripedU64,
+    misses: StripedU64,
+    invalidations: StripedU64,
 }
 
 impl Default for DecisionCache {
@@ -223,9 +283,9 @@ impl DecisionCache {
             shards: (0..CACHE_SHARDS)
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            invalidations: AtomicU64::new(0),
+            hits: StripedU64::default(),
+            misses: StripedU64::default(),
+            invalidations: StripedU64::default(),
         }
     }
 
@@ -243,7 +303,7 @@ impl DecisionCache {
             let map = shard.read().expect("cache shard poisoned");
             match map.get(key) {
                 Some(e) if e.epoch == epoch => {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.hits.incr();
                     return Some(e.decision);
                 }
                 Some(_) => true,
@@ -256,10 +316,10 @@ impl DecisionCache {
             // have refreshed the entry for the current epoch.
             if map.get(key).is_some_and(|e| e.epoch != epoch) {
                 map.remove(key);
-                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                self.invalidations.incr();
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.incr();
         None
     }
 
@@ -315,7 +375,7 @@ struct PdpShared {
     swap: SnapshotSwap,
     cache: DecisionCache,
     epoch: AtomicU64,
-    decisions: AtomicU64,
+    decisions: StripedU64,
     publishes: AtomicU64,
     pep: Pep,
 }
@@ -380,7 +440,7 @@ impl PdpHandle {
                 )),
                 cache: DecisionCache::new(),
                 epoch: AtomicU64::new(0),
-                decisions: AtomicU64::new(0),
+                decisions: StripedU64::default(),
                 publishes: AtomicU64::new(0),
                 pep: Pep::default(),
             }),
@@ -392,7 +452,9 @@ impl PdpHandle {
     /// against their old snapshot; the epoch bump invalidates every cached
     /// decision.
     pub fn publish(&self, mut snapshot: DecisionSnapshot) -> u64 {
-        let epoch = self.inner.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        // AcqRel so a pin that observes the new epoch (Acquire) also sees
+        // everything sequenced before this publish.
+        let epoch = self.inner.epoch.fetch_add(1, Ordering::AcqRel) + 1;
         snapshot.epoch = epoch;
         let degraded = snapshot.is_degraded();
         let mut span = agenp_obs::span!("serve.publish", epoch = epoch, degraded = degraded);
@@ -428,6 +490,11 @@ impl PdpHandle {
         }
         let start = agenp_obs::monotonic_ns();
         let outcome = self.decide_inner(request);
+        Self::mirror_metrics(start, &outcome);
+        outcome
+    }
+
+    fn mirror_metrics(start: u64, outcome: &DecisionOutcome) {
         let m = crate::arch::obs::ServeMetrics::global();
         m.decide_latency_ns
             .record(agenp_obs::monotonic_ns().saturating_sub(start));
@@ -437,12 +504,18 @@ impl PdpHandle {
         } else {
             m.cache_misses.incr();
         }
-        outcome
     }
 
     fn decide_inner(&self, request: &Request) -> DecisionOutcome {
         let snapshot = self.inner.swap.load();
-        self.inner.decisions.fetch_add(1, Ordering::Relaxed);
+        self.decide_with(&snapshot, request)
+    }
+
+    /// The decision path proper, against an already-resolved snapshot.
+    /// [`PdpHandle::decide`] resolves the snapshot per call; a [`PdpPin`]
+    /// reuses its pinned one.
+    fn decide_with(&self, snapshot: &DecisionSnapshot, request: &Request) -> DecisionOutcome {
+        self.inner.decisions.incr();
         let key = request.canonical_key();
         if let Some(decision) = self.inner.cache.get(&key, snapshot.epoch) {
             return DecisionOutcome {
@@ -464,13 +537,22 @@ impl PdpHandle {
         }
     }
 
+    /// Pins the current snapshot for one worker's decision loop (see
+    /// [`PdpPin`]). Cheap: one `Arc` clone at pin time.
+    pub fn pin(&self) -> PdpPin {
+        PdpPin {
+            snapshot: self.inner.swap.load(),
+            handle: self.clone(),
+        }
+    }
+
     /// Snapshot of the handle's counters.
     pub fn stats(&self) -> ServeStats {
         ServeStats {
-            decisions: self.inner.decisions.load(Ordering::Relaxed),
-            cache_hits: self.inner.cache.hits.load(Ordering::Relaxed),
-            cache_misses: self.inner.cache.misses.load(Ordering::Relaxed),
-            invalidations: self.inner.cache.invalidations.load(Ordering::Relaxed),
+            decisions: self.inner.decisions.sum(),
+            cache_hits: self.inner.cache.hits.sum(),
+            cache_misses: self.inner.cache.misses.sum(),
+            invalidations: self.inner.cache.invalidations.sum(),
             publishes: self.inner.publishes.load(Ordering::Relaxed),
         }
     }
@@ -478,6 +560,58 @@ impl PdpHandle {
     /// Entries resident in the decision cache (all epochs).
     pub fn cache_len(&self) -> usize {
         self.inner.cache.len()
+    }
+}
+
+/// One worker thread's pinned decision path.
+///
+/// [`PdpHandle::decide`] resolves the current snapshot on every call —
+/// a read-lock acquisition plus an `Arc` refcount round-trip per
+/// decision, which under multi-threaded serving means every worker
+/// hammering the same two shared cache lines (the lock word and the
+/// refcount). That contention is what flattened the serving tier's
+/// multi-thread scaling. A `PdpPin` keeps the snapshot `Arc` pinned in
+/// the worker and revalidates it with a single `Acquire` load of the
+/// epoch counter per decision, touching the shared slot only when a
+/// publish actually moved the epoch.
+///
+/// Freshness: a pinned decision can race a concurrent publish (exactly
+/// like a decision that resolved the snapshot just before the publish
+/// landed), but the publish bumps the epoch *before* swapping the slot,
+/// so the pin re-resolves on the next call at the latest and each
+/// outcome's `epoch` is always the epoch of the snapshot that actually
+/// answered. Pins are cheap to create and single-threaded by design
+/// (`&mut self`); clone the handle and pin per worker.
+#[derive(Clone, Debug)]
+pub struct PdpPin {
+    snapshot: Arc<DecisionSnapshot>,
+    handle: PdpHandle,
+}
+
+impl PdpPin {
+    /// Renders a decision against the pinned snapshot, re-resolving it
+    /// first if a publish has moved the epoch.
+    pub fn decide(&mut self, request: &Request) -> DecisionOutcome {
+        if self.snapshot.epoch() != self.handle.inner.epoch.load(Ordering::Acquire) {
+            self.snapshot = self.handle.inner.swap.load();
+        }
+        if !agenp_obs::enabled() {
+            return self.handle.decide_with(&self.snapshot, request);
+        }
+        let start = agenp_obs::monotonic_ns();
+        let outcome = self.handle.decide_with(&self.snapshot, request);
+        PdpHandle::mirror_metrics(start, &outcome);
+        outcome
+    }
+
+    /// The snapshot currently pinned (as of the last [`PdpPin::decide`]).
+    pub fn snapshot(&self) -> &DecisionSnapshot {
+        &self.snapshot
+    }
+
+    /// The handle this pin serves from.
+    pub fn handle(&self) -> &PdpHandle {
+        &self.handle
     }
 }
 
@@ -566,11 +700,14 @@ impl PdpServer {
                 for t in 0..self.threads {
                     let handle = self.handle.clone();
                     workers.push(scope.spawn(move || {
+                        // Pin once per worker: one epoch load per decision
+                        // instead of a snapshot-slot round-trip.
+                        let mut pin = handle.pin();
                         let mut tally = WorkerTally::default();
                         let offset = t * workload.len() / self.threads.max(1);
                         for i in 0..decisions_per_thread {
                             let req = &workload[(offset + i) % workload.len()];
-                            let outcome = handle.decide(req);
+                            let outcome = pin.decide(req);
                             tally.decisions += 1;
                             match outcome.decision {
                                 Decision::Permit => tally.permits += 1,
@@ -701,6 +838,57 @@ mod tests {
         assert_eq!(outcome.decision, Decision::NotApplicable);
         assert_eq!(outcome.epoch, e2);
         assert!(handle.stats().invalidations >= 1);
+    }
+
+    #[test]
+    fn pin_follows_publishes_and_reports_true_epochs() {
+        let handle = PdpHandle::new();
+        let e1 = handle.publish(DecisionSnapshot::new(
+            permit_dba_policies(),
+            CombiningAlg::DenyOverrides,
+        ));
+        let mut pin = handle.pin();
+        let req = Request::new().subject("role", "dba");
+        let first = pin.decide(&req);
+        assert_eq!(first.decision, Decision::Permit);
+        assert_eq!(first.epoch, e1);
+        // A publish through the handle must be visible to the pinned path
+        // on its next decision — no stale-epoch serves.
+        let e2 = handle.publish(
+            DecisionSnapshot::new(Vec::new(), CombiningAlg::DenyOverrides)
+                .degraded(AmsError::Unavailable("repo offline".into())),
+        );
+        let second = pin.decide(&req);
+        assert_eq!(second.epoch, e2);
+        assert_eq!(second.decision, Decision::Deny);
+        assert!(second.error.is_some());
+        assert_eq!(pin.snapshot().epoch(), e2);
+        // Counters flow into the shared stats regardless of path.
+        assert_eq!(pin.handle().stats().decisions, 2);
+    }
+
+    #[test]
+    fn striped_counters_sum_across_threads() {
+        let handle = PdpHandle::new();
+        handle.publish(DecisionSnapshot::new(
+            permit_dba_policies(),
+            CombiningAlg::DenyOverrides,
+        ));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let handle = handle.clone();
+                scope.spawn(move || {
+                    let mut pin = handle.pin();
+                    let req = Request::new().subject("role", "dba");
+                    for _ in 0..100 {
+                        pin.decide(&req);
+                    }
+                });
+            }
+        });
+        let stats = handle.stats();
+        assert_eq!(stats.decisions, 800);
+        assert_eq!(stats.cache_hits + stats.cache_misses, 800);
     }
 
     #[test]

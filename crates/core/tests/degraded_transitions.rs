@@ -1,0 +1,133 @@
+//! Degraded-mode transition test: an AMS whose refreshes keep failing
+//! must walk DenyByDefault → ServeLastGood → healthy without ever
+//! panicking, ever serving a stale epoch, or ever missing a "degraded"
+//! flight-recorder dump.
+//!
+//! Single-test file on purpose: the obs subsystem is a process-global
+//! singleton, and this test needs exclusive ownership of its exporter to
+//! count dumps deterministically.
+
+use agenp_asp::{Exhausted, RunBudget};
+use agenp_core::arch::{Ams, DegradedMode};
+use agenp_grammar::{Asg, ProdId};
+use agenp_learn::HypothesisSpace;
+use agenp_obs::{MemoryExporter, ObsConfig};
+use agenp_policy::{Decision, Enforcement, Request};
+
+fn gate() -> (Asg, HypothesisSpace) {
+    let g: Asg = r#"
+        policy -> effect "if" "subject" "clearance" "=" level
+        effect -> "permit" { e(permit). }
+        effect -> "deny"   { e(deny). }
+        level -> "low"  { lvl(low). }
+        level -> "high" { lvl(high). }
+    "#
+    .parse()
+    .unwrap();
+    let space = HypothesisSpace::from_texts(&[
+        (ProdId::from_index(1), ":- lockdown."),
+        (ProdId::from_index(2), ":- not lockdown."),
+    ]);
+    (g, space)
+}
+
+fn degraded_dumps(exporter: &MemoryExporter) -> usize {
+    exporter
+        .exports()
+        .iter()
+        .filter(|doc| doc.contains("\"trigger\": \"degraded\""))
+        .count()
+}
+
+#[test]
+fn degraded_transitions_never_panic_and_never_serve_stale() {
+    agenp_obs::install(ObsConfig::enabled());
+    let exporter = MemoryExporter::new();
+    agenp_obs::set_exporter(Box::new(exporter.clone()));
+
+    let (g, space) = gate();
+    let mut ams = Ams::new("delta", g, space);
+    let req = Request::new().subject("clearance", "high");
+
+    // ---- Phase 1: DenyByDefault under repeated refresh failures. ----
+    // An atom budget of 1 makes every generation attempt fail with a
+    // typed exhaustion error.
+    ams.set_run_budget(RunBudget::default().with_max_atoms(1));
+    for round in 0..3 {
+        let err = ams.refresh_policies().unwrap_err();
+        assert_eq!(err.exhaustion(), Some(Exhausted::Atoms), "round {round}");
+        assert_eq!(
+            degraded_dumps(&exporter),
+            round + 1,
+            "round {round}: each failed refresh must dump a \"degraded\" snapshot"
+        );
+        // Every decision while degraded is a deny that carries the
+        // upstream error and the *current* snapshot's epoch — serving a
+        // snapshot other than the published one would be a stale serve.
+        let current = ams.current_snapshot();
+        assert!(current.is_degraded(), "round {round}");
+        let outcome = ams.decide(&req);
+        assert_eq!(outcome.decision, Decision::Deny, "round {round}");
+        assert_eq!(
+            outcome.enforcement,
+            Some(Enforcement::Blocked),
+            "round {round}"
+        );
+        assert_eq!(
+            outcome.error.as_ref().and_then(|e| e.exhaustion()),
+            Some(Exhausted::Atoms),
+            "round {round}: deny must carry the refresh failure"
+        );
+        assert_eq!(
+            outcome.epoch,
+            ams.current_snapshot().epoch(),
+            "round {round}: served epoch lags the published snapshot"
+        );
+    }
+
+    // ---- Phase 2: ServeLastGood keeps the last good snapshot. ----
+    // Recover once so there is a good snapshot to pin, then switch
+    // modes and fail refreshes again.
+    ams.set_run_budget(RunBudget::default());
+    assert_eq!(ams.refresh_policies().unwrap().len(), 4);
+    assert!(!ams.current_snapshot().is_degraded());
+    let good_epoch = ams.current_snapshot().epoch();
+    let dumps_after_recovery = degraded_dumps(&exporter);
+
+    ams.set_degraded_mode(DegradedMode::ServeLastGood);
+    ams.set_run_budget(RunBudget::default().with_max_atoms(1));
+    for round in 0..3 {
+        assert!(ams.refresh_policies().is_err(), "round {round}");
+        assert_eq!(
+            degraded_dumps(&exporter),
+            dumps_after_recovery + round + 1,
+            "round {round}: ServeLastGood failures still dump for post-mortems"
+        );
+        let outcome = ams.decide(&req);
+        // permit+deny rules under deny-overrides → Deny, but healthily:
+        // no error, the pinned good epoch, no degraded snapshot.
+        assert_eq!(outcome.decision, Decision::Deny, "round {round}");
+        assert!(
+            outcome.error.is_none(),
+            "round {round}: last-good serve degraded"
+        );
+        assert_eq!(
+            outcome.epoch, good_epoch,
+            "round {round}: epoch moved under ServeLastGood"
+        );
+        assert!(!ams.current_snapshot().is_degraded(), "round {round}");
+    }
+
+    // ---- Phase 3: recovery back to healthy serving. ----
+    ams.set_run_budget(RunBudget::default());
+    assert_eq!(ams.refresh_policies().unwrap().len(), 4);
+    let outcome = ams.decide(&req);
+    assert!(outcome.error.is_none());
+    assert!(!ams.current_snapshot().is_degraded());
+    assert!(
+        outcome.epoch > good_epoch,
+        "recovery must publish a strictly newer epoch"
+    );
+    // Recovery itself must not be counted as a degradation.
+    assert_eq!(degraded_dumps(&exporter), dumps_after_recovery + 3);
+}

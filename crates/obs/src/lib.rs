@@ -183,6 +183,21 @@ pub fn snapshot(trigger: &str) -> ObsSnapshot {
 ///
 /// I/O failures of the exporter sink.
 pub fn dump(trigger: &str) -> std::io::Result<bool> {
+    dump_inner(trigger)
+}
+
+/// [`dump`], but only when telemetry is globally enabled; a disabled
+/// process pays one relaxed load. This is the call fault boundaries use
+/// (degraded-mode transitions, chaos-fabric fault events): unconditional
+/// in the control flow, free when nobody is watching. Export errors are
+/// swallowed — a failing telemetry sink must never take down the serving
+/// path it is observing. Returns `true` only when a snapshot was
+/// delivered.
+pub fn dump_if_enabled(trigger: &str) -> bool {
+    enabled() && dump_inner(trigger).unwrap_or(false)
+}
+
+fn dump_inner(trigger: &str) -> std::io::Result<bool> {
     // Capture before taking the exporter lock: snapshotting takes the
     // recorder lock and must not nest inside another obs lock.
     let snap = snapshot(trigger);

@@ -1,12 +1,11 @@
 //! Attribute-based requests: the subject / resource / action / environment
 //! attribute categories of XACML-style access control (paper §IV-C).
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// An attribute category.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub enum Category {
     /// The requesting subject.
     Subject,
@@ -45,7 +44,7 @@ impl fmt::Display for Category {
 }
 
 /// An attribute value.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub enum AttrValue {
     /// A string value.
     Str(String),
@@ -108,7 +107,7 @@ impl From<bool> for AttrValue {
 }
 
 /// An access request: attributes per category.
-#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Request {
     attrs: BTreeMap<Category, BTreeMap<String, AttrValue>>,
 }

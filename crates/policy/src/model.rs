@@ -2,11 +2,10 @@
 //! with XACML-style combining algorithms.
 
 use crate::attr::{AttrValue, Category, Request};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The effect of a rule.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Effect {
     /// Grant the request.
     Permit,
@@ -34,7 +33,7 @@ impl fmt::Display for Effect {
 }
 
 /// An access decision.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Decision {
     /// The request is granted.
     Permit,
@@ -67,7 +66,7 @@ impl fmt::Display for Decision {
 }
 
 /// Comparison operators in conditions.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum CondOp {
     /// Equality.
     Eq,
@@ -104,7 +103,7 @@ impl fmt::Display for CondOp {
 }
 
 /// A condition expression over request attributes.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Cond {
     /// Compares the attribute `category.name` with a constant.
     Cmp {
@@ -297,7 +296,7 @@ fn join(f: &mut fmt::Formatter<'_>, cs: &[Cond], sep: &str) -> fmt::Result {
 }
 
 /// A policy rule: an effect guarded by a condition.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct PolicyRule {
     /// Identifier (unique within its policy).
     pub id: String,
@@ -350,7 +349,7 @@ impl fmt::Display for PolicyRule {
 }
 
 /// XACML-style combining algorithms.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum CombiningAlg {
     /// Any Deny wins over any Permit.
     DenyOverrides,
@@ -419,7 +418,7 @@ impl CombiningAlg {
 }
 
 /// A policy: rules plus a combining algorithm.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Policy {
     /// Identifier.
     pub id: String,

@@ -6,7 +6,6 @@
 
 use crate::attr::Request;
 use crate::model::{CombiningAlg, Decision, Policy};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A versioned store of [`Policy`] objects.
@@ -80,7 +79,7 @@ pub fn evaluate_policies(
 }
 
 /// One monitored decision, kept for the PAdaP's adaptation loop.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct DecisionRecord {
     /// The evaluated request.
     pub request: Request,

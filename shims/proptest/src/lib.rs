@@ -1,0 +1,633 @@
+//! Deterministic offline stand-in for the `proptest` API subset this
+//! workspace uses. Each `proptest!` test runs `ProptestConfig::cases`
+//! generated cases from a seed derived from the test's name, so failures
+//! reproduce exactly run-to-run. There is no shrinking: a failing case
+//! reports its case index and the `prop_assert!` message instead.
+//!
+//! Provided surface: the `proptest!`, `prop_assert!`, `prop_assert_eq!`
+//! and `prop_oneof!` macros; [`strategy::Strategy`] with `prop_map`;
+//! [`strategy::Just`]; [`arbitrary::any`]; integer/float ranges, tuples
+//! (arity 2–8) and `&str` character-class patterns as strategies;
+//! [`collection::vec`] / [`collection::btree_set`]; [`option::of`] /
+//! [`option::weighted`]; [`test_runner::ProptestConfig::with_cases`].
+
+// The union/closure plumbing mirrors upstream type shapes verbatim;
+// local `type` aliases would only obscure which upstream item is stubbed.
+#![allow(clippy::type_complexity)]
+
+/// Test-runner configuration (mirrors `proptest::test_runner`).
+pub mod test_runner {
+    /// How a `proptest!` block runs its cases.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// Strategies: seeded value generators (mirrors `proptest::strategy`).
+pub mod strategy {
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// The seeded generator strategies draw from.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator seeded with `seed`.
+        pub fn new(seed: u64) -> TestRng {
+            TestRng { state: seed }
+        }
+
+        /// The next 64 random bits (SplitMix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw below `n` (`n > 0`).
+        pub fn below(&mut self, n: u64) -> u64 {
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+
+        /// Uniform draw from `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// A generator of test values. Unlike upstream proptest there is no
+    /// shrink tree; `gen_value` draws one value directly.
+    pub trait Strategy: Clone {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            F: Fn(Self::Value) -> O + Clone,
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O + Clone,
+    {
+        type Value = O;
+        fn gen_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn gen_value(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    /// `&str` strategies: a character-class pattern of the shape
+    /// `[class]{lo,hi}` (the regex subset the workspace's fuzz tests
+    /// use). The class supports literal characters, `a-b` ranges and the
+    /// escapes `\n`, `\t`, `\\`.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            let (chars, lo, hi) = parse_char_class(self);
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..len)
+                .map(|_| chars[rng.below(chars.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    fn bad_pattern(pattern: &str) -> ! {
+        panic!("unsupported string strategy pattern: {pattern:?} (expected `[class]{{lo,hi}}`)")
+    }
+
+    fn parse_char_class(pattern: &str) -> (Vec<char>, usize, usize) {
+        let rest = pattern
+            .strip_prefix('[')
+            .unwrap_or_else(|| bad_pattern(pattern));
+        let (class, counts) = rest.split_once(']').unwrap_or_else(|| bad_pattern(pattern));
+        let counts = counts
+            .strip_prefix('{')
+            .and_then(|c| c.strip_suffix('}'))
+            .unwrap_or_else(|| bad_pattern(pattern));
+        let (lo, hi) = counts
+            .split_once(',')
+            .unwrap_or_else(|| bad_pattern(pattern));
+        let (lo, hi): (usize, usize) = (
+            lo.trim().parse().unwrap_or_else(|_| bad_pattern(pattern)),
+            hi.trim().parse().unwrap_or_else(|_| bad_pattern(pattern)),
+        );
+
+        let mut items: Vec<char> = Vec::new();
+        let mut chars = class.chars().peekable();
+        while let Some(c) = chars.next() {
+            let c = if c == '\\' {
+                match chars.next() {
+                    Some('n') => '\n',
+                    Some('t') => '\t',
+                    Some('\\') => '\\',
+                    other => panic!("unsupported escape \\{other:?} in {pattern:?}"),
+                }
+            } else {
+                c
+            };
+            if chars.peek() == Some(&'-') && chars.clone().nth(1).is_some_and(|n| n != ']') {
+                chars.next();
+                let end = chars.next().unwrap_or_else(|| bad_pattern(pattern));
+                for code in (c as u32)..=(end as u32) {
+                    items.extend(char::from_u32(code));
+                }
+            } else {
+                items.push(c);
+            }
+        }
+        assert!(!items.is_empty(), "empty character class in {pattern:?}");
+        (items, lo, hi)
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
+
+    /// Uniform choice among alternatives (built by `prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<Rc<dyn Fn(&mut TestRng) -> V>>,
+    }
+
+    impl<V> Union<V> {
+        /// A union over the given arms (at least one).
+        pub fn new(arms: Vec<Rc<dyn Fn(&mut TestRng) -> V>>) -> Union<V> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Clone for Union<V> {
+        fn clone(&self) -> Union<V> {
+            Union {
+                arms: self.arms.clone(),
+            }
+        }
+    }
+
+    impl<V> std::fmt::Debug for Union<V> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Union({} arms)", self.arms.len())
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn gen_value(&self, rng: &mut TestRng) -> V {
+            let arm = rng.below(self.arms.len() as u64) as usize;
+            (self.arms[arm])(rng)
+        }
+    }
+
+    /// Wraps a strategy into a `prop_oneof!` arm.
+    pub fn union_arm<S: Strategy + 'static>(s: S) -> Rc<dyn Fn(&mut TestRng) -> S::Value> {
+        Rc::new(move |rng| s.gen_value(rng))
+    }
+}
+
+/// `any::<T>()` support (mirrors `proptest::arbitrary`).
+pub mod arbitrary {
+    use super::strategy::{Strategy, TestRng};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Any<T> {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies (mirrors `proptest::collection`).
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// An element-count range: a `usize` (exact) or `lo..hi`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn draw(self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below((self.hi - self.lo) as u64) as usize
+        }
+    }
+
+    /// The strategy returned by [`vec()`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.draw(rng);
+            (0..len).map(|_| self.elem.gen_value(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of `size` elements drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    /// The strategy returned by [`btree_set`].
+    #[derive(Clone, Debug)]
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let want = self.size.draw(rng);
+            let mut set = BTreeSet::new();
+            // The element domain may be smaller than `want`; bound the
+            // attempts so generation always terminates.
+            for _ in 0..(want * 20 + 20) {
+                if set.len() >= want {
+                    break;
+                }
+                set.insert(self.elem.gen_value(rng));
+            }
+            set
+        }
+    }
+
+    /// A `BTreeSet` of `size` distinct elements drawn from `elem`.
+    pub fn btree_set<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+}
+
+/// `Option` strategies (mirrors `proptest::option`).
+pub mod option {
+    use super::strategy::{Strategy, TestRng};
+
+    /// The strategy returned by [`of`] and [`weighted`].
+    #[derive(Clone, Debug)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+        some_p: f64,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.unit_f64() < self.some_p {
+                Some(self.inner.gen_value(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `Some` half the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        weighted(0.5, inner)
+    }
+
+    /// `Some` with probability `some_p`.
+    pub fn weighted<S: Strategy>(some_p: f64, inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner, some_p }
+    }
+}
+
+/// The usual glob import (mirrors `proptest::prelude`).
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Fails the current case with `assertion failed` (or a custom message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                ::std::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __l, __r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                __l, __r, ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// A uniform choice among the listed strategies (all the same `Value`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::union_arm($strategy)),+
+        ])
+    };
+}
+
+/// Defines seeded property tests. Each `#[test] fn name(pat in strategy,
+/// ...) { body }` runs `cases` generated inputs; `prop_assert*!` failures
+/// report the case index and message (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr);) => {};
+    (config = ($config:expr);
+     $(#[$attr:meta])*
+     fn $name:ident($($argpat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config = $config;
+            // Seed from the test name so every test explores a distinct,
+            // reproducible stream.
+            let mut __seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for __b in ::std::stringify!($name).bytes() {
+                __seed = (__seed ^ __b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+            for __case in 0..__config.cases {
+                let mut __rng =
+                    $crate::strategy::TestRng::new(__seed.wrapping_add(__case as u64));
+                let __outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $(
+                        let $argpat = $crate::strategy::Strategy::gen_value(
+                            &($strategy),
+                            &mut __rng,
+                        );
+                    )+
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(__msg) = __outcome {
+                    ::std::panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        ::std::stringify!($name),
+                        __case,
+                        __config.cases,
+                        __msg
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::{Strategy, TestRng};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, y in -4i64..=4, b in any::<bool>()) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-4..=4).contains(&y), "y = {y}");
+            let _ = b;
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in crate::collection::vec((0u8..6).prop_map(|i| i * 2), 1..5),
+            o in crate::option::of(Just(7u8)),
+            pick in prop_oneof![Just("a"), Just("b")],
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|x| x % 2 == 0));
+            prop_assert!(o.is_none() || o == Some(7));
+            prop_assert!(pick == "a" || pick == "b");
+        }
+    }
+
+    #[test]
+    fn string_patterns_generate_from_the_class() {
+        let mut rng = TestRng::new(5);
+        let strat = "[a-c\\n]{2,10}";
+        for _ in 0..50 {
+            let s = strat.gen_value(&mut rng);
+            assert!((2..=10).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | '\n')), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = crate::collection::btree_set(0i64..20, 1..6);
+        let a = strat.gen_value(&mut TestRng::new(11));
+        let b = strat.gen_value(&mut TestRng::new(11));
+        assert_eq!(a, b);
+        assert!(!a.is_empty() && a.len() < 6);
+    }
+}
