@@ -89,6 +89,10 @@ pub struct RunBudget {
     pub max_atoms: usize,
     /// Learner search-node budget.
     pub max_nodes: u64,
+    /// Grounder thread count (`0` = auto: the `AGENP_GROUND_THREADS`
+    /// environment variable, else available parallelism). See
+    /// [`GroundOptions::threads`](crate::GroundOptions::threads).
+    pub ground_threads: usize,
 }
 
 impl Default for RunBudget {
@@ -98,6 +102,7 @@ impl Default for RunBudget {
             max_steps: u64::MAX,
             max_atoms: 4_000_000,
             max_nodes: 2_000_000,
+            ground_threads: 0,
         }
     }
 }
@@ -115,6 +120,7 @@ impl RunBudget {
             max_steps: u64::MAX,
             max_atoms: usize::MAX,
             max_nodes: u64::MAX,
+            ground_threads: 0,
         }
     }
 
@@ -139,6 +145,12 @@ impl RunBudget {
     /// Sets the learner node budget.
     pub fn with_max_nodes(mut self, max_nodes: u64) -> RunBudget {
         self.max_nodes = max_nodes;
+        self
+    }
+
+    /// Sets the grounder thread count (`0` = auto).
+    pub fn with_ground_threads(mut self, ground_threads: usize) -> RunBudget {
+        self.ground_threads = ground_threads;
         self
     }
 }

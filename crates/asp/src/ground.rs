@@ -19,6 +19,25 @@
 //! naive fixpoint is retained behind [`GroundMode::Naive`] as a reference
 //! implementation for differential testing and benchmarking.
 //!
+//! # Index-driven joins and parallel rounds
+//!
+//! Every signature slice of the join index additionally maintains an
+//! *argument-value index*: for each argument position, a hash map from
+//! ground value to the (ascending) positions holding that value. A join
+//! whose pattern has bound arguments probes the smallest matching bucket and
+//! window-clips it with binary search instead of scanning the whole
+//! signature slice — `join_candidates` drops by an order of magnitude on
+//! recursive workloads (see `BENCH_asp.json`).
+//!
+//! Each saturation pass is decomposed into independent *work units* (rule
+//! variants, with large first-join windows chunked by
+//! [`GroundOptions::parallel_grain`]) evaluated against a frozen snapshot of
+//! the engine state, optionally fanned out across a from-scratch
+//! work-stealing pool ([`crate::pool::WorkPool`]); results are merged
+//! strictly in unit order, so the output (atom table, rule order, stats
+//! except [`GroundStats::parallel_units`]) is byte-identical for every
+//! thread count, the serial path included.
+//!
 //! [`IncrementalGrounder`] additionally snapshots a saturated base program so
 //! that small rule deltas (e.g. candidate hypotheses during learning) can be
 //! grounded on top without re-deriving the base. See `docs/PERFORMANCE.md`
@@ -26,11 +45,13 @@
 
 use crate::atom::{Atom, CmpOp, Literal, Trace};
 use crate::budget::{Deadline, Exhausted};
+use crate::pool::{UnitControl, WorkPool};
 use crate::program::{Program, Rule, WeakConstraint};
 use crate::symbol::Symbol;
 use crate::term::{Bindings, Term};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
 
 /// Identifier of a ground atom inside a [`GroundProgram`].
 pub type AtomId = u32;
@@ -286,6 +307,17 @@ pub struct GroundOptions {
     /// Saturation strategy (semi-naive by default; the naive reference is
     /// kept for differential testing and speedup measurements).
     pub mode: GroundMode,
+    /// Worker threads for saturation passes. `0` (the default) resolves
+    /// automatically: the `AGENP_GROUND_THREADS` environment variable when
+    /// set to a positive integer, else the machine's available parallelism.
+    /// `1` pins the grounder to the calling thread and spawns nothing.
+    /// Output is byte-identical for every thread count.
+    pub threads: usize,
+    /// Work-unit chunk size: a pass's first-join candidate windows are
+    /// split into chunks of at most this many candidates, and the pass only
+    /// moves to the pool when its total candidate work reaches this size
+    /// (small rounds stay inline on the calling thread).
+    pub parallel_grain: usize,
 }
 
 impl Default for GroundOptions {
@@ -295,6 +327,8 @@ impl Default for GroundOptions {
             simplify: true,
             deadline: Deadline::none(),
             mode: GroundMode::SemiNaive,
+            threads: 0,
+            parallel_grain: 256,
         }
     }
 }
@@ -323,6 +357,49 @@ impl GroundOptions {
         self.mode = mode;
         self
     }
+
+    /// Sets the worker thread count (`0` = automatic).
+    pub fn with_threads(mut self, threads: usize) -> GroundOptions {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the work-unit chunk size.
+    pub fn with_parallel_grain(mut self, parallel_grain: usize) -> GroundOptions {
+        self.parallel_grain = parallel_grain.max(1);
+        self
+    }
+
+    /// The thread count a run with these options uses: `threads` when
+    /// positive, else the process-wide automatic value (environment
+    /// override, then available parallelism).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            auto_threads()
+        }
+    }
+}
+
+/// Resolves the automatic grounder thread count once per process: the
+/// `AGENP_GROUND_THREADS` environment variable when set to a positive
+/// integer, else [`std::thread::available_parallelism`].
+fn auto_threads() -> usize {
+    static AUTO: OnceLock<usize> = OnceLock::new();
+    *AUTO.get_or_init(|| {
+        if let Some(n) = std::env::var("AGENP_GROUND_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            if n > 0 {
+                return n;
+            }
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
 }
 
 /// Which saturation strategy the grounder runs. Both produce identical
@@ -351,8 +428,12 @@ pub struct GroundStats {
     /// Complete ground-rule (and weak-constraint) instantiations emitted by
     /// the join machinery, counted before deduplication.
     pub rules_instantiated: u64,
-    /// Candidate atoms scanned across all join steps.
+    /// Candidate atoms scanned across all join steps (after argument-value
+    /// index probing — this is what indexing collapses).
     pub join_candidates: u64,
+    /// Work units executed on pool worker threads. `0` for fully serial
+    /// runs; this is the only counter that varies with the execution venue.
+    pub parallel_units: u64,
 }
 
 impl GroundStats {
@@ -361,6 +442,7 @@ impl GroundStats {
         self.passes += other.passes;
         self.rules_instantiated += other.rules_instantiated;
         self.join_candidates += other.join_candidates;
+        self.parallel_units += other.parallel_units;
     }
 }
 
@@ -402,6 +484,10 @@ enum Step<'p> {
         /// Variables first bound by this join (computed at schedule time);
         /// removed from the bindings after each candidate to undo the match.
         fresh: Vec<Symbol>,
+        /// Argument positions whose pattern terms are fully bound before
+        /// this join (and arithmetic-free): the join probes the smallest of
+        /// these argument-value buckets instead of scanning the window.
+        probe: Vec<usize>,
     },
     /// Evaluate a comparison whose variables are all bound.
     Filter(CmpOp, &'p Term, &'p Term),
@@ -527,6 +613,16 @@ fn schedule_body<'p>(
             let Literal::Pos(a) = remaining.remove(i) else {
                 unreachable!()
             };
+            // Argument positions already fully bound (and arithmetic-free —
+            // arithmetic never matches structurally) can be probed in the
+            // argument-value index at evaluation time.
+            let probe: Vec<usize> = a
+                .args
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !term_has_arith(t) && all_bound(t, &bound))
+                .map(|(i, _)| i)
+                .collect();
             let mut vs = Vec::new();
             a.collect_vars(&mut vs);
             let mut fresh = Vec::new();
@@ -541,6 +637,7 @@ fn schedule_body<'p>(
                 pattern: a,
                 key,
                 fresh,
+                probe,
             });
             continue;
         }
@@ -581,6 +678,17 @@ fn schedule_body<'p>(
     })
 }
 
+/// True if the term contains an arithmetic subterm. Arithmetic patterns
+/// never match structurally (`Term::match_ground`), so such argument
+/// positions are excluded from index probing.
+fn term_has_arith(t: &Term) -> bool {
+    match t {
+        Term::Arith(..) => true,
+        Term::Func(_, args) => args.iter().any(term_has_arith),
+        Term::Int(_) | Term::Sym(_) | Term::Var(_) => false,
+    }
+}
+
 /// Per-signature slice of the join index, with the delta window of the
 /// current semi-naive round.
 ///
@@ -592,6 +700,11 @@ struct SigEntry {
     ids: Vec<AtomId>,
     frontier_start: usize,
     frontier_end: usize,
+    /// Argument-value index: for each argument position, ground value →
+    /// ascending positions into `ids`. Joins with bound arguments probe the
+    /// smallest bucket and clip it to their visibility window with binary
+    /// search instead of scanning the whole slice.
+    by_arg: Vec<HashMap<Term, Vec<u32>>>,
 }
 
 /// Join index over the current over-approximation, keyed by `Copy`
@@ -604,11 +717,21 @@ struct PossibleIndex {
 }
 
 impl PossibleIndex {
-    fn insert(&mut self, id: AtomId, key: SigKey) -> bool {
+    fn insert(&mut self, id: AtomId, key: SigKey, atom: &Atom) -> bool {
         if !self.derivable.insert(id) {
             return false;
         }
-        self.by_sig.entry(key).or_default().ids.push(id);
+        let e = self.by_sig.entry(key).or_default();
+        if e.by_arg.len() != atom.args.len() {
+            // First atom of this signature sizes the per-position maps (the
+            // key fixes the arity, so this happens exactly once).
+            e.by_arg.resize_with(atom.args.len(), HashMap::new);
+        }
+        let pos = u32::try_from(e.ids.len()).expect("signature index overflow");
+        e.ids.push(id);
+        for (k, arg) in atom.args.iter().enumerate() {
+            e.by_arg[k].entry(arg.clone()).or_default().push(pos);
+        }
         true
     }
 
@@ -647,9 +770,9 @@ enum JoinPlan {
 
 fn plan_range(entry: &SigEntry, join_idx: usize, plan: JoinPlan, naive: bool) -> (usize, usize) {
     if naive {
-        // Naive sweeps see every atom immediately, including ones derived
-        // earlier in the same pass (matching the retained reference
-        // semantics).
+        // Naive sweeps re-read the whole atom set every pass (frozen at the
+        // pass boundary, like every other venue) and re-run until a full
+        // sweep derives nothing new.
         return (0, entry.ids.len());
     }
     match plan {
@@ -663,6 +786,395 @@ fn plan_range(entry: &SigEntry, join_idx: usize, plan: JoinPlan, naive: bool) ->
                 (0, entry.frontier_end)
             }
         }
+    }
+}
+
+/// Immutable view of the engine state one saturation pass reads. Shared by
+/// every worker evaluating units of the pass — the atom table and join
+/// index stay frozen until the merge step folds the results back in.
+struct EvalView<'e> {
+    table: &'e AtomTable,
+    possible: &'e PossibleIndex,
+    naive: bool,
+    deadline: Deadline,
+    max_atoms: usize,
+}
+
+/// One complete body instantiation produced by a worker. The merge step
+/// interns the head and negative atoms; positive atoms need no interning —
+/// they are the matched candidates, recorded by id during the walk.
+struct Emission {
+    /// Substituted ground head (`None` for constraints).
+    head: Option<Atom>,
+    /// Matched positive body atom ids, sorted and deduplicated.
+    pos: Vec<AtomId>,
+    /// Substituted ground negative body atoms, in body-step order.
+    negs: Vec<Atom>,
+}
+
+/// A work unit's result: counters plus its emissions in walk order.
+#[derive(Default)]
+struct UnitOut {
+    rules_instantiated: u64,
+    join_candidates: u64,
+    emissions: Vec<Emission>,
+}
+
+/// One schedulable work unit of a saturation pass: a rule variant whose
+/// first-join candidate window is optionally chunked so large frontiers
+/// spread across pool workers. Unit decomposition depends only on the grain
+/// and the window sizes — never on the thread count — and the merge step
+/// consumes results strictly in unit order, so the output is byte-identical
+/// for any decomposition and any execution venue.
+struct Unit<'a, 'p> {
+    rule: &'a ScheduledRule<'p>,
+    plan: JoinPlan,
+    /// Absolute `[start, end)` position range the ordinal-0 join reads
+    /// (`None` when the rule does not start with a join).
+    chunk: Option<(usize, usize)>,
+}
+
+/// The candidate positions one join visits: a window-clipped bucket of the
+/// argument-value index, or a full window scan when nothing is bound.
+enum Candidates<'e> {
+    /// Ascending positions (into `SigEntry::ids`) from the probed bucket.
+    Probed(&'e [u32]),
+    /// Scan `ids[start..end]` directly.
+    Scan(std::ops::Range<usize>),
+}
+
+impl Candidates<'_> {
+    fn len(&self) -> usize {
+        match self {
+            Candidates::Probed(p) => p.len(),
+            Candidates::Scan(r) => r.len(),
+        }
+    }
+}
+
+/// Selects the candidates for a join over `entry` restricted to the window
+/// `[start, end)`. With probe positions available, substitutes each probed
+/// argument, looks up its value bucket, and returns the smallest bucket
+/// clipped to the window; `None` means no candidate can match (a probed
+/// value has no bucket, or its substitution failed). Every returned
+/// candidate is still verified with `match_ground` — probing only needs to
+/// be a superset of the matches, which bucket equality guarantees.
+fn select_candidates<'e>(
+    entry: &'e SigEntry,
+    pattern: &Atom,
+    probe: &[usize],
+    bindings: &Bindings,
+    start: usize,
+    end: usize,
+) -> Option<Candidates<'e>> {
+    if probe.is_empty() {
+        return Some(Candidates::Scan(start..end));
+    }
+    let mut best: Option<&'e Vec<u32>> = None;
+    for &p in probe {
+        let val = pattern.args[p].substitute(bindings)?;
+        let bucket = entry.by_arg[p].get(&val)?;
+        if best.is_none_or(|b| bucket.len() < b.len()) {
+            best = Some(bucket);
+        }
+    }
+    let bucket = best.expect("probe positions are non-empty");
+    let lo = bucket.partition_point(|&pos| (pos as usize) < start);
+    let hi = bucket.partition_point(|&pos| (pos as usize) < end);
+    Some(Candidates::Probed(&bucket[lo..hi]))
+}
+
+/// Invariant inputs of one unit evaluation; the recursion varies only the
+/// step cursor, the bindings, and the matched-atom path.
+struct WalkFrame<'w, 'p> {
+    view: &'w EvalView<'w>,
+    rule: &'w ScheduledRule<'p>,
+    chunk: Option<(usize, usize)>,
+    plan: JoinPlan,
+}
+
+/// Evaluates one unit against the frozen view, returning its emissions and
+/// counters. A unit whose emission buffer alone exceeds the atom budget
+/// fails fast with [`GroundError::Budget`] — a pessimistic bound (the exact
+/// check happens at merge) that keeps a single unit from buffering
+/// unbounded memory.
+fn eval_unit(view: &EvalView<'_>, unit: &Unit<'_, '_>) -> Result<UnitOut, GroundError> {
+    let mut out = UnitOut::default();
+    let frame = WalkFrame {
+        view,
+        rule: unit.rule,
+        chunk: unit.chunk,
+        plan: unit.plan,
+    };
+    let mut bindings = Bindings::new();
+    let mut path = Vec::new();
+    walk_unit(&frame, 0, 0, &mut bindings, &mut path, &mut out)?;
+    Ok(out)
+}
+
+fn walk_unit(
+    frame: &WalkFrame<'_, '_>,
+    step: usize,
+    join_idx: usize,
+    bindings: &mut Bindings,
+    path: &mut Vec<AtomId>,
+    out: &mut UnitOut,
+) -> Result<(), GroundError> {
+    let view = frame.view;
+    let rule = frame.rule;
+    if view.deadline.expired() {
+        return Err(GroundError::Exhausted(Exhausted::Deadline));
+    }
+    if step == rule.steps.len() {
+        // Complete binding: emit. Substitution failures (e.g. head
+        // arithmetic dividing by zero) skip the whole emission.
+        out.rules_instantiated += 1;
+        let head = match rule.head {
+            Some(h) => match h.substitute(bindings) {
+                Some(g) => Some(g),
+                None => return Ok(()),
+            },
+            None => None,
+        };
+        let mut negs = Vec::new();
+        for s in &rule.steps {
+            if let Step::Naf(a) = s {
+                match a.substitute(bindings) {
+                    Some(g) => negs.push(g),
+                    None => return Ok(()),
+                }
+            }
+        }
+        let mut pos = path.clone();
+        pos.sort_unstable();
+        pos.dedup();
+        out.emissions.push(Emission { head, pos, negs });
+        if out.emissions.len() > view.max_atoms {
+            return Err(GroundError::Budget {
+                max_atoms: view.max_atoms,
+            });
+        }
+        return Ok(());
+    }
+    match &rule.steps[step] {
+        Step::Filter(op, a, b) => {
+            let (Some(ga), Some(gb)) = (a.substitute(bindings), b.substitute(bindings)) else {
+                return Ok(());
+            };
+            if op.eval(&ga, &gb) {
+                walk_unit(frame, step + 1, join_idx, bindings, path, out)?;
+            }
+            Ok(())
+        }
+        Step::Bind(v, expr) => {
+            let Some(val) = expr.substitute(bindings) else {
+                return Ok(());
+            };
+            bindings.insert(*v, val);
+            walk_unit(frame, step + 1, join_idx, bindings, path, out)?;
+            bindings.remove(v);
+            Ok(())
+        }
+        Step::Naf(_) => walk_unit(frame, step + 1, join_idx, bindings, path, out),
+        Step::Join {
+            pattern,
+            key,
+            fresh,
+            probe,
+        } => {
+            let Some(entry) = view.possible.by_sig.get(key) else {
+                return Ok(());
+            };
+            let (start, end) = match (join_idx, frame.chunk) {
+                // The unit's chunk overrides the ordinal-0 window.
+                (0, Some((cs, ce))) => (cs, ce),
+                _ => plan_range(entry, join_idx, frame.plan, view.naive),
+            };
+            if start >= end {
+                return Ok(());
+            }
+            let Some(cands) = select_candidates(entry, pattern, probe, bindings, start, end) else {
+                return Ok(());
+            };
+            out.join_candidates += cands.len() as u64;
+            let visit = |id: AtomId,
+                         bindings: &mut Bindings,
+                         path: &mut Vec<AtomId>,
+                         out: &mut UnitOut|
+             -> Result<(), GroundError> {
+                if pattern.match_ground(view.table.resolve(id), bindings) {
+                    path.push(id);
+                    walk_unit(frame, step + 1, join_idx + 1, bindings, path, out)?;
+                    path.pop();
+                }
+                // Undo whatever the match bound (a failed match may bind a
+                // prefix); pre-existing bindings are never overwritten.
+                for v in fresh {
+                    bindings.remove(v);
+                }
+                Ok(())
+            };
+            match cands {
+                Candidates::Probed(positions) => {
+                    for &p in positions {
+                        visit(entry.ids[p as usize], bindings, path, out)?;
+                    }
+                }
+                Candidates::Scan(range) => {
+                    for pos in range {
+                        visit(entry.ids[pos], bindings, path, out)?;
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// A ground weak-constraint instantiation awaiting merge.
+struct WeakEmission {
+    pos: Vec<AtomId>,
+    negs: Vec<Atom>,
+    weight: i64,
+    level: i64,
+}
+
+/// Result of evaluating one weak constraint over the final approximation.
+#[derive(Default)]
+struct WeakOut {
+    rules_instantiated: u64,
+    join_candidates: u64,
+    emissions: Vec<WeakEmission>,
+}
+
+/// Invariant inputs of one weak-constraint evaluation.
+struct WeakFrame<'w, 'p> {
+    view: &'w EvalView<'w>,
+    rule: &'w ScheduledRule<'p>,
+    weight: &'w Term,
+    level: i64,
+}
+
+fn walk_weak_unit(
+    frame: &WeakFrame<'_, '_>,
+    step: usize,
+    bindings: &mut Bindings,
+    path: &mut Vec<AtomId>,
+    out: &mut WeakOut,
+) {
+    let view = frame.view;
+    let rule = frame.rule;
+    if step == rule.steps.len() {
+        out.rules_instantiated += 1;
+        let Some(Term::Int(w)) = frame.weight.substitute(bindings) else {
+            return;
+        };
+        let mut negs = Vec::new();
+        for s in &rule.steps {
+            if let Step::Naf(a) = s {
+                match a.substitute(bindings) {
+                    Some(g) => negs.push(g),
+                    None => return,
+                }
+            }
+        }
+        let mut pos = path.clone();
+        pos.sort_unstable();
+        pos.dedup();
+        out.emissions.push(WeakEmission {
+            pos,
+            negs,
+            weight: w,
+            level: frame.level,
+        });
+        return;
+    }
+    match &rule.steps[step] {
+        Step::Filter(op, a, b) => {
+            let (Some(ga), Some(gb)) = (a.substitute(bindings), b.substitute(bindings)) else {
+                return;
+            };
+            if op.eval(&ga, &gb) {
+                walk_weak_unit(frame, step + 1, bindings, path, out);
+            }
+        }
+        Step::Bind(v, expr) => {
+            let Some(val) = expr.substitute(bindings) else {
+                return;
+            };
+            bindings.insert(*v, val);
+            walk_weak_unit(frame, step + 1, bindings, path, out);
+            bindings.remove(v);
+        }
+        Step::Naf(_) => walk_weak_unit(frame, step + 1, bindings, path, out),
+        Step::Join {
+            pattern,
+            key,
+            fresh,
+            probe,
+        } => {
+            let Some(entry) = view.possible.by_sig.get(key) else {
+                return;
+            };
+            let end = if view.naive {
+                entry.ids.len()
+            } else {
+                entry.frontier_end
+            };
+            if end == 0 {
+                return;
+            }
+            let Some(cands) = select_candidates(entry, pattern, probe, bindings, 0, end) else {
+                return;
+            };
+            out.join_candidates += cands.len() as u64;
+            let mut visit = |id: AtomId, bindings: &mut Bindings, path: &mut Vec<AtomId>| {
+                if pattern.match_ground(view.table.resolve(id), bindings) {
+                    path.push(id);
+                    walk_weak_unit(frame, step + 1, bindings, path, out);
+                    path.pop();
+                }
+                for v in fresh {
+                    bindings.remove(v);
+                }
+            };
+            match cands {
+                Candidates::Probed(positions) => {
+                    for &p in positions {
+                        visit(entry.ids[p as usize], bindings, path);
+                    }
+                }
+                Candidates::Scan(range) => {
+                    for pos in range {
+                        visit(entry.ids[pos], bindings, path);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Lazily constructed pool for one grounding run: worker threads are only
+/// spawned when a pass actually has enough work to fan out, and
+/// `threads <= 1` never allocates anything.
+struct PoolSlot {
+    threads: usize,
+    pool: Option<WorkPool>,
+}
+
+impl PoolSlot {
+    fn new(threads: usize) -> PoolSlot {
+        PoolSlot {
+            threads: threads.max(1),
+            pool: None,
+        }
+    }
+
+    fn get(&mut self) -> Option<&WorkPool> {
+        if self.threads <= 1 {
+            return None;
+        }
+        Some(self.pool.get_or_insert_with(|| WorkPool::new(self.threads)))
     }
 }
 
@@ -699,30 +1211,200 @@ impl Engine {
         }
     }
 
-    /// Evaluates every rule once against the currently visible window.
-    fn seed_pass(&mut self, rules: &[ScheduledRule<'_>]) -> Result<(), GroundError> {
+    /// Decomposes one rule variant into work units, chunking the ordinal-0
+    /// join window by [`GroundOptions::parallel_grain`] so large frontiers
+    /// spread across pool workers. The decomposition depends only on the
+    /// grain and the window sizes — never on the thread count — so the
+    /// merged emission sequence matches the unchunked walk exactly.
+    fn push_units<'a, 'p>(
+        &self,
+        rule: &'a ScheduledRule<'p>,
+        plan: JoinPlan,
+        units: &mut Vec<Unit<'a, 'p>>,
+    ) {
+        let Some(key0) = rule.joins.first() else {
+            // No joins (e.g. a fact): a single chunkless unit.
+            units.push(Unit {
+                rule,
+                plan,
+                chunk: None,
+            });
+            return;
+        };
+        let Some(entry) = self.possible.by_sig.get(key0) else {
+            return;
+        };
+        let (start, end) = plan_range(entry, 0, plan, self.naive);
+        if start >= end {
+            return;
+        }
+        let grain = self.opts.parallel_grain.max(1);
+        let mut cs = start;
+        while cs < end {
+            let ce = (cs + grain).min(end);
+            units.push(Unit {
+                rule,
+                plan,
+                chunk: Some((cs, ce)),
+            });
+            cs = ce;
+        }
+    }
+
+    /// Evaluates `units` against a frozen view of the current state — fanned
+    /// out over the pool when a pass has enough work, serially otherwise —
+    /// then merges the results strictly in unit order. The frozen-view +
+    /// ordered-merge discipline makes the output byte-identical across
+    /// execution venues and thread counts.
+    fn run_pass(&mut self, units: &[Unit<'_, '_>], pool: &mut PoolSlot) -> Result<(), GroundError> {
         self.stats.passes += 1;
-        for rule in rules {
-            self.eval_rule(rule, JoinPlan::Full)?;
+        if units.is_empty() {
+            return Ok(());
+        }
+        let work: usize = units
+            .iter()
+            .map(|u| u.chunk.map_or(1, |(s, e)| e - s))
+            .sum();
+        let mut via_pool = false;
+        let outs: Vec<Option<Result<UnitOut, GroundError>>> = {
+            let view = EvalView {
+                table: &self.table,
+                possible: &self.possible,
+                naive: self.naive,
+                deadline: self.opts.deadline,
+                max_atoms: self.opts.max_atoms,
+            };
+            let engage = units.len() >= 2 && work >= self.opts.parallel_grain.max(1);
+            match if engage { pool.get() } else { None } {
+                Some(p) => {
+                    via_pool = true;
+                    let slots: Vec<Mutex<Option<Result<UnitOut, GroundError>>>> =
+                        units.iter().map(|_| Mutex::new(None)).collect();
+                    let job = |i: usize| {
+                        let r = eval_unit(&view, &units[i]);
+                        let control = if r.is_err() {
+                            UnitControl::Cancel
+                        } else {
+                            UnitControl::Continue
+                        };
+                        *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+                        control
+                    };
+                    if let Err(e) = p.run(units.len(), &job) {
+                        // A worker panicked mid-unit: re-raise on the caller
+                        // so the defect surfaces instead of silently
+                        // dropping that unit's emissions.
+                        panic!("grounding pool: {e}");
+                    }
+                    slots
+                        .into_iter()
+                        .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+                        .collect()
+                }
+                None => {
+                    let mut outs: Vec<Option<Result<UnitOut, GroundError>>> =
+                        Vec::with_capacity(units.len());
+                    for unit in units {
+                        let r = eval_unit(&view, unit);
+                        let failed = r.is_err();
+                        outs.push(Some(r));
+                        if failed {
+                            break;
+                        }
+                    }
+                    outs.resize_with(units.len(), || None);
+                    outs
+                }
+            }
+        };
+        if via_pool {
+            self.stats.parallel_units += outs.iter().flatten().count() as u64;
+        }
+        // Surface the first failure in unit order — deterministic no matter
+        // which worker hit its error first.
+        for o in &outs {
+            if let Some(Err(e)) = o {
+                return Err(e.clone());
+            }
+        }
+        for (unit, out) in units.iter().zip(outs) {
+            let Some(Ok(out)) = out else { continue };
+            self.merge_unit(unit, out)?;
         }
         Ok(())
     }
 
+    /// Folds one unit's result into the engine in emission (walk) order:
+    /// interns the head and negative atoms, dedups against `seen_rules`,
+    /// indexes new head atoms, and enforces the exact atom budget after
+    /// each emission.
+    fn merge_unit(&mut self, unit: &Unit<'_, '_>, out: UnitOut) -> Result<(), GroundError> {
+        self.stats.rules_instantiated += out.rules_instantiated;
+        self.stats.join_candidates += out.join_candidates;
+        for em in out.emissions {
+            let head = em.head.as_ref().map(|h| self.table.intern(h));
+            let mut neg: Vec<AtomId> = em.negs.iter().map(|a| self.table.intern(a)).collect();
+            neg.sort_unstable();
+            neg.dedup();
+            let gr = GroundRule {
+                head,
+                pos: em.pos,
+                neg,
+            };
+            if self.seen_rules.insert(gr.clone()) {
+                if let Some(h) = gr.head {
+                    let key = unit.rule.head_key.expect("headed rules carry a head key");
+                    let atom = em.head.as_ref().expect("head id implies a head atom");
+                    self.possible.insert(h, key, atom);
+                }
+                self.rules.push(gr);
+            }
+            // Exact budget check after every emission: semi-naive evaluation
+            // visits each instantiation once, so an entry-only check would
+            // let a small program overshoot the cap and finish without ever
+            // reporting exhaustion.
+            if self.table.len() > self.opts.max_atoms {
+                return Err(GroundError::Budget {
+                    max_atoms: self.opts.max_atoms,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates every rule once against the currently visible window.
+    fn seed_pass(
+        &mut self,
+        rules: &[ScheduledRule<'_>],
+        pool: &mut PoolSlot,
+    ) -> Result<(), GroundError> {
+        let mut units = Vec::new();
+        for rule in rules {
+            self.push_units(rule, JoinPlan::Full, &mut units);
+        }
+        self.run_pass(&units, pool)
+    }
+
     /// Semi-naive rounds: repeat until no new atoms appear, evaluating only
     /// the delta variants whose join signature actually gained atoms.
-    fn delta_rounds(&mut self, sets: &[&[ScheduledRule<'_>]]) -> Result<(), GroundError> {
+    fn delta_rounds(
+        &mut self,
+        sets: &[&[ScheduledRule<'_>]],
+        pool: &mut PoolSlot,
+    ) -> Result<(), GroundError> {
         while self.possible.advance() {
-            self.stats.passes += 1;
+            let mut units = Vec::new();
             for rules in sets {
                 for rule in *rules {
                     for (d, key) in rule.joins.iter().enumerate() {
                         if !self.possible.has_delta(*key) {
                             continue;
                         }
-                        self.eval_rule(rule, JoinPlan::Delta(d))?;
+                        self.push_units(rule, JoinPlan::Delta(d), &mut units);
                     }
                 }
             }
+            self.run_pass(&units, pool)?;
         }
         Ok(())
     }
@@ -730,144 +1412,16 @@ impl Engine {
     /// Naive saturation: re-evaluate every rule over the full atom set until
     /// a sweep emits no new ground rule. Retained as the reference
     /// implementation for differential testing and benchmarks.
-    fn naive_fixpoint(&mut self, rules: &[ScheduledRule<'_>]) -> Result<(), GroundError> {
+    fn naive_fixpoint(
+        &mut self,
+        rules: &[ScheduledRule<'_>],
+        pool: &mut PoolSlot,
+    ) -> Result<(), GroundError> {
         loop {
-            self.stats.passes += 1;
             let before = self.rules.len();
-            for rule in rules {
-                self.eval_rule(rule, JoinPlan::Full)?;
-            }
+            self.seed_pass(rules, pool)?;
             if self.rules.len() == before {
                 return Ok(());
-            }
-        }
-    }
-
-    fn eval_rule(&mut self, rule: &ScheduledRule<'_>, plan: JoinPlan) -> Result<(), GroundError> {
-        let mut bindings = Bindings::new();
-        self.walk(rule, 0, 0, plan, &mut bindings)
-    }
-
-    fn walk(
-        &mut self,
-        rule: &ScheduledRule<'_>,
-        step: usize,
-        join_idx: usize,
-        plan: JoinPlan,
-        bindings: &mut Bindings,
-    ) -> Result<(), GroundError> {
-        if self.table.len() > self.opts.max_atoms {
-            return Err(GroundError::Budget {
-                max_atoms: self.opts.max_atoms,
-            });
-        }
-        if self.opts.deadline.expired() {
-            return Err(GroundError::Exhausted(Exhausted::Deadline));
-        }
-        if step == rule.steps.len() {
-            // Complete binding: emit the ground rule.
-            self.stats.rules_instantiated += 1;
-            let head = match rule.head {
-                Some(h) => match h.substitute(bindings) {
-                    Some(g) => Some(self.table.intern(&g)),
-                    // Head arithmetic failed (e.g. division by zero): skip.
-                    None => return Ok(()),
-                },
-                None => None,
-            };
-            let mut pos = Vec::new();
-            let mut neg = Vec::new();
-            for s in &rule.steps {
-                match s {
-                    Step::Join { pattern, .. } => {
-                        let g = pattern
-                            .substitute(bindings)
-                            .expect("join leaves atom ground");
-                        pos.push(self.table.intern(&g));
-                    }
-                    Step::Naf(a) => {
-                        let Some(g) = a.substitute(bindings) else {
-                            return Ok(());
-                        };
-                        neg.push(self.table.intern(&g));
-                    }
-                    Step::Filter(..) | Step::Bind(..) => {}
-                }
-            }
-            pos.sort_unstable();
-            pos.dedup();
-            neg.sort_unstable();
-            neg.dedup();
-            let gr = GroundRule { head, pos, neg };
-            if self.seen_rules.insert(gr.clone()) {
-                if let Some(h) = gr.head {
-                    let key = rule.head_key.expect("headed rules carry a head key");
-                    self.possible.insert(h, key);
-                }
-                self.rules.push(gr);
-            }
-            // Re-check the atom budget after interning: semi-naive
-            // evaluation visits each instantiation once, so an entry-only
-            // check would let a small program overshoot the cap and
-            // finish without ever reporting exhaustion (the naive engine
-            // caught this on its redundant second pass).
-            if self.table.len() > self.opts.max_atoms {
-                return Err(GroundError::Budget {
-                    max_atoms: self.opts.max_atoms,
-                });
-            }
-            return Ok(());
-        }
-        match &rule.steps[step] {
-            Step::Filter(op, a, b) => {
-                let (Some(ga), Some(gb)) = (a.substitute(bindings), b.substitute(bindings)) else {
-                    return Ok(());
-                };
-                if op.eval(&ga, &gb) {
-                    self.walk(rule, step + 1, join_idx, plan, bindings)?;
-                }
-                Ok(())
-            }
-            Step::Bind(v, expr) => {
-                let Some(val) = expr.substitute(bindings) else {
-                    return Ok(());
-                };
-                bindings.insert(*v, val);
-                self.walk(rule, step + 1, join_idx, plan, bindings)?;
-                bindings.remove(v);
-                Ok(())
-            }
-            Step::Naf(_) => self.walk(rule, step + 1, join_idx, plan, bindings),
-            Step::Join {
-                pattern,
-                key,
-                fresh,
-            } => {
-                // Snapshot the candidate window: atoms appended during the
-                // join stay invisible until the next round (or, for naive
-                // sweeps, the next pass over this rule).
-                let candidates: Vec<AtomId> = match self.possible.by_sig.get(key) {
-                    None => return Ok(()),
-                    Some(e) => {
-                        let (start, end) = plan_range(e, join_idx, plan, self.naive);
-                        if start >= end {
-                            return Ok(());
-                        }
-                        e.ids[start..end].to_vec()
-                    }
-                };
-                self.stats.join_candidates += candidates.len() as u64;
-                for id in candidates {
-                    if pattern.match_ground(self.table.resolve(id), bindings) {
-                        self.walk(rule, step + 1, join_idx + 1, plan, bindings)?;
-                    }
-                    // Undo whatever the match bound (a failed match may bind
-                    // a prefix); pre-existing bindings are never overwritten.
-                    for v in fresh {
-                        bindings.remove(v);
-                    }
-                }
-                Ok(())
             }
         }
     }
@@ -877,107 +1431,43 @@ impl Engine {
     fn ground_weaks(&mut self, program: &Program) -> Result<(), GroundError> {
         for weak in program.weak_constraints() {
             let sched = schedule_weak(weak, &mut self.traces)?;
-            let mut bindings = Bindings::new();
-            self.walk_weak(&sched, &weak.weight, weak.level, 0, &mut bindings);
+            let mut out = WeakOut::default();
+            {
+                let view = EvalView {
+                    table: &self.table,
+                    possible: &self.possible,
+                    naive: self.naive,
+                    deadline: self.opts.deadline,
+                    max_atoms: self.opts.max_atoms,
+                };
+                let frame = WeakFrame {
+                    view: &view,
+                    rule: &sched,
+                    weight: &weak.weight,
+                    level: weak.level,
+                };
+                let mut bindings = Bindings::new();
+                let mut path = Vec::new();
+                walk_weak_unit(&frame, 0, &mut bindings, &mut path, &mut out);
+            }
+            self.stats.rules_instantiated += out.rules_instantiated;
+            self.stats.join_candidates += out.join_candidates;
+            for em in out.emissions {
+                let mut neg: Vec<AtomId> = em.negs.iter().map(|a| self.table.intern(a)).collect();
+                neg.sort_unstable();
+                neg.dedup();
+                let gw = GroundWeak {
+                    pos: em.pos,
+                    neg,
+                    weight: em.weight,
+                    level: em.level,
+                };
+                if self.seen_weaks.insert(gw.clone()) {
+                    self.weaks.push(gw);
+                }
+            }
         }
         Ok(())
-    }
-
-    fn walk_weak(
-        &mut self,
-        rule: &ScheduledRule<'_>,
-        weight: &Term,
-        level: i64,
-        step: usize,
-        bindings: &mut Bindings,
-    ) {
-        if step == rule.steps.len() {
-            self.stats.rules_instantiated += 1;
-            let Some(Term::Int(w)) = weight.substitute(bindings) else {
-                return;
-            };
-            let mut pos = Vec::new();
-            let mut neg = Vec::new();
-            for s in &rule.steps {
-                match s {
-                    Step::Join { pattern, .. } => {
-                        let g = pattern
-                            .substitute(bindings)
-                            .expect("join leaves atom ground");
-                        pos.push(self.table.intern(&g));
-                    }
-                    Step::Naf(a) => {
-                        let Some(g) = a.substitute(bindings) else {
-                            return;
-                        };
-                        neg.push(self.table.intern(&g));
-                    }
-                    Step::Filter(..) | Step::Bind(..) => {}
-                }
-            }
-            pos.sort_unstable();
-            pos.dedup();
-            neg.sort_unstable();
-            neg.dedup();
-            let gw = GroundWeak {
-                pos,
-                neg,
-                weight: w,
-                level,
-            };
-            if self.seen_weaks.insert(gw.clone()) {
-                self.weaks.push(gw);
-            }
-            return;
-        }
-        match &rule.steps[step] {
-            Step::Filter(op, a, b) => {
-                let (Some(ga), Some(gb)) = (a.substitute(bindings), b.substitute(bindings)) else {
-                    return;
-                };
-                if op.eval(&ga, &gb) {
-                    self.walk_weak(rule, weight, level, step + 1, bindings);
-                }
-            }
-            Step::Bind(v, expr) => {
-                let Some(val) = expr.substitute(bindings) else {
-                    return;
-                };
-                bindings.insert(*v, val);
-                self.walk_weak(rule, weight, level, step + 1, bindings);
-                bindings.remove(v);
-            }
-            Step::Naf(_) => self.walk_weak(rule, weight, level, step + 1, bindings),
-            Step::Join {
-                pattern,
-                key,
-                fresh,
-            } => {
-                let candidates: Vec<AtomId> = match self.possible.by_sig.get(key) {
-                    None => return,
-                    Some(e) => {
-                        let end = if self.naive {
-                            e.ids.len()
-                        } else {
-                            e.frontier_end
-                        };
-                        if end == 0 {
-                            return;
-                        }
-                        e.ids[..end].to_vec()
-                    }
-                };
-                self.stats.join_candidates += candidates.len() as u64;
-                for id in candidates {
-                    if pattern.match_ground(self.table.resolve(id), bindings) {
-                        self.walk_weak(rule, weight, level, step + 1, bindings);
-                    }
-                    for v in fresh {
-                        bindings.remove(v);
-                    }
-                }
-            }
-        }
     }
 
     /// Consumes the engine, applying fact-folding simplification (unless
@@ -1197,12 +1687,13 @@ fn run_engine_inner(
     naive: bool,
 ) -> Result<(GroundProgram, GroundStats), GroundError> {
     let mut engine = Engine::new(opts, naive);
+    let mut pool = PoolSlot::new(opts.effective_threads());
     let scheduled = schedule_program(program, &mut engine.traces)?;
     if naive {
-        engine.naive_fixpoint(&scheduled)?;
+        engine.naive_fixpoint(&scheduled, &mut pool)?;
     } else {
-        engine.seed_pass(&scheduled)?;
-        engine.delta_rounds(&[&scheduled])?;
+        engine.seed_pass(&scheduled, &mut pool)?;
+        engine.delta_rounds(&[&scheduled], &mut pool)?;
     }
     engine.ground_weaks(program)?;
     let stats = engine.stats;
@@ -1308,9 +1799,10 @@ impl IncrementalGrounder {
     /// See [`ground`].
     pub fn new(base: &Program, opts: GroundOptions) -> Result<IncrementalGrounder, GroundError> {
         let mut engine = Engine::new(opts, false);
+        let mut pool = PoolSlot::new(opts.effective_threads());
         let scheduled = schedule_program(base, &mut engine.traces)?;
-        engine.seed_pass(&scheduled)?;
-        engine.delta_rounds(&[&scheduled])?;
+        engine.seed_pass(&scheduled, &mut pool)?;
+        engine.delta_rounds(&[&scheduled], &mut pool)?;
         let base_stats = engine.stats;
         engine.stats = GroundStats::default();
         Ok(IncrementalGrounder {
@@ -1380,10 +1872,11 @@ impl IncrementalGrounder {
             .iter()
             .map(|r| schedule_rule(r, &mut engine.traces))
             .collect::<Result<_, _>>()?;
+        let mut pool = PoolSlot::new(engine.opts.effective_threads());
         // Seed only the delta rules over the full saturated base; base rules
         // already enumerated every pre-existing combination.
-        engine.seed_pass(&delta_sched)?;
-        engine.delta_rounds(&[&base_sched, &delta_sched])?;
+        engine.seed_pass(&delta_sched, &mut pool)?;
+        engine.delta_rounds(&[&base_sched, &delta_sched], &mut pool)?;
         engine.ground_weaks(&self.base)?;
         let stats = engine.stats;
         Ok((engine.finish(), stats))
@@ -1700,14 +2193,88 @@ mod tests {
             passes: 1,
             rules_instantiated: 10,
             join_candidates: 5,
+            parallel_units: 4,
         };
         a.absorb(GroundStats {
             passes: 2,
             rules_instantiated: 3,
             join_candidates: 7,
+            parallel_units: 6,
         });
         assert_eq!(a.passes, 3);
         assert_eq!(a.rules_instantiated, 13);
         assert_eq!(a.join_candidates, 12);
+        assert_eq!(a.parallel_units, 10);
+    }
+
+    /// A transitive-closure chain large enough that every venue has real
+    /// work to chunk.
+    fn chain_program(n: usize) -> Program {
+        let mut text = String::new();
+        for i in 0..n {
+            text.push_str(&format!("edge({}, {}).\n", i, i + 1));
+        }
+        text.push_str("path(X, Y) :- edge(X, Y).\n");
+        text.push_str("path(X, Z) :- edge(X, Y), path(Y, Z).\n");
+        text.parse().expect("chain program parses")
+    }
+
+    #[test]
+    fn parallel_output_is_byte_identical_across_thread_counts() {
+        let p = chain_program(40);
+        let reference = ground_with(&p, GroundOptions::default().with_threads(1)).unwrap();
+        for threads in [2, 4] {
+            let opts = GroundOptions::default()
+                .with_threads(threads)
+                .with_parallel_grain(1);
+            let (g, stats) = ground_with_stats(&p, opts).unwrap();
+            assert!(
+                stats.parallel_units > 0,
+                "threads={threads} must actually engage the pool"
+            );
+            // Byte-identical rendering AND identical atom-id assignment.
+            assert_eq!(g.to_string(), reference.to_string(), "threads={threads}");
+            let ids: Vec<(AtomId, String)> = g
+                .atoms()
+                .iter()
+                .map(|(id, a)| (id, a.to_string()))
+                .collect();
+            let ref_ids: Vec<(AtomId, String)> = reference
+                .atoms()
+                .iter()
+                .map(|(id, a)| (id, a.to_string()))
+                .collect();
+            assert_eq!(ids, ref_ids, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_deadline_cancels_mid_round() {
+        let p = chain_program(120);
+        let err = ground_with(
+            &p,
+            GroundOptions {
+                deadline: Deadline::after(std::time::Duration::ZERO),
+                ..GroundOptions::default()
+            }
+            .with_threads(4)
+            .with_parallel_grain(1),
+        )
+        .unwrap_err();
+        assert_eq!(err, GroundError::Exhausted(Exhausted::Deadline));
+    }
+
+    #[test]
+    fn argument_indices_collapse_join_scans() {
+        let p = chain_program(40);
+        let (_, stats) = ground_with_stats(&p, GroundOptions::default().with_threads(1)).unwrap();
+        let waste = stats.join_candidates as f64 / stats.rules_instantiated.max(1) as f64;
+        assert!(
+            waste < 8.0,
+            "indexed joins should probe few candidates per instantiation, got {waste:.1} \
+             ({} candidates / {} instantiations)",
+            stats.join_candidates,
+            stats.rules_instantiated
+        );
     }
 }

@@ -43,6 +43,7 @@ mod explain;
 mod ground;
 pub mod obs;
 mod parser;
+pub mod pool;
 mod program;
 mod solve;
 mod symbol;
@@ -58,6 +59,7 @@ pub use ground::{
 #[allow(deprecated)]
 pub use ground::{ground_naive, ground_naive_with, ground_naive_with_stats};
 pub use parser::{parse_atom, parse_program, parse_rule, ParseError};
+pub use pool::{PoolError, UnitControl, WorkPool};
 pub use program::{Program, Rule, WeakConstraint};
 pub use solve::{
     is_stable, model_cost, AnswerSet, CostVector, OptimizeResult, SolveResult, SolveStats, Solver,

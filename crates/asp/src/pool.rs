@@ -1,0 +1,356 @@
+//! A small work-stealing thread pool for round-structured workloads, built
+//! from scratch on `std::thread` + `std::sync::mpsc` channels (consistent
+//! with the workspace's no-external-deps discipline; see `shims/README.md`).
+//!
+//! The pool is shaped around the grounder's needs: a *round* is a batch of
+//! independent work units identified by index, all reading shared state that
+//! stays frozen for the duration of the round. [`WorkPool::run`] distributes
+//! the unit indices across per-worker deques (round-robin), lets idle
+//! workers steal from the back of other deques, and does not return until
+//! every worker has finished the round — so the closure may safely borrow
+//! round-local state even though the workers are long-lived threads.
+//!
+//! Design properties:
+//!
+//! - **The caller is worker 0.** A pool of `threads` uses `threads - 1`
+//!   spawned threads; `WorkPool::new(1)` spawns nothing and `run` degenerates
+//!   to an inline loop. This keeps the single-threaded configuration free of
+//!   synchronization entirely.
+//! - **Deterministic shutdown.** Dropping the pool sends a shutdown message
+//!   to every worker and joins all handles; no worker outlives the pool.
+//! - **Panic propagation.** A unit that panics is caught, the round is
+//!   cancelled, and [`WorkPool::run`] returns a typed
+//!   [`PoolError::WorkerPanic`] instead of hanging or aborting. The pool
+//!   stays usable for subsequent rounds.
+//! - **Cooperative cancellation.** A unit may return [`UnitControl::Cancel`]
+//!   (e.g. on a [`Deadline`](crate::Deadline) expiry) to stop the round
+//!   early; remaining units are skipped and `run` returns `Ok` — the caller
+//!   inspects its own per-unit results to surface the typed cause.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// What a work unit tells the pool after executing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnitControl {
+    /// Keep executing the remaining units of the round.
+    Continue,
+    /// Cancel the round: workers stop picking up new units.
+    Cancel,
+}
+
+/// An error surfaced by [`WorkPool::run`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PoolError {
+    /// A work unit panicked. The round was cancelled; the payload message
+    /// (if it was a string) is preserved.
+    WorkerPanic(String),
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// A round job: maps a unit index to work. Lifetime-erased internally; see
+/// the safety notes on [`WorkPool::run`].
+type Job<'a> = &'a (dyn Fn(usize) -> UnitControl + Sync);
+
+/// Shared state of one in-flight round.
+struct Round {
+    /// The unit closure with its lifetime erased to `'static`. Only valid
+    /// while the owning `run` call is on the stack — workers drop their
+    /// handle to the round before acknowledging completion, and `run` waits
+    /// for every acknowledgement before returning.
+    job: Job<'static>,
+    /// Per-worker unit queues. Owners pop from the front; thieves steal
+    /// from the back.
+    deques: Vec<Mutex<VecDeque<usize>>>,
+    /// Set by a cancelling or panicking unit; checked before each pop.
+    cancelled: AtomicBool,
+    /// First panic payload observed this round.
+    panic: Mutex<Option<String>>,
+}
+
+/// Locks a mutex, ignoring poisoning (a poisoned queue just means another
+/// unit panicked; its state — plain indices — is still coherent).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+enum Msg {
+    Round(Arc<Round>),
+    Shutdown,
+}
+
+/// The work-stealing pool. See the module docs for the design.
+pub struct WorkPool {
+    senders: Vec<Sender<Msg>>,
+    done_rx: Receiver<()>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for WorkPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl WorkPool {
+    /// A pool of `threads` workers total (the calling thread included, so
+    /// `threads - 1` are spawned). `threads` is clamped to at least 1.
+    pub fn new(threads: usize) -> WorkPool {
+        let threads = threads.max(1);
+        let (done_tx, done_rx) = channel();
+        let mut senders = Vec::with_capacity(threads - 1);
+        let mut handles = Vec::with_capacity(threads - 1);
+        for worker in 1..threads {
+            let (tx, rx) = channel::<Msg>();
+            let done = done_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("agenp-ground-{worker}"))
+                .spawn(move || {
+                    while let Ok(msg) = rx.recv() {
+                        match msg {
+                            Msg::Shutdown => break,
+                            Msg::Round(round) => {
+                                work(&round, worker);
+                                drop(round);
+                                if done.send(()).is_err() {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                })
+                .expect("spawning grounder worker thread");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        WorkPool {
+            senders,
+            done_rx,
+            handles,
+            threads,
+        }
+    }
+
+    /// Total worker count (calling thread included).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs one round of `units` work units. `job(i)` is called exactly once
+    /// for every unit index `i < units` unless the round is cancelled (by a
+    /// unit returning [`UnitControl::Cancel`] or panicking). Units are dealt
+    /// round-robin to worker deques and executed with work-stealing; any
+    /// unit may run on any worker, so `job` must not rely on execution
+    /// order — deterministic callers keep per-unit output slots and merge in
+    /// unit order afterwards.
+    ///
+    /// `run` does not return until every worker has finished the round, so
+    /// `job` may borrow state local to the caller's stack frame.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::WorkerPanic`] if a unit panicked; the pool remains
+    /// usable.
+    pub fn run(&self, units: usize, job: Job<'_>) -> Result<(), PoolError> {
+        if units == 0 {
+            return Ok(());
+        }
+        let mut deques: Vec<VecDeque<usize>> = (0..self.threads).map(|_| VecDeque::new()).collect();
+        for i in 0..units {
+            deques[i % self.threads].push_back(i);
+        }
+        // SAFETY: the erased borrow in `Round::job` never escapes this call.
+        // Every worker drops its `Arc<Round>` before sending its done
+        // acknowledgement, and we receive exactly one acknowledgement per
+        // spawned worker below before returning, so no reference to `job`
+        // (or anything it borrows) survives `run`.
+        let job_static: Job<'static> = unsafe { std::mem::transmute::<Job<'_>, Job<'static>>(job) };
+        let round = Arc::new(Round {
+            job: job_static,
+            deques: deques.into_iter().map(Mutex::new).collect(),
+            cancelled: AtomicBool::new(false),
+            panic: Mutex::new(None),
+        });
+        for tx in &self.senders {
+            tx.send(Msg::Round(Arc::clone(&round)))
+                .expect("grounder worker hung up");
+        }
+        work(&round, 0);
+        for _ in &self.senders {
+            self.done_rx.recv().expect("grounder worker hung up");
+        }
+        let panicked = lock(&round.panic).take();
+        match panicked {
+            Some(msg) => Err(PoolError::WorkerPanic(msg)),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for WorkPool {
+    fn drop(&mut self) {
+        for tx in &self.senders {
+            // A send can only fail if the worker already exited; ignore.
+            let _ = tx.send(Msg::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One worker's participation in a round: drain the own deque from the
+/// front, then steal from the back of the others until nothing is left or
+/// the round is cancelled.
+fn work(round: &Round, me: usize) {
+    loop {
+        if round.cancelled.load(Ordering::Relaxed) {
+            return;
+        }
+        let unit = next_unit(round, me);
+        let Some(unit) = unit else { return };
+        match catch_unwind(AssertUnwindSafe(|| (round.job)(unit))) {
+            Ok(UnitControl::Continue) => {}
+            Ok(UnitControl::Cancel) => {
+                round.cancelled.store(true, Ordering::Relaxed);
+                return;
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "worker panicked".to_string());
+                *lock(&round.panic) = Some(msg);
+                round.cancelled.store(true, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+}
+
+fn next_unit(round: &Round, me: usize) -> Option<usize> {
+    if let Some(u) = lock(&round.deques[me]).pop_front() {
+        return Some(u);
+    }
+    let n = round.deques.len();
+    for offset in 1..n {
+        let victim = (me + offset) % n;
+        if let Some(u) = lock(&round.deques[victim]).pop_back() {
+            return Some(u);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn every_unit_runs_exactly_once() {
+        for threads in [1, 2, 4] {
+            let pool = WorkPool::new(threads);
+            let hits: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(hits.len(), &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+                UnitControl::Continue
+            })
+            .unwrap();
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_rounds() {
+        let pool = WorkPool::new(3);
+        let total = AtomicUsize::new(0);
+        for _ in 0..10 {
+            pool.run(8, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+                UnitControl::Continue
+            })
+            .unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 80);
+    }
+
+    #[test]
+    fn empty_round_is_a_noop() {
+        let pool = WorkPool::new(4);
+        pool.run(0, &|_| unreachable!("no units to run")).unwrap();
+    }
+
+    #[test]
+    fn shutdown_is_deterministic() {
+        // Dropping the pool joins every worker; this test hangs on failure.
+        let pool = WorkPool::new(4);
+        pool.run(16, &|_| UnitControl::Continue).unwrap();
+        drop(pool);
+    }
+
+    #[test]
+    fn panic_propagates_as_typed_error_and_pool_survives() {
+        let pool = WorkPool::new(4);
+        let err = pool
+            .run(32, &|i| {
+                if i == 7 {
+                    panic!("unit 7 exploded");
+                }
+                UnitControl::Continue
+            })
+            .unwrap_err();
+        assert_eq!(err, PoolError::WorkerPanic("unit 7 exploded".to_string()));
+        // The pool must remain usable after a panicked round.
+        let ran = AtomicUsize::new(0);
+        pool.run(5, &|_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            UnitControl::Continue
+        })
+        .unwrap();
+        assert_eq!(ran.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn cancellation_stops_the_round_early() {
+        let pool = WorkPool::new(2);
+        let executed = AtomicUsize::new(0);
+        pool.run(10_000, &|_| {
+            let n = executed.fetch_add(1, Ordering::Relaxed);
+            if n >= 3 {
+                UnitControl::Cancel
+            } else {
+                UnitControl::Continue
+            }
+        })
+        .unwrap();
+        let n = executed.load(Ordering::Relaxed);
+        assert!(n >= 4, "at least the cancelling unit ran: {n}");
+        assert!(n < 10_000, "cancellation skipped the tail: {n}");
+        // And the pool still works afterwards.
+        let again = AtomicUsize::new(0);
+        pool.run(7, &|_| {
+            again.fetch_add(1, Ordering::Relaxed);
+            UnitControl::Continue
+        })
+        .unwrap();
+        assert_eq!(again.load(Ordering::Relaxed), 7);
+    }
+}

@@ -13,7 +13,7 @@
 //! or a headline counter claim regresses.
 
 use agenp_asp::{ground_with_stats, GroundMode, GroundOptions, GroundStats, Program, Solver};
-use agenp_bench::{birds_program, coloring_program, transitive_closure_program};
+use agenp_bench::{birds_program, coloring_program, time_best_of, transitive_closure_program};
 use agenp_core::scenarios::{cav, xacml};
 use agenp_learn::{CompileOptions, LearnOptions, LearnStats, Learner};
 use std::path::PathBuf;
@@ -59,6 +59,7 @@ fn main() {
 
     print_tables(&ground_rows, &solve_rows, &learn_rows, cav_ratio);
 
+    let tc_waste = waste_ratio(&ground_rows, "transitive_closure");
     let json = render_json(smoke, &ground_rows, &solve_rows, &learn_rows, cav_ratio);
     let path = output_path();
     if let Err(e) = std::fs::write(&path, &json) {
@@ -92,7 +93,18 @@ fn main() {
         );
         std::process::exit(1);
     }
-    println!("BENCH_asp.json validated (cav naive/delta instantiation ratio {cav_ratio:.1}x)");
+    if tc_waste > 8.0 {
+        eprintln!(
+            "perf: transitive-closure ground waste ratio regressed: \
+             {tc_waste:.1} join candidates per instantiation (gate: <= 8.0; \
+             argument-value join indices should hold this near 4)"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "BENCH_asp.json validated (cav naive/delta instantiation ratio {cav_ratio:.1}x, \
+         tc ground waste ratio {tc_waste:.1})"
+    );
 }
 
 /// `BENCH_asp.json` lives at the repository root regardless of the cwd
@@ -127,38 +139,80 @@ fn run_grounding(smoke: bool) -> Vec<GroundRow> {
             ("birds", vec![50, 100, 200], birds_program),
         ]
     };
+    let serial = GroundOptions::default().with_threads(1);
     let mut rows = Vec::new();
     for (name, scales, build) in workloads {
+        let max_n = *scales.last().expect("workloads have scales");
         for n in scales {
             let p = build(n);
-            let t = Instant::now();
-            let (g, stats) =
-                ground_with_stats(&p, GroundOptions::default()).expect("workload grounds");
+            // Warmup + best-of-3: first-touch allocation and interner costs
+            // used to make the first seminaive row measure *slower* than
+            // naive on small programs.
+            let (micros, (g, stats)) = time_best_of(3, || {
+                ground_with_stats(&p, serial).expect("workload grounds")
+            });
+            let serial_render = g.to_string();
             rows.push(GroundRow {
                 workload: name,
                 n,
                 engine: "seminaive",
-                micros: t.elapsed().as_micros(),
+                micros,
                 stats,
                 atoms: g.atoms().len(),
                 rules: g.len(),
             });
-            let t = Instant::now();
-            let (g, stats) =
-                ground_with_stats(&p, GroundOptions::default().with_mode(GroundMode::Naive))
-                    .expect("workload grounds");
+            let (micros, (g, stats)) = time_best_of(3, || {
+                ground_with_stats(&p, serial.with_mode(GroundMode::Naive))
+                    .expect("workload grounds")
+            });
             rows.push(GroundRow {
                 workload: name,
                 n,
                 engine: "naive",
-                micros: t.elapsed().as_micros(),
+                micros,
                 stats,
                 atoms: g.atoms().len(),
                 rules: g.len(),
             });
+            // At the top scale, run the work-stealing pool configuration and
+            // hold it to byte-identical output (thread scaling itself is
+            // read against the `cpus` claim, as BENCH_pdp.json does).
+            if n == max_n {
+                let pooled = GroundOptions::default()
+                    .with_threads(4)
+                    .with_parallel_grain(16);
+                let (micros, (g, stats)) = time_best_of(3, || {
+                    ground_with_stats(&p, pooled).expect("workload grounds")
+                });
+                assert_eq!(
+                    g.to_string(),
+                    serial_render,
+                    "parallel grounding must be byte-identical to serial ({name} n={n})"
+                );
+                rows.push(GroundRow {
+                    workload: name,
+                    n,
+                    engine: "seminaive_t4",
+                    micros,
+                    stats,
+                    atoms: g.atoms().len(),
+                    rules: g.len(),
+                });
+            }
         }
     }
     rows
+}
+
+/// Join waste (candidates probed per rule actually instantiated) on the
+/// largest serial semi-naive row of `workload`. This is the figure the
+/// argument-value indices exist to hold down.
+fn waste_ratio(rows: &[GroundRow], workload: &str) -> f64 {
+    rows.iter()
+        .filter(|r| r.workload == workload && r.engine == "seminaive")
+        .max_by_key(|r| r.n)
+        .map(|r| r.stats.join_candidates as f64 / r.stats.rules_instantiated.max(1) as f64)
+        .unwrap_or(0.0)
 }
 
 fn run_solving(smoke: bool) -> Vec<SolveRow> {
@@ -167,16 +221,20 @@ fn run_solving(smoke: bool) -> Vec<SolveRow> {
     let mut rows = Vec::new();
     for &n in scales {
         let p = coloring_program(n);
-        let tg = Instant::now();
-        let (g, _) = ground_with_stats(&p, GroundOptions::default()).expect("grounds");
-        let ground_micros = tg.elapsed().as_micros();
-        let ts = Instant::now();
-        let r = solver.solve(&g);
+        // Warmup + best-of-3 on both phases: the first solve row used to
+        // absorb one-time costs and make larger scales read *faster* than
+        // smaller ones.
+        let (ground_micros, g) = time_best_of(3, || {
+            let (g, _) =
+                ground_with_stats(&p, GroundOptions::default().with_threads(1)).expect("grounds");
+            g
+        });
+        let (solve_micros, r) = time_best_of(3, || solver.solve(&g));
         rows.push(SolveRow {
             workload: "coloring",
             n,
             ground_micros,
-            solve_micros: ts.elapsed().as_micros(),
+            solve_micros,
             models: r.models().len(),
             decisions: r.stats().decisions,
         });
@@ -393,14 +451,23 @@ fn render_json(
             )
         })
         .collect();
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     format!(
         "{{\n\"schema\": \"agenp-bench/perf/v1\",\n\"smoke\": {},\n\
          \"grounding\": [\n{}\n],\n\"solving\": [\n{}\n],\n\"learning\": [\n{}\n],\n\
-         \"claims\": {{\"cav_naive_over_delta_rule_instantiations\": {:.3}}}\n}}\n",
+         \"claims\": {{\"cav_naive_over_delta_rule_instantiations\": {:.3}, \
+         \"ground_waste_ratio_coloring\": {:.3}, \
+         \"ground_waste_ratio_transitive_closure\": {:.3}, \
+         \"ground_waste_ratio_birds\": {:.3}, \
+         \"cpus\": {}}}\n}}\n",
         smoke,
         grounding.join(",\n"),
         solving.join(",\n"),
         learning.join(",\n"),
-        cav_ratio
+        cav_ratio,
+        waste_ratio(ground_rows, "coloring"),
+        waste_ratio(ground_rows, "transitive_closure"),
+        waste_ratio(ground_rows, "birds"),
+        cpus
     )
 }

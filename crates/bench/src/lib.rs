@@ -91,6 +91,23 @@ pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
 }
 
+/// Times `f` with one untimed warmup call followed by `runs` timed calls,
+/// returning the best (minimum) duration in microseconds and the final
+/// run's result. First-touch allocation, interner population, and lazy
+/// thread spawning land in the warmup instead of polluting the first
+/// measured row; the minimum is the stable estimator for short runs on a
+/// noisy box.
+pub fn time_best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> (u128, T) {
+    let mut result = f();
+    let mut best = u128::MAX;
+    for _ in 0..runs.max(1) {
+        let t = std::time::Instant::now();
+        result = f();
+        best = best.min(t.elapsed().as_micros());
+    }
+    (best, result)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

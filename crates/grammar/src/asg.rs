@@ -171,6 +171,7 @@ impl Asg {
             GroundOptions {
                 max_atoms: budget.max_atoms,
                 deadline: budget.deadline,
+                threads: budget.ground_threads,
                 ..GroundOptions::default()
             },
         )

@@ -225,6 +225,9 @@ pub struct CompileOptions {
     /// learner then re-grounds base + hypothesis from scratch per
     /// evaluation.
     pub naive_ground: bool,
+    /// Grounder thread count for base saturation and delta evaluation
+    /// (`0` = auto; see `GroundOptions::threads`).
+    pub ground_threads: usize,
 }
 
 impl Default for CompileOptions {
@@ -233,6 +236,7 @@ impl Default for CompileOptions {
             max_trees: 16,
             max_worlds: 64,
             naive_ground: false,
+            ground_threads: 0,
         }
     }
 }
@@ -253,6 +257,12 @@ impl CompileOptions {
     /// Enables or disables the naive-reference grounding ablation.
     pub fn with_naive_ground(mut self, naive_ground: bool) -> CompileOptions {
         self.naive_ground = naive_ground;
+        self
+    }
+
+    /// Sets the grounder thread count (`0` = auto).
+    pub fn with_ground_threads(mut self, ground_threads: usize) -> CompileOptions {
+        self.ground_threads = ground_threads;
         self
     }
 }
@@ -350,13 +360,13 @@ pub fn compile_example(
         // Ground the base once. The incremental grounder saturates it and
         // keeps the state around so candidate hypotheses can later be
         // grounded as deltas without redoing this work.
+        let gopts = GroundOptions::default().with_threads(opts.ground_threads);
         let (g, grounder) = if opts.naive_ground {
-            let (g, st) =
-                ground_with_stats(&base, GroundOptions::default().with_mode(GroundMode::Naive))?;
+            let (g, st) = ground_with_stats(&base, gopts.with_mode(GroundMode::Naive))?;
             ground_stats.absorb(st);
             (g, None)
         } else {
-            let grounder = IncrementalGrounder::new(&base, GroundOptions::default())?;
+            let grounder = IncrementalGrounder::new(&base, gopts)?;
             ground_stats.absorb(grounder.base_stats());
             let (g, st) = grounder.ground_delta_with_stats(&[])?;
             ground_stats.absorb(st);
