@@ -354,7 +354,7 @@ fn render_json(
          \"scenarios\": [\n{}\n],\n\
          \"obs\": {{\"chaos_dumps\": {}}},\n\
          \"claims\": {{\"scenarios\": {}, \"total_invariant_violations\": {}, \
-         \"all_deterministic\": {}}}\n}}\n",
+         \"all_deterministic\": {}, \"cpus\": {}}}\n}}\n",
         smoke,
         seed,
         parties,
@@ -362,6 +362,7 @@ fn render_json(
         chaos_dumps,
         rows.len(),
         total_violations,
-        all_deterministic
+        all_deterministic,
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     )
 }

@@ -389,7 +389,8 @@ fn render_json(
     format!(
         "{{\n\"schema\": \"agenp-bench/obs/v1\",\n\"smoke\": {},\n\
          \"throughput\": [\n{}\n],\n\
-         \"claims\": {{\"enabled_over_disabled_1t\": {}, \"disabled_clean\": {}}},\n\
+         \"claims\": {{\"enabled_over_disabled_1t\": {}, \"disabled_clean\": {}, \
+         \"cpus\": {}}},\n\
          \"dump\": {{\"json_valid\": {}, \"bytes\": {}, \"spans\": {}, \
          \"dropped_spans\": {}, \"layers\": [{}]}},\n\
          \"flight_recorder\": {}\n}}\n",
@@ -400,6 +401,7 @@ fn render_json(
             None => "null".to_string(),
         },
         disabled_clean,
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         dump.json_valid,
         dump.bytes,
         dump.span_total,

@@ -10,15 +10,25 @@
 //! served from the wrong epoch. The JSON schema is documented in
 //! `docs/SERVING.md`.
 //!
+//! Since schema v2 the harness also puts the PDP on the wire: it boots an
+//! in-process `agenp-pdpd` HTTP/1.1 server on an ephemeral loopback port,
+//! drives it with the crate's load client (single connection, multiple
+//! connections, and batched bodies), and records throughput plus latency
+//! percentiles under the `"http"` section. The load client re-checks every
+//! response against the oracle, so the HTTP rows double as a wire-path
+//! parity gate.
+//!
 //! Usage: `cargo run -p agenp-bench --bin pdp --release [-- --smoke]`
 //!
 //! `--smoke` runs reduced scales suitable for CI, re-reads the emitted JSON
 //! through a validating parser, and exits nonzero on any parity mismatch,
-//! any stale-cache decision, or (on machines with >= 4 CPUs) a 4-thread
+//! any stale-cache decision, a single-connection HTTP throughput below
+//! 10k decisions/sec, or (on machines with >= 4 CPUs) a 4-thread
 //! throughput below 2x the 1-thread run.
 
 use agenp_core::arch::{DecisionSnapshot, PdpHandle, PdpServer};
 use agenp_core::scenarios::xacml::{ground_truth_policy, XacmlRequest};
+use agenp_pdpd::{run_load, LoadOptions, PdpdServer, ServerOptions};
 use agenp_policy::{
     evaluate_policies, CombiningAlg, Decision, Pdp, Policy, PolicyRepository, PolicyRule, Request,
 };
@@ -51,6 +61,21 @@ struct StressOutcome {
     stale_served: u64,
 }
 
+/// One HTTP load-client measurement against the in-process daemon.
+struct HttpRow {
+    connections: usize,
+    batch: usize,
+    decisions: u64,
+    throughput: f64,
+    p50_us: u64,
+    p90_us: u64,
+    p99_us: u64,
+    max_us: u64,
+    parity_mismatches: u64,
+    stale_epochs: u64,
+    http_errors: u64,
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
 
@@ -67,12 +92,15 @@ fn main() {
 
     let parity = run_parity(&policies, if smoke { 1000 } else { 5000 }, 7);
     let stress = run_stress(&policies, if smoke { 64 } else { 256 }, 4);
+    let http_rows = run_http(&policies, smoke);
 
-    print_tables(&rows, &parity, &stress);
+    print_tables(&rows, &parity, &stress, &http_rows);
 
-    let speedup_4t = speedup(&rows, 4);
     let cpus = std::thread::available_parallelism().map_or(1, usize::from);
-    let json = render_json(smoke, &rows, &parity, &stress, speedup_4t, cpus);
+    // A thread-scaling claim measured on hardware that cannot run the
+    // threads in parallel is noise, not evidence — record null there.
+    let speedup_4t = if cpus >= 4 { speedup(&rows, 4) } else { None };
+    let json = render_json(smoke, &rows, &parity, &stress, &http_rows, speedup_4t, cpus);
     let path = output_path();
     if let Err(e) = std::fs::write(&path, &json) {
         eprintln!("pdp: cannot write {}: {e}", path.display());
@@ -92,7 +120,13 @@ fn main() {
         eprintln!("pdp: BENCH_pdp.json is not valid JSON: {e}");
         std::process::exit(1);
     }
-    for key in ["\"throughput\"", "\"parity\"", "\"stress\"", "\"claims\""] {
+    for key in [
+        "\"throughput\"",
+        "\"parity\"",
+        "\"stress\"",
+        "\"http\"",
+        "\"claims\"",
+    ] {
         if !on_disk.contains(key) {
             eprintln!("pdp: BENCH_pdp.json is missing the {key} section");
             std::process::exit(1);
@@ -112,6 +146,31 @@ fn main() {
         );
         std::process::exit(1);
     }
+    for row in &http_rows {
+        if row.parity_mismatches > 0 || row.stale_epochs > 0 || row.http_errors > 0 {
+            eprintln!(
+                "pdp: HTTP load run ({} conn, batch {}) was not clean: \
+                 {} mismatches, {} stale epochs, {} errors",
+                row.connections,
+                row.batch,
+                row.parity_mismatches,
+                row.stale_epochs,
+                row.http_errors
+            );
+            std::process::exit(1);
+        }
+    }
+    let single_conn = http_rows
+        .iter()
+        .find(|r| r.connections == 1 && r.batch == 1)
+        .expect("single-connection HTTP row");
+    if single_conn.throughput < 10_000.0 {
+        eprintln!(
+            "pdp: single-connection HTTP throughput {:.0} dec/s is below the 10k floor",
+            single_conn.throughput
+        );
+        std::process::exit(1);
+    }
     // The scaling gate only means something when the hardware can actually
     // run 4 workers in parallel (CI runners can; 1-CPU boxes cannot).
     if cpus >= 4 {
@@ -128,11 +187,13 @@ fn main() {
         println!("pdp: skipping the 4-thread scaling gate ({cpus} CPU available)");
     }
     println!(
-        "BENCH_pdp.json validated (parity {}/{} ok, {} stale across {} swaps{})",
+        "BENCH_pdp.json validated (parity {}/{} ok, {} stale across {} swaps, \
+         http 1-conn {:.0} dec/s{})",
         parity.requests - parity.mismatches,
         parity.requests,
         stress.stale_served,
         stress.swaps,
+        single_conn.throughput,
         match speedup_4t {
             Some(s) => format!(", 4t/1t {s:.2}x"),
             None => String::new(),
@@ -287,6 +348,69 @@ fn run_stress(policies: &[Policy], swaps: u64, threads: usize) -> StressOutcome 
     }
 }
 
+/// Boots the `agenp-pdpd` HTTP server in-process on an ephemeral loopback
+/// port and drives it with the crate's own load client: one connection
+/// (the smoke-gated row), `cpus.min(4)` connections, and a batched run.
+/// Every response is parity-checked against the oracle by the client.
+fn run_http(policies: &[Policy], smoke: bool) -> Vec<HttpRow> {
+    let handle = PdpHandle::new();
+    handle.publish(DecisionSnapshot::new(
+        policies.to_vec(),
+        CombiningAlg::DenyOverrides,
+    ));
+    let server = PdpdServer::bind(
+        "127.0.0.1:0",
+        handle,
+        ServerOptions {
+            threads: std::thread::available_parallelism().map_or(2, usize::from),
+            ..ServerOptions::default()
+        },
+    )
+    .expect("pdp: cannot bind the in-process HTTP server on loopback");
+
+    let workload = build_workload(64, 1234);
+    let expected: Vec<Decision> = workload
+        .iter()
+        .map(|r| server.handle().decide(r).decision)
+        .collect();
+
+    let requests = if smoke { 20_000 } else { 100_000 };
+    let multi_conns = std::thread::available_parallelism()
+        .map_or(2, usize::from)
+        .min(4);
+    let shapes: &[(usize, usize)] = &[(1, 1), (multi_conns, 1), (1, 16)];
+    let mut rows = Vec::with_capacity(shapes.len());
+    for &(connections, batch) in shapes {
+        let report = run_load(
+            server.addr(),
+            &workload,
+            &expected,
+            &LoadOptions {
+                connections,
+                requests,
+                batch,
+                ..LoadOptions::default()
+            },
+        )
+        .expect("pdp: HTTP load run failed against the in-process server");
+        rows.push(HttpRow {
+            connections,
+            batch,
+            decisions: report.decisions,
+            throughput: report.throughput,
+            p50_us: report.p50_ns / 1000,
+            p90_us: report.p90_ns / 1000,
+            p99_us: report.p99_ns / 1000,
+            max_us: report.max_ns / 1000,
+            parity_mismatches: report.parity_mismatches,
+            stale_epochs: report.stale_epochs,
+            http_errors: report.http_errors,
+        });
+    }
+    drop(server); // shuts down and joins the worker pool
+    rows
+}
+
 fn speedup(rows: &[ThroughputRow], threads: usize) -> Option<f64> {
     let one = rows.iter().find(|r| r.threads == 1)?;
     let many = rows.iter().find(|r| r.threads == threads)?;
@@ -297,7 +421,12 @@ fn speedup(rows: &[ThroughputRow], threads: usize) -> Option<f64> {
     }
 }
 
-fn print_tables(rows: &[ThroughputRow], parity: &ParityOutcome, stress: &StressOutcome) {
+fn print_tables(
+    rows: &[ThroughputRow],
+    parity: &ParityOutcome,
+    stress: &StressOutcome,
+    http_rows: &[HttpRow],
+) {
     println!("shared-snapshot PDP serving throughput (closed loop):");
     println!(
         "{:>8} {:>12} {:>12} {:>14} {:>10}",
@@ -322,13 +451,33 @@ fn print_tables(rows: &[ThroughputRow], parity: &ParityOutcome, stress: &StressO
         "snapshot-swap stress: {} decisions across {} swaps, {} stale",
         stress.decisions, stress.swaps, stress.stale_served
     );
+    println!("\nHTTP serving (in-process pdpd, loopback):");
+    println!(
+        "{:>6} {:>6} {:>12} {:>14} {:>9} {:>9} {:>9} {:>9}",
+        "conns", "batch", "decisions", "decisions/s", "p50 us", "p90 us", "p99 us", "max us"
+    );
+    for r in http_rows {
+        println!(
+            "{:>6} {:>6} {:>12} {:>14.0} {:>9} {:>9} {:>9} {:>9}",
+            r.connections,
+            r.batch,
+            r.decisions,
+            r.throughput,
+            r.p50_us,
+            r.p90_us,
+            r.p99_us,
+            r.max_us
+        );
+    }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     smoke: bool,
     rows: &[ThroughputRow],
     parity: &ParityOutcome,
     stress: &StressOutcome,
+    http_rows: &[HttpRow],
     speedup_4t: Option<f64>,
     cpus: usize,
 ) -> String {
@@ -349,12 +498,40 @@ fn render_json(
             )
         })
         .collect();
+    let http: Vec<String> = http_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"connections\": {}, \"batch\": {}, \"decisions\": {}, \
+                 \"decisions_per_sec\": {:.1}, \"p50_us\": {}, \"p90_us\": {}, \
+                 \"p99_us\": {}, \"max_us\": {}, \"parity_mismatches\": {}, \
+                 \"stale_epochs\": {}, \"http_errors\": {}}}",
+                r.connections,
+                r.batch,
+                r.decisions,
+                r.throughput,
+                r.p50_us,
+                r.p90_us,
+                r.p99_us,
+                r.max_us,
+                r.parity_mismatches,
+                r.stale_epochs,
+                r.http_errors
+            )
+        })
+        .collect();
+    let http_single = http_rows
+        .iter()
+        .find(|r| r.connections == 1 && r.batch == 1)
+        .map_or("null".to_string(), |r| format!("{:.1}", r.throughput));
     format!(
-        "{{\n\"schema\": \"agenp-bench/pdp/v1\",\n\"smoke\": {},\n\
+        "{{\n\"schema\": \"agenp-bench/pdp/v2\",\n\"smoke\": {},\n\
          \"throughput\": [\n{}\n],\n\
          \"parity\": {{\"requests\": {}, \"mismatches\": {}}},\n\
          \"stress\": {{\"decisions\": {}, \"swaps\": {}, \"stale_served\": {}}},\n\
-         \"claims\": {{\"speedup_4t_over_1t\": {}, \"cpus\": {}}}\n}}\n",
+         \"http\": [\n{}\n],\n\
+         \"claims\": {{\"speedup_4t_over_1t\": {}, \
+         \"http_single_conn_decisions_per_sec\": {}, \"cpus\": {}}}\n}}\n",
         smoke,
         throughput.join(",\n"),
         parity.requests,
@@ -362,10 +539,12 @@ fn render_json(
         stress.decisions,
         stress.swaps,
         stress.stale_served,
+        http.join(",\n"),
         match speedup_4t {
             Some(s) => format!("{s:.3}"),
             None => "null".to_string(),
         },
+        http_single,
         cpus
     )
 }

@@ -73,6 +73,13 @@ impl DecisionPlane {
         self.ams.decide(request)
     }
 
+    /// Decides a whole wave of requests against one snapshot — a degraded
+    /// or mid-refresh plane still answers the entire batch from a single
+    /// consistent epoch (see [`Ams::decide_batch`]).
+    pub fn decide_batch(&self, requests: &[Request]) -> Vec<DecisionOutcome> {
+        self.ams.decide_batch(requests)
+    }
+
     /// Refreshes the policy set and publishes a new snapshot. On failure
     /// the previous snapshot keeps serving, the plane is marked stale, and
     /// the error is returned for logging/alerting. Returns the number of

@@ -559,12 +559,18 @@ impl<'a> Simulation<'a> {
             if !self.parties[party].up {
                 continue;
             }
-            // The satellite fix in action: pin the snapshot once per
-            // batch; each decision revalidates with one epoch load.
+            // Serve the wave as one batch: the snapshot is pinned and
+            // revalidated once, duplicates inside the wave are answered
+            // once, and every outcome shares the wave's epoch.
+            let idxs: Vec<usize> = (0..s.decide_batch)
+                .map(|_| rng.below(self.workload.len() as u64) as usize)
+                .collect();
+            let wave_requests: Vec<agenp_policy::Request> =
+                idxs.iter().map(|&i| self.workload[i].clone()).collect();
             let mut pin = self.parties[party].handle().pin();
-            for _ in 0..s.decide_batch {
-                let idx = rng.below(self.workload.len() as u64) as usize;
-                let outcome = pin.decide(&self.workload[idx]);
+            let outcomes = pin.decide_batch(&wave_requests);
+            for (&idx, outcome) in idxs.iter().zip(&outcomes) {
+                let outcome = outcome.clone();
                 self.stats.decisions += 1;
                 match outcome.decision {
                     Decision::Permit => self.stats.permits += 1,

@@ -392,6 +392,27 @@ impl Ams {
         outcome
     }
 
+    /// Batched PDP + PEP step: every request in the slice is decided
+    /// against **one** snapshot (see [`PdpHandle::decide_batch`] for the
+    /// consistency contract), duplicates answered once, and the goal
+    /// monitor fed under a single lock acquisition instead of one per
+    /// request.
+    pub fn decide_batch(&self, requests: &[Request]) -> Vec<DecisionOutcome> {
+        let outcomes = self.serving.decide_batch(requests);
+        let mut goals = self.goals.lock().expect("goal monitor poisoned");
+        for outcome in &outcomes {
+            goals.observe_bool("grant_rate", outcome.decision == Decision::Permit);
+            goals.observe_bool(
+                "gap_rate",
+                matches!(
+                    outcome.decision,
+                    Decision::NotApplicable | Decision::Indeterminate
+                ),
+            );
+        }
+        outcomes
+    }
+
     /// Records observed feedback for the next adaptation round.
     pub fn observe(&mut self, feedback: Feedback) {
         self.feedback.push(feedback);

@@ -38,6 +38,12 @@ const CACHE_SHARDS: usize = 16;
 /// Number of stripes for the hot-path statistics counters.
 const COUNTER_STRIPES: usize = 16;
 
+/// Entry cap for one pin's private decision cache. Beyond this the pin
+/// stops memoizing new keys (it never evicts mid-epoch); the cap bounds
+/// per-worker memory for adversarial key streams while leaving realistic
+/// working sets fully resident.
+const PIN_CACHE_CAP: usize = 8192;
+
 /// The stripe this thread bumps. Threads are assigned stripes round-robin
 /// at first use, so up to [`COUNTER_STRIPES`] concurrent workers never
 /// share a counter cache line.
@@ -76,9 +82,14 @@ impl Default for StripedU64 {
 impl StripedU64 {
     #[inline]
     fn incr(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    fn add(&self, n: u64) {
         self.stripes[counter_stripe()]
             .0
-            .fetch_add(1, Ordering::Relaxed);
+            .fetch_add(n, Ordering::Relaxed);
     }
 
     fn sum(&self) -> u64 {
@@ -380,6 +391,24 @@ struct PdpShared {
     pep: Pep,
 }
 
+impl PdpShared {
+    /// Assembles the full outcome for a decision rendered under `snapshot`.
+    fn outcome(
+        &self,
+        snapshot: &DecisionSnapshot,
+        decision: Decision,
+        cached: bool,
+    ) -> DecisionOutcome {
+        DecisionOutcome {
+            decision,
+            enforcement: Some(self.pep.enforce(decision)),
+            error: snapshot.error.clone(),
+            epoch: snapshot.epoch,
+            cached,
+        }
+    }
+}
+
 /// The outcome of one decision through the serving tier: the decision
 /// itself, the enforcement the PEP derives from it, the upstream error the
 /// serving snapshot degrades for (if any), and cache/epoch diagnostics.
@@ -506,6 +535,22 @@ impl PdpHandle {
         }
     }
 
+    /// Batched mirror: one histogram sample at the batch's mean per-request
+    /// latency (so the histogram stays per-decision-scaled), counters bumped
+    /// by whole-batch deltas.
+    fn mirror_batch_metrics(start: u64, outcomes: &[DecisionOutcome]) {
+        if outcomes.is_empty() {
+            return;
+        }
+        let m = crate::arch::obs::ServeMetrics::global();
+        let elapsed = agenp_obs::monotonic_ns().saturating_sub(start);
+        m.decide_latency_ns.record(elapsed / outcomes.len() as u64);
+        let hits = outcomes.iter().filter(|o| o.cached).count() as u64;
+        m.decisions.add(outcomes.len() as u64);
+        m.cache_hits.add(hits);
+        m.cache_misses.add(outcomes.len() as u64 - hits);
+    }
+
     fn decide_inner(&self, request: &Request) -> DecisionOutcome {
         let snapshot = self.inner.swap.load();
         self.decide_with(&snapshot, request)
@@ -518,31 +563,92 @@ impl PdpHandle {
         self.inner.decisions.incr();
         let key = request.canonical_key();
         if let Some(decision) = self.inner.cache.get(&key, snapshot.epoch) {
-            return DecisionOutcome {
-                decision,
-                enforcement: Some(self.inner.pep.enforce(decision)),
-                error: snapshot.error.clone(),
-                epoch: snapshot.epoch,
-                cached: true,
-            };
+            return self.inner.outcome(snapshot, decision, true);
         }
         let decision = snapshot.decide(request);
         self.inner.cache.insert(key, snapshot.epoch, decision);
-        DecisionOutcome {
-            decision,
-            enforcement: Some(self.inner.pep.enforce(decision)),
-            error: snapshot.error.clone(),
-            epoch: snapshot.epoch,
-            cached: false,
+        self.inner.outcome(snapshot, decision, false)
+    }
+
+    /// Renders decisions for a whole slice of requests against **one**
+    /// snapshot resolved at entry: the batch is never torn across a
+    /// concurrent publish — every outcome carries the same `epoch`, exactly
+    /// as if the caller had pinned, decided sequentially, and no publish had
+    /// landed in between. Duplicate requests (same
+    /// [`Request::canonical_key`]) are grouped and answered once, so the
+    /// snapshot-resolution, epoch-check, and cache-probe costs amortize over
+    /// the batch.
+    ///
+    /// Element-wise, `decide_batch(reqs)[i].decision` is identical to what
+    /// sequential `decide(&reqs[i])` calls would render under the same
+    /// snapshot; only the `cached` diagnostic may differ (duplicates after
+    /// the first in a batch always report `cached: true`).
+    pub fn decide_batch(&self, requests: &[Request]) -> Vec<DecisionOutcome> {
+        let snapshot = self.inner.swap.load();
+        if !agenp_obs::enabled() {
+            return self.decide_batch_with(&snapshot, requests);
         }
+        let start = agenp_obs::monotonic_ns();
+        let outcomes = self.decide_batch_with(&snapshot, requests);
+        Self::mirror_batch_metrics(start, &outcomes);
+        outcomes
+    }
+
+    /// The batched decision path against an already-resolved snapshot,
+    /// probing the shared sharded cache once per distinct key.
+    fn decide_batch_with(
+        &self,
+        snapshot: &DecisionSnapshot,
+        requests: &[Request],
+    ) -> Vec<DecisionOutcome> {
+        self.inner.decisions.add(requests.len() as u64);
+        let mut order: Vec<(String, usize)> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.canonical_key(), i))
+            .collect();
+        order.sort_unstable();
+        let mut out: Vec<Option<DecisionOutcome>> = vec![None; requests.len()];
+        let mut i = 0;
+        while i < order.len() {
+            let (key, first_idx) = (&order[i].0, order[i].1);
+            let (decision, first_cached) = match self.inner.cache.get(key, snapshot.epoch) {
+                Some(d) => (d, true),
+                None => {
+                    let d = snapshot.decide(&requests[first_idx]);
+                    self.inner.cache.insert(key.clone(), snapshot.epoch, d);
+                    (d, false)
+                }
+            };
+            let mut j = i;
+            while j < order.len() && order[j].0 == *key {
+                out[order[j].1] = Some(self.inner.outcome(
+                    snapshot,
+                    decision,
+                    j != i || first_cached,
+                ));
+                j += 1;
+            }
+            // Duplicates were answered from the batch group, not evaluated:
+            // account for them as hits so hits + misses == decisions holds.
+            self.inner.cache.hits.add((j - i - 1) as u64);
+            i = j;
+        }
+        out.into_iter()
+            .map(|o| o.expect("every request index is assigned exactly once"))
+            .collect()
     }
 
     /// Pins the current snapshot for one worker's decision loop (see
     /// [`PdpPin`]). Cheap: one `Arc` clone at pin time.
     pub fn pin(&self) -> PdpPin {
+        let snapshot = self.inner.swap.load();
+        let local_epoch = snapshot.epoch();
         PdpPin {
-            snapshot: self.inner.swap.load(),
+            snapshot,
             handle: self.clone(),
+            local: HashMap::new(),
+            local_epoch,
         }
     }
 
@@ -582,26 +688,133 @@ impl PdpHandle {
 /// outcome's `epoch` is always the epoch of the snapshot that actually
 /// answered. Pins are cheap to create and single-threaded by design
 /// (`&mut self`); clone the handle and pin per worker.
+///
+/// Beyond the pinned `Arc`, each pin keeps a **private epoch-stamped
+/// decision cache**: a plain (unsynchronized) map from
+/// [`Request::canonical_key`] to the decision rendered under the pinned
+/// snapshot. A warm pinned decision therefore touches *no shared mutable
+/// state at all* — no snapshot-slot lock, no cache-shard lock, only the
+/// one `Acquire` epoch load (plus core-local striped counter bumps) —
+/// which removes the 16-shard cache lock as the last shared write on the
+/// hot path. The private cache self-invalidates: whenever revalidation
+/// observes a different snapshot epoch than the one the cache was filled
+/// under, the map is cleared before any probe, so a stale entry can never
+/// survive a publish. Entries are capped at `PIN_CACHE_CAP` (8192); past
+/// the cap the pin keeps deciding correctly but stops memoizing new keys.
 #[derive(Clone, Debug)]
 pub struct PdpPin {
     snapshot: Arc<DecisionSnapshot>,
     handle: PdpHandle,
+    /// Private request→decision memo, valid only for `local_epoch`.
+    local: HashMap<String, Decision>,
+    /// The snapshot epoch `local` was filled under.
+    local_epoch: u64,
 }
 
 impl PdpPin {
-    /// Renders a decision against the pinned snapshot, re-resolving it
-    /// first if a publish has moved the epoch.
-    pub fn decide(&mut self, request: &Request) -> DecisionOutcome {
+    /// Re-resolves the pinned snapshot if a publish moved the epoch, and
+    /// drops the private cache if it was filled under another epoch.
+    fn revalidate(&mut self) {
         if self.snapshot.epoch() != self.handle.inner.epoch.load(Ordering::Acquire) {
             self.snapshot = self.handle.inner.swap.load();
         }
+        if self.local_epoch != self.snapshot.epoch() {
+            self.local.clear();
+            self.local_epoch = self.snapshot.epoch();
+        }
+    }
+
+    /// Renders a decision against the pinned snapshot, re-resolving it
+    /// first if a publish has moved the epoch. Warm calls are answered
+    /// from the pin's private cache without touching any shared lock.
+    pub fn decide(&mut self, request: &Request) -> DecisionOutcome {
+        self.revalidate();
         if !agenp_obs::enabled() {
-            return self.handle.decide_with(&self.snapshot, request);
+            return self.decide_local(request);
         }
         let start = agenp_obs::monotonic_ns();
-        let outcome = self.handle.decide_with(&self.snapshot, request);
+        let outcome = self.decide_local(request);
         PdpHandle::mirror_metrics(start, &outcome);
         outcome
+    }
+
+    /// Batched pinned decisions: one epoch check and one revalidation for
+    /// the whole slice, every outcome under the same snapshot (same
+    /// consistency contract as [`PdpHandle::decide_batch`]), duplicates
+    /// answered once from the private cache.
+    pub fn decide_batch(&mut self, requests: &[Request]) -> Vec<DecisionOutcome> {
+        self.revalidate();
+        if !agenp_obs::enabled() {
+            return self.decide_batch_local(requests);
+        }
+        let start = agenp_obs::monotonic_ns();
+        let outcomes = self.decide_batch_local(requests);
+        PdpHandle::mirror_batch_metrics(start, &outcomes);
+        outcomes
+    }
+
+    /// One decision through the private cache (no shared locks).
+    fn decide_local(&mut self, request: &Request) -> DecisionOutcome {
+        let shared = &self.handle.inner;
+        shared.decisions.incr();
+        let key = request.canonical_key();
+        if let Some(&decision) = self.local.get(&key) {
+            shared.cache.hits.incr();
+            return shared.outcome(&self.snapshot, decision, true);
+        }
+        let decision = self.snapshot.decide(request);
+        shared.cache.misses.incr();
+        if self.local.len() < PIN_CACHE_CAP {
+            self.local.insert(key, decision);
+        }
+        shared.outcome(&self.snapshot, decision, false)
+    }
+
+    /// The batched path against the private cache.
+    fn decide_batch_local(&mut self, requests: &[Request]) -> Vec<DecisionOutcome> {
+        self.handle.inner.decisions.add(requests.len() as u64);
+        let mut order: Vec<(String, usize)> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.canonical_key(), i))
+            .collect();
+        order.sort_unstable();
+        let mut out: Vec<Option<DecisionOutcome>> = vec![None; requests.len()];
+        let mut i = 0;
+        while i < order.len() {
+            let (key, first_idx) = (&order[i].0, order[i].1);
+            let shared = &self.handle.inner;
+            let (decision, first_cached) = match self.local.get(key) {
+                Some(&d) => {
+                    shared.cache.hits.incr();
+                    (d, true)
+                }
+                None => {
+                    let d = self.snapshot.decide(&requests[first_idx]);
+                    shared.cache.misses.incr();
+                    if self.local.len() < PIN_CACHE_CAP {
+                        self.local.insert(key.clone(), d);
+                    }
+                    (d, false)
+                }
+            };
+            let mut j = i;
+            while j < order.len() && order[j].0 == *key {
+                out[order[j].1] =
+                    Some(shared.outcome(&self.snapshot, decision, j != i || first_cached));
+                j += 1;
+            }
+            shared.cache.hits.add((j - i - 1) as u64);
+            i = j;
+        }
+        out.into_iter()
+            .map(|o| o.expect("every request index is assigned exactly once"))
+            .collect()
+    }
+
+    /// Entries resident in this pin's private cache.
+    pub fn local_cache_len(&self) -> usize {
+        self.local.len()
     }
 
     /// The snapshot currently pinned (as of the last [`PdpPin::decide`]).
@@ -921,6 +1134,73 @@ mod tests {
             "8 distinct keys over 200 decisions"
         );
         assert!(report.throughput >= 0.0);
+    }
+
+    #[test]
+    fn pin_private_cache_hits_warm_and_self_invalidates() {
+        let handle = PdpHandle::new();
+        handle.publish(DecisionSnapshot::new(
+            permit_dba_policies(),
+            CombiningAlg::DenyOverrides,
+        ));
+        let mut pin = handle.pin();
+        let req = Request::new().subject("role", "dba");
+        assert!(!pin.decide(&req).cached);
+        assert_eq!(pin.local_cache_len(), 1);
+        let warm = pin.decide(&req);
+        assert!(warm.cached);
+        assert_eq!(warm.decision, Decision::Permit);
+        // A publish must clear the private cache before the next probe.
+        let e2 = handle.publish(DecisionSnapshot::new(
+            Vec::new(),
+            CombiningAlg::DenyOverrides,
+        ));
+        let post = pin.decide(&req);
+        assert!(!post.cached, "stale private entry survived a publish");
+        assert_eq!(post.epoch, e2);
+        assert_eq!(post.decision, Decision::NotApplicable);
+        assert_eq!(pin.local_cache_len(), 1); // refilled under the new epoch
+    }
+
+    #[test]
+    fn decide_batch_matches_sequential_and_shares_one_epoch() {
+        let handle = PdpHandle::new();
+        handle.publish(DecisionSnapshot::new(
+            permit_dba_policies(),
+            CombiningAlg::DenyOverrides,
+        ));
+        let reqs: Vec<Request> = (0..20)
+            .map(|i| Request::new().subject("role", if i % 3 == 0 { "dba" } else { "guest" }))
+            .collect();
+        let batch = handle.decide_batch(&reqs);
+        assert_eq!(batch.len(), reqs.len());
+        let epochs: std::collections::HashSet<u64> = batch.iter().map(|o| o.epoch).collect();
+        assert_eq!(epochs.len(), 1, "a batch must not be torn across epochs");
+        for (req, out) in reqs.iter().zip(&batch) {
+            assert_eq!(out.decision, handle.snapshot().decide(req));
+            assert_eq!(
+                out.enforcement,
+                Some(handle.decide(req).enforcement.unwrap())
+            );
+        }
+        // The pinned batch path agrees element-wise too.
+        let mut pin = handle.pin();
+        let pinned = pin.decide_batch(&reqs);
+        for (a, b) in batch.iter().zip(&pinned) {
+            assert_eq!(a.decision, b.decision);
+            assert_eq!(a.epoch, b.epoch);
+        }
+        // 2 distinct keys over 20 requests: duplicates were answered once.
+        let stats = handle.stats();
+        assert_eq!(stats.cache_hits + stats.cache_misses, stats.decisions);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let handle = PdpHandle::new();
+        assert!(handle.decide_batch(&[]).is_empty());
+        let mut pin = handle.pin();
+        assert!(pin.decide_batch(&[]).is_empty());
     }
 
     #[test]

@@ -403,19 +403,16 @@ impl Asg {
             let prod = self.cfg.production(node.prod);
             let lhs = self.cfg.nt_name(prod.lhs);
             let indent = "  ".repeat(trace.depth());
-            let yield_text: Vec<String> = node
-                .children
-                .iter()
-                .filter_map(|c| match c {
-                    TreeChild::Leaf(s) => Some(s.name()),
-                    TreeChild::Node(_) => None,
-                })
-                .collect();
-            out.push_str(&format!(
-                "{indent}{lhs}@[{trace}] (p{}) {}\n",
-                node.prod.index(),
-                yield_text.join(" ")
-            ));
+            use std::fmt::Write as _;
+            let _ = write!(out, "{indent}{lhs}@[{trace}] (p{})", node.prod.index());
+            // Leaf names render straight from the interner — no clones.
+            for c in &node.children {
+                if let TreeChild::Leaf(s) = c {
+                    out.push(' ');
+                    s.with_name(|n| out.push_str(n));
+                }
+            }
+            out.push('\n');
         });
         out
     }

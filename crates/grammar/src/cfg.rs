@@ -234,13 +234,19 @@ impl Cfg {
         text.split_ascii_whitespace().map(Symbol::new).collect()
     }
 
-    /// Renders a token sequence back to a string.
+    /// Renders a token sequence back to a string. Reads each interned
+    /// name in place — no per-token `String` clones.
     pub fn detokenize(tokens: &[Symbol]) -> String {
-        tokens
-            .iter()
-            .map(|s| s.name())
-            .collect::<Vec<_>>()
-            .join(" ")
+        let len: usize = tokens.iter().map(|s| s.with_name(str::len)).sum::<usize>()
+            + tokens.len().saturating_sub(1);
+        let mut out = String::with_capacity(len);
+        for (i, s) in tokens.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            s.with_name(|n| out.push_str(n));
+        }
+        out
     }
 }
 

@@ -1,0 +1,339 @@
+//! A from-scratch HTTP load client for the PDP daemon: N keep-alive
+//! connections driven by N threads, each replaying a pre-serialized
+//! request mix and recording per-request latency. The client doubles as
+//! a correctness probe — every response is decoded and checked against
+//! the expected decision, and epochs are checked for staleness — so a
+//! load run that passes its gates is also a differential test of the
+//! whole wire path.
+
+use crate::http::ConnBuf;
+use crate::json::{self, Json};
+use crate::wire;
+use agenp_policy::{Decision, Request};
+use std::io::{self, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Load-run configuration.
+#[derive(Clone, Debug)]
+pub struct LoadOptions {
+    /// Concurrent keep-alive connections (one thread each).
+    pub connections: usize,
+    /// Total requests across all connections.
+    pub requests: usize,
+    /// When `> 1`, requests are sent as `/decide_batch` bodies of this
+    /// many elements instead of single `/decide` calls.
+    pub batch: usize,
+    /// Socket read timeout per response.
+    pub read_timeout: Duration,
+}
+
+impl Default for LoadOptions {
+    fn default() -> LoadOptions {
+        LoadOptions {
+            connections: 4,
+            requests: 40_000,
+            batch: 1,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// One load run's outcome: throughput, latency percentiles, and the
+/// correctness tallies that the smoke gates check.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Connections used.
+    pub connections: usize,
+    /// Decisions received (batch elements count individually).
+    pub decisions: u64,
+    /// Wall-clock seconds for the whole run.
+    pub elapsed_secs: f64,
+    /// Decisions per second across all connections.
+    pub throughput: f64,
+    /// Median request latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 90th-percentile request latency, nanoseconds.
+    pub p90_ns: u64,
+    /// 99th-percentile request latency, nanoseconds.
+    pub p99_ns: u64,
+    /// Worst request latency, nanoseconds.
+    pub max_ns: u64,
+    /// Responses whose decision differed from the oracle.
+    pub parity_mismatches: u64,
+    /// Responses carrying an epoch older than one already observed on
+    /// the same connection (must be zero: epochs are monotone).
+    pub stale_epochs: u64,
+    /// Non-200 responses.
+    pub http_errors: u64,
+}
+
+impl LoadReport {
+    /// True when the run proves the wire path: no mismatches, no stale
+    /// epochs, no HTTP errors, and at least one decision.
+    pub fn is_clean(&self) -> bool {
+        self.decisions > 0
+            && self.parity_mismatches == 0
+            && self.stale_epochs == 0
+            && self.http_errors == 0
+    }
+}
+
+/// One pre-serialized unit of work: the HTTP payload plus the decisions
+/// the oracle expects back (one per batch element).
+struct Shot {
+    payload: Vec<u8>,
+    expected: Vec<Decision>,
+}
+
+struct ConnTally {
+    latencies_ns: Vec<u64>,
+    decisions: u64,
+    parity_mismatches: u64,
+    stale_epochs: u64,
+    http_errors: u64,
+}
+
+/// Drives `options.requests` decisions against `addr`, spread over
+/// `options.connections` keep-alive connections. `workload` supplies the
+/// request mix; `expected[i]` is the oracle decision for `workload[i]`.
+///
+/// # Errors
+///
+/// Propagates connect failures; per-request I/O errors are tallied as
+/// `http_errors` instead of aborting the run.
+///
+/// # Panics
+///
+/// Panics if `workload` is empty or `workload.len() != expected.len()`.
+pub fn run_load(
+    addr: SocketAddr,
+    workload: &[Request],
+    expected: &[Decision],
+    options: &LoadOptions,
+) -> io::Result<LoadReport> {
+    assert!(!workload.is_empty(), "load workload must be non-empty");
+    assert_eq!(workload.len(), expected.len());
+    let connections = options.connections.max(1);
+    let batch = options.batch.max(1);
+    let shots = build_shots(workload, expected, batch);
+    let per_conn = options.requests.div_ceil(batch).div_ceil(connections);
+
+    let started = Instant::now();
+    let mut tallies: Vec<io::Result<ConnTally>> = Vec::with_capacity(connections);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(connections);
+        for conn_id in 0..connections {
+            let shots = &shots;
+            handles.push(scope.spawn(move || {
+                drive_connection(addr, shots, conn_id, per_conn, options.read_timeout)
+            }));
+        }
+        for handle in handles {
+            tallies.push(handle.join().expect("load connection thread panicked"));
+        }
+    });
+
+    let elapsed = started.elapsed();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut report = LoadReport {
+        connections,
+        decisions: 0,
+        elapsed_secs: elapsed.as_secs_f64(),
+        throughput: 0.0,
+        p50_ns: 0,
+        p90_ns: 0,
+        p99_ns: 0,
+        max_ns: 0,
+        parity_mismatches: 0,
+        stale_epochs: 0,
+        http_errors: 0,
+    };
+    for tally in tallies {
+        let tally = tally?;
+        report.decisions += tally.decisions;
+        report.parity_mismatches += tally.parity_mismatches;
+        report.stale_epochs += tally.stale_epochs;
+        report.http_errors += tally.http_errors;
+        latencies.extend(tally.latencies_ns);
+    }
+    latencies.sort_unstable();
+    report.p50_ns = percentile(&latencies, 50.0);
+    report.p90_ns = percentile(&latencies, 90.0);
+    report.p99_ns = percentile(&latencies, 99.0);
+    report.max_ns = latencies.last().copied().unwrap_or(0);
+    if report.elapsed_secs > 0.0 {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            report.throughput = report.decisions as f64 / report.elapsed_secs;
+        }
+    }
+    Ok(report)
+}
+
+/// Pre-serializes the workload so the hot loop only writes bytes.
+fn build_shots(workload: &[Request], expected: &[Decision], batch: usize) -> Vec<Shot> {
+    let mut shots = Vec::with_capacity(workload.len().div_ceil(batch));
+    for chunk_start in (0..workload.len()).step_by(batch) {
+        let chunk = &workload[chunk_start..(chunk_start + batch).min(workload.len())];
+        let chunk_expected = &expected[chunk_start..(chunk_start + batch).min(expected.len())];
+        let (path, body) = if batch == 1 {
+            ("/decide", wire::request_to_json(&chunk[0]))
+        } else {
+            let mut body = String::from("{\"requests\": [");
+            for (i, r) in chunk.iter().enumerate() {
+                if i > 0 {
+                    body.push_str(", ");
+                }
+                body.push_str(&wire::request_to_json(r));
+            }
+            body.push_str("]}");
+            ("/decide_batch", body)
+        };
+        let payload = format!(
+            "POST {path} HTTP/1.1\r\nHost: pdpd\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .into_bytes();
+        shots.push(Shot {
+            payload,
+            expected: chunk_expected.to_vec(),
+        });
+    }
+    shots
+}
+
+/// One connection's worth of the run: `count` shots round-robined from
+/// the shared shot table, offset by `conn_id` so connections interleave
+/// different requests.
+fn drive_connection(
+    addr: SocketAddr,
+    shots: &[Shot],
+    conn_id: usize,
+    count: usize,
+    read_timeout: Duration,
+) -> io::Result<ConnTally> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(read_timeout))?;
+    stream.set_nodelay(true)?;
+    let mut write_half = stream.try_clone()?;
+    let mut conn = ConnBuf::new(stream);
+    let mut tally = ConnTally {
+        latencies_ns: Vec::with_capacity(count),
+        decisions: 0,
+        parity_mismatches: 0,
+        stale_epochs: 0,
+        http_errors: 0,
+    };
+    let mut last_epoch: u64 = 0;
+    for i in 0..count {
+        let shot = &shots[(conn_id + i * 7) % shots.len()];
+        let started = Instant::now();
+        if write_half.write_all(&shot.payload).is_err() {
+            tally.http_errors += 1;
+            break;
+        }
+        let (status, body) = match conn.read_response() {
+            Ok(r) => r,
+            Err(_) => {
+                tally.http_errors += 1;
+                break;
+            }
+        };
+        let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        tally.latencies_ns.push(nanos);
+        if status != 200 {
+            tally.http_errors += 1;
+            continue;
+        }
+        check_response(&body, &shot.expected, &mut last_epoch, &mut tally);
+    }
+    Ok(tally)
+}
+
+/// Decodes one response body and scores it against the oracle.
+fn check_response(body: &[u8], expected: &[Decision], last_epoch: &mut u64, tally: &mut ConnTally) {
+    let Ok(text) = std::str::from_utf8(body) else {
+        tally.http_errors += 1;
+        return;
+    };
+    let Ok(value) = json::parse(text) else {
+        tally.http_errors += 1;
+        return;
+    };
+    // Single outcome or batch envelope.
+    let outcomes: Vec<&Json> = if let Some(arr) = value.get("outcomes").and_then(Json::as_arr) {
+        arr.iter().collect()
+    } else {
+        vec![&value]
+    };
+    if outcomes.len() != expected.len() {
+        tally.parity_mismatches += expected.len() as u64;
+        return;
+    }
+    for (outcome, want) in outcomes.iter().zip(expected) {
+        tally.decisions += 1;
+        let got = outcome.get("decision").and_then(Json::as_str);
+        if got != Some(&want.to_string()) {
+            tally.parity_mismatches += 1;
+        }
+        if let Some(epoch) = outcome
+            .get("epoch")
+            .and_then(Json::as_i64)
+            .and_then(|e| u64::try_from(e).ok())
+        {
+            // Epochs never move backwards on a single connection.
+            if epoch < *last_epoch {
+                tally.stale_epochs += 1;
+            }
+            *last_epoch = (*last_epoch).max(epoch);
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample.
+fn percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50);
+        assert_eq!(percentile(&sorted, 90.0), 90);
+        assert_eq!(percentile(&sorted, 99.0), 99);
+        assert_eq!(percentile(&sorted, 100.0), 100);
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 99.0), 7);
+    }
+
+    #[test]
+    fn shots_chunk_the_workload() {
+        let workload: Vec<Request> = (0..5)
+            .map(|i| Request::new().subject("n", i64::from(i)))
+            .collect();
+        let expected = vec![Decision::Permit; 5];
+        let shots = build_shots(&workload, &expected, 2);
+        assert_eq!(shots.len(), 3);
+        assert_eq!(shots[0].expected.len(), 2);
+        assert_eq!(shots[2].expected.len(), 1);
+        assert!(shots[1].payload.starts_with(b"POST /decide_batch HTTP/1.1"));
+        let single = build_shots(&workload, &expected, 1);
+        assert_eq!(single.len(), 5);
+        assert!(single[0].payload.starts_with(b"POST /decide HTTP/1.1"));
+    }
+}

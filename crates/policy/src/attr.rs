@@ -170,28 +170,35 @@ impl Request {
     /// no two distinct requests share a key (unlike the `Display` form,
     /// where `Str("true")` and `Bool(true)` collide).
     pub fn canonical_key(&self) -> String {
-        let mut key = String::new();
+        use std::fmt::Write as _;
+        // Pre-size so the serving hot path does one allocation per key:
+        // worst-case fixed overhead per attribute is ~26 bytes of tags,
+        // prefixes, and digits on top of the name/value payload.
+        let payload: usize = self
+            .iter()
+            .map(|(c, n, v)| {
+                c.name().len()
+                    + n.len()
+                    + match v {
+                        AttrValue::Str(s) => s.len(),
+                        AttrValue::Int(_) | AttrValue::Bool(_) => 0,
+                    }
+            })
+            .sum();
+        let mut key = String::with_capacity(payload + 26 * self.len());
         for (c, n, v) in self.iter() {
-            key.push_str(c.name());
-            key.push('.');
-            key.push_str(&n.len().to_string());
-            key.push(':');
-            key.push_str(n);
-            key.push('=');
+            // `write!` formats digits straight into `key`; the previous
+            // `to_string()` forms allocated a temporary per field.
+            let _ = write!(key, "{}.{}:{n}=", c.name(), n.len());
             match v {
                 AttrValue::Str(s) => {
-                    key.push_str("s:");
-                    key.push_str(&s.len().to_string());
-                    key.push(':');
-                    key.push_str(s);
+                    let _ = write!(key, "s:{}:{s}", s.len());
                 }
                 AttrValue::Int(i) => {
-                    key.push_str("i:");
-                    key.push_str(&i.to_string());
+                    let _ = write!(key, "i:{i}");
                 }
                 AttrValue::Bool(b) => {
-                    key.push_str("b:");
-                    key.push_str(if *b { "1" } else { "0" });
+                    key.push_str(if *b { "b:1" } else { "b:0" });
                 }
             }
             key.push(';');

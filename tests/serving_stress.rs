@@ -12,6 +12,46 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::thread;
 
+/// A counting front for the system allocator, installed only in debug
+/// builds: the warm-path allocation-budget test reads it to prove the
+/// per-thread cache really did eliminate hot-path allocation churn.
+#[cfg(debug_assertions)]
+mod alloc_count {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Heap allocations since process start (this test binary only).
+    pub static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    pub struct Counting;
+
+    // SAFETY: defers every operation to `System`; only adds a relaxed
+    // counter bump on the allocating entry points.
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+    }
+
+    #[global_allocator]
+    static COUNTING: Counting = Counting;
+}
+
 fn grammar(effect: &str) -> Asg {
     format!(r#"policy -> "{effect}" "if" "subject" "clearance" "=" "high""#)
         .parse()
@@ -134,4 +174,48 @@ fn cached_and_uncached_decisions_agree_across_epochs() {
     let post = handle.decide(&req);
     assert!(!post.cached, "stale entry replayed across the swap");
     assert_eq!(post.decision, Decision::Deny);
+}
+
+/// The warm pinned path must be allocation-light: after the per-thread
+/// cache is warm, a decide should cost little more than rendering the
+/// canonical key. The bound is amortized and deliberately loose — the
+/// counter is process-global and other tests in this binary run
+/// concurrently — but it would still catch a per-decide clone of the
+/// policy set, the snapshot error, or a cache rebuild regression, each
+/// of which costs tens of allocations per call.
+#[cfg(debug_assertions)]
+#[test]
+fn warm_pin_decides_stay_within_allocation_budget() {
+    use std::sync::atomic::Ordering;
+
+    let mut ams = Ams::new("alloc-budget", grammar("permit"), HypothesisSpace::new());
+    ams.refresh_policies().unwrap();
+    let handle = ams.serving_handle();
+    let mut pin = handle.pin();
+
+    let workload: Vec<Request> = (0..16)
+        .map(|i| {
+            Request::new()
+                .subject("clearance", if i % 2 == 0 { "high" } else { "low" })
+                .subject("id", i as i64)
+        })
+        .collect();
+    // Warm the private cache: every distinct key computed once.
+    for req in &workload {
+        pin.decide(req);
+    }
+
+    const DECIDES: u64 = 100_000;
+    const MAX_ALLOCS_PER_DECIDE: u64 = 8;
+    let before = alloc_count::ALLOCS.load(Ordering::Relaxed);
+    for i in 0..DECIDES {
+        let outcome = pin.decide(&workload[(i % 16) as usize]);
+        assert!(outcome.cached, "warm decide missed the private cache");
+    }
+    let spent = alloc_count::ALLOCS.load(Ordering::Relaxed) - before;
+    assert!(
+        spent < DECIDES * MAX_ALLOCS_PER_DECIDE,
+        "warm pin decides allocated too much: {spent} allocations over {DECIDES} \
+         decides (budget {MAX_ALLOCS_PER_DECIDE}/decide)"
+    );
 }
