@@ -8,6 +8,7 @@
 //! service-level deadline) can cancel by *time* as well as by work, and
 //! [`Exhausted`] names which bound fired in a uniform way across layers.
 
+use crate::parallel::Parallelism;
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -89,19 +90,25 @@ pub struct RunBudget {
     pub max_atoms: usize,
     /// Learner search-node budget.
     pub max_nodes: u64,
-    /// Grounder thread count (`0` = auto: the `AGENP_GROUND_THREADS`
-    /// environment variable, else available parallelism). See
-    /// [`GroundOptions::threads`](crate::GroundOptions::threads).
+    /// Grounder worker-thread policy (see [`Parallelism`] for the
+    /// resolution order).
+    pub parallelism: Parallelism,
+    /// Legacy grounder thread count. `0` (the default) defers to
+    /// [`RunBudget::parallelism`]; a nonzero value acts as
+    /// [`Parallelism::Fixed`] for one release while call sites migrate.
+    #[deprecated(note = "use `parallelism` / `with_parallelism` instead")]
     pub ground_threads: usize,
 }
 
 impl Default for RunBudget {
     fn default() -> RunBudget {
+        #[allow(deprecated)]
         RunBudget {
             deadline: Deadline::none(),
             max_steps: u64::MAX,
             max_atoms: 4_000_000,
             max_nodes: 2_000_000,
+            parallelism: Parallelism::Auto,
             ground_threads: 0,
         }
     }
@@ -116,11 +123,9 @@ impl RunBudget {
     /// A budget with every bound effectively disabled.
     pub fn unlimited() -> RunBudget {
         RunBudget {
-            deadline: Deadline::none(),
-            max_steps: u64::MAX,
             max_atoms: usize::MAX,
             max_nodes: u64::MAX,
-            ground_threads: 0,
+            ..RunBudget::default()
         }
     }
 
@@ -149,9 +154,27 @@ impl RunBudget {
     }
 
     /// Sets the grounder thread count (`0` = auto).
+    #[deprecated(note = "use `with_parallelism(Parallelism::fixed(n))` instead")]
     pub fn with_ground_threads(mut self, ground_threads: usize) -> RunBudget {
-        self.ground_threads = ground_threads;
+        #[allow(deprecated)]
+        {
+            self.ground_threads = ground_threads;
+        }
         self
+    }
+
+    /// Sets the unified grounder worker-thread policy.
+    pub fn with_parallelism(mut self, parallelism: impl Into<Parallelism>) -> RunBudget {
+        self.parallelism = parallelism.into();
+        self
+    }
+
+    /// The effective parallelism policy: the deprecated `ground_threads`
+    /// field (when explicitly nonzero) folded into
+    /// [`RunBudget::parallelism`].
+    pub fn effective_parallelism(&self) -> Parallelism {
+        #[allow(deprecated)]
+        self.parallelism.or_legacy(self.ground_threads)
     }
 }
 

@@ -45,13 +45,14 @@
 
 use crate::atom::{Atom, CmpOp, Literal, Trace};
 use crate::budget::{Deadline, Exhausted};
+use crate::parallel::Parallelism;
 use crate::pool::{UnitControl, WorkPool};
 use crate::program::{Program, Rule, WeakConstraint};
 use crate::symbol::Symbol;
 use crate::term::{Bindings, Term};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::{Mutex, OnceLock};
+use std::sync::Mutex;
 
 /// Identifier of a ground atom inside a [`GroundProgram`].
 pub type AtomId = u32;
@@ -307,11 +308,15 @@ pub struct GroundOptions {
     /// Saturation strategy (semi-naive by default; the naive reference is
     /// kept for differential testing and speedup measurements).
     pub mode: GroundMode,
-    /// Worker threads for saturation passes. `0` (the default) resolves
-    /// automatically: the `AGENP_GROUND_THREADS` environment variable when
-    /// set to a positive integer, else the machine's available parallelism.
-    /// `1` pins the grounder to the calling thread and spawns nothing.
-    /// Output is byte-identical for every thread count.
+    /// Worker threads for saturation passes, as a unified
+    /// [`Parallelism`] policy (default: [`Parallelism::Auto`]). A resolved
+    /// count of `1` pins the grounder to the calling thread and spawns
+    /// nothing. Output is byte-identical for every thread count.
+    pub parallelism: Parallelism,
+    /// Legacy worker-thread count. `0` (the default) defers to
+    /// [`GroundOptions::parallelism`]; a nonzero value acts as
+    /// [`Parallelism::Fixed`] for one release while call sites migrate.
+    #[deprecated(note = "use `parallelism` / `with_parallelism` instead")]
     pub threads: usize,
     /// Work-unit chunk size: a pass's first-join candidate windows are
     /// split into chunks of at most this many candidates, and the pass only
@@ -322,11 +327,13 @@ pub struct GroundOptions {
 
 impl Default for GroundOptions {
     fn default() -> GroundOptions {
+        #[allow(deprecated)]
         GroundOptions {
             max_atoms: 4_000_000,
             simplify: true,
             deadline: Deadline::none(),
             mode: GroundMode::SemiNaive,
+            parallelism: Parallelism::Auto,
             threads: 0,
             parallel_grain: 256,
         }
@@ -359,8 +366,18 @@ impl GroundOptions {
     }
 
     /// Sets the worker thread count (`0` = automatic).
+    #[deprecated(note = "use `with_parallelism(Parallelism::fixed(n))` instead")]
     pub fn with_threads(mut self, threads: usize) -> GroundOptions {
-        self.threads = threads;
+        #[allow(deprecated)]
+        {
+            self.threads = threads;
+        }
+        self
+    }
+
+    /// Sets the unified worker-thread policy.
+    pub fn with_parallelism(mut self, parallelism: impl Into<Parallelism>) -> GroundOptions {
+        self.parallelism = parallelism.into();
         self
     }
 
@@ -370,36 +387,18 @@ impl GroundOptions {
         self
     }
 
-    /// The thread count a run with these options uses: `threads` when
-    /// positive, else the process-wide automatic value (environment
-    /// override, then available parallelism).
-    pub fn effective_threads(&self) -> usize {
-        if self.threads > 0 {
-            self.threads
-        } else {
-            auto_threads()
-        }
+    /// The effective parallelism policy: the deprecated `threads` field
+    /// (when explicitly nonzero) folded into [`GroundOptions::parallelism`].
+    pub fn effective_parallelism(&self) -> Parallelism {
+        #[allow(deprecated)]
+        self.parallelism.or_legacy(self.threads)
     }
-}
 
-/// Resolves the automatic grounder thread count once per process: the
-/// `AGENP_GROUND_THREADS` environment variable when set to a positive
-/// integer, else [`std::thread::available_parallelism`].
-fn auto_threads() -> usize {
-    static AUTO: OnceLock<usize> = OnceLock::new();
-    *AUTO.get_or_init(|| {
-        if let Some(n) = std::env::var("AGENP_GROUND_THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-        {
-            if n > 0 {
-                return n;
-            }
-        }
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-    })
+    /// The thread count a run with these options uses (see
+    /// [`Parallelism::resolve`] for the resolution order).
+    pub fn effective_threads(&self) -> usize {
+        self.effective_parallelism().resolve()
+    }
 }
 
 /// Which saturation strategy the grounder runs. Both produce identical
@@ -2222,10 +2221,10 @@ mod tests {
     #[test]
     fn parallel_output_is_byte_identical_across_thread_counts() {
         let p = chain_program(40);
-        let reference = ground_with(&p, GroundOptions::default().with_threads(1)).unwrap();
+        let reference = ground_with(&p, GroundOptions::default().with_parallelism(1)).unwrap();
         for threads in [2, 4] {
             let opts = GroundOptions::default()
-                .with_threads(threads)
+                .with_parallelism(threads)
                 .with_parallel_grain(1);
             let (g, stats) = ground_with_stats(&p, opts).unwrap();
             assert!(
@@ -2257,7 +2256,7 @@ mod tests {
                 deadline: Deadline::after(std::time::Duration::ZERO),
                 ..GroundOptions::default()
             }
-            .with_threads(4)
+            .with_parallelism(4)
             .with_parallel_grain(1),
         )
         .unwrap_err();
@@ -2267,7 +2266,8 @@ mod tests {
     #[test]
     fn argument_indices_collapse_join_scans() {
         let p = chain_program(40);
-        let (_, stats) = ground_with_stats(&p, GroundOptions::default().with_threads(1)).unwrap();
+        let (_, stats) =
+            ground_with_stats(&p, GroundOptions::default().with_parallelism(1)).unwrap();
         let waste = stats.join_candidates as f64 / stats.rules_instantiated.max(1) as f64;
         assert!(
             waste < 8.0,

@@ -42,6 +42,7 @@ mod budget;
 mod explain;
 mod ground;
 pub mod obs;
+mod parallel;
 mod parser;
 pub mod pool;
 mod program;
@@ -58,6 +59,7 @@ pub use ground::{
 };
 #[allow(deprecated)]
 pub use ground::{ground_naive, ground_naive_with, ground_naive_with_stats};
+pub use parallel::Parallelism;
 pub use parser::{parse_atom, parse_program, parse_rule, ParseError};
 pub use pool::{PoolError, UnitControl, WorkPool};
 pub use program::{Program, Rule, WeakConstraint};

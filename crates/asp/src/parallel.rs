@@ -1,0 +1,151 @@
+//! The workspace-wide parallelism knob.
+//!
+//! Three layers historically carried their own thread-count field —
+//! `GroundOptions::threads`, `RunBudget::ground_threads`, and the learner's
+//! `CompileOptions::ground_threads` — each a raw `usize` with `0 = auto`,
+//! each re-documenting the same environment-variable fallback. The
+//! [`Parallelism`] type replaces all three with one value and **one**
+//! resolution order:
+//!
+//! 1. [`Parallelism::Fixed`] — an explicit worker count always wins;
+//! 2. [`Parallelism::Auto`] consults the `AGENP_GROUND_THREADS` environment
+//!    variable when set to a positive integer (read once per process);
+//! 3. otherwise [`std::thread::available_parallelism`] (falling back to 1).
+//!
+//! The deprecated `usize` fields remain as shims for one release: a nonzero
+//! legacy value behaves exactly like `Parallelism::Fixed`, so existing
+//! configuration keeps working while call sites migrate.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+/// A worker-thread count that is either pinned or resolved automatically.
+///
+/// ```
+/// use agenp_asp::Parallelism;
+/// assert_eq!(Parallelism::fixed(4).resolve(), 4);
+/// assert_eq!(Parallelism::from(0), Parallelism::Auto); // legacy 0 = auto
+/// assert!(Parallelism::Auto.resolve() >= 1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Parallelism {
+    /// Resolve automatically: `AGENP_GROUND_THREADS` when set to a positive
+    /// integer, else the machine's available parallelism, else 1.
+    #[default]
+    Auto,
+    /// Exactly this many workers (clamped to at least 1 at resolution).
+    Fixed(usize),
+}
+
+impl Parallelism {
+    /// The automatic policy (environment override, then hardware).
+    pub fn auto() -> Parallelism {
+        Parallelism::Auto
+    }
+
+    /// A pinned worker count. `0` maps to [`Parallelism::Auto`], matching
+    /// the legacy `usize` knobs where zero meant "decide for me".
+    pub fn fixed(threads: usize) -> Parallelism {
+        if threads == 0 {
+            Parallelism::Auto
+        } else {
+            Parallelism::Fixed(threads)
+        }
+    }
+
+    /// True for the automatic policy.
+    pub fn is_auto(self) -> bool {
+        self == Parallelism::Auto
+    }
+
+    /// Resolves to a concrete worker count (always at least 1) using the
+    /// single workspace-wide order: `Fixed` wins, then the
+    /// `AGENP_GROUND_THREADS` environment variable, then available
+    /// parallelism. The automatic value is computed once per process.
+    pub fn resolve(self) -> usize {
+        match self {
+            Parallelism::Fixed(n) => n.max(1),
+            Parallelism::Auto => auto_threads(),
+        }
+    }
+
+    /// Folds a legacy `usize` knob into a `Parallelism`: a nonzero legacy
+    /// value acts as [`Parallelism::Fixed`] (the deprecated field was set
+    /// explicitly, so it keeps winning for one release), zero defers to
+    /// `self`.
+    pub fn or_legacy(self, legacy_threads: usize) -> Parallelism {
+        if legacy_threads > 0 {
+            Parallelism::Fixed(legacy_threads)
+        } else {
+            self
+        }
+    }
+}
+
+impl From<usize> for Parallelism {
+    fn from(threads: usize) -> Parallelism {
+        Parallelism::fixed(threads)
+    }
+}
+
+impl fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Parallelism::Auto => f.write_str("auto"),
+            Parallelism::Fixed(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Resolves the automatic thread count once per process: the
+/// `AGENP_GROUND_THREADS` environment variable when set to a positive
+/// integer, else [`std::thread::available_parallelism`].
+fn auto_threads() -> usize {
+    static AUTO: OnceLock<usize> = OnceLock::new();
+    *AUTO.get_or_init(|| {
+        if let Some(n) = std::env::var("AGENP_GROUND_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            if n > 0 {
+                return n;
+            }
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_wins_and_clamps() {
+        assert_eq!(Parallelism::fixed(3).resolve(), 3);
+        assert_eq!(Parallelism::Fixed(0).resolve(), 1);
+        assert_eq!(Parallelism::fixed(0), Parallelism::Auto);
+    }
+
+    #[test]
+    fn auto_resolves_to_at_least_one() {
+        assert!(Parallelism::Auto.resolve() >= 1);
+        assert!(Parallelism::default().is_auto());
+    }
+
+    #[test]
+    fn legacy_fold_prefers_nonzero_legacy() {
+        assert_eq!(Parallelism::Auto.or_legacy(2), Parallelism::Fixed(2));
+        assert_eq!(Parallelism::Fixed(8).or_legacy(0), Parallelism::Fixed(8));
+        assert_eq!(Parallelism::Auto.or_legacy(0), Parallelism::Auto);
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        assert_eq!(Parallelism::from(0), Parallelism::Auto);
+        assert_eq!(Parallelism::from(5), Parallelism::Fixed(5));
+        assert_eq!(Parallelism::Auto.to_string(), "auto");
+        assert_eq!(Parallelism::Fixed(4).to_string(), "4");
+    }
+}

@@ -171,12 +171,12 @@ proptest! {
         // pool path even on tiny generated programs.
         let (reference, _) = ground_with_stats(
             &program,
-            GroundOptions::default().with_threads(1).with_parallel_grain(1),
+            GroundOptions::default().with_parallelism(1).with_parallel_grain(1),
         )
         .expect("grounds");
         for threads in [2usize, 4] {
             let opts = GroundOptions::default()
-                .with_threads(threads)
+                .with_parallelism(threads)
                 .with_parallel_grain(1);
             let (parallel, _) = ground_with_stats(&program, opts).expect("grounds");
             // Byte-identical, not merely set-equal: same rule order and the

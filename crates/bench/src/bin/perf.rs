@@ -139,7 +139,7 @@ fn run_grounding(smoke: bool) -> Vec<GroundRow> {
             ("birds", vec![50, 100, 200], birds_program),
         ]
     };
-    let serial = GroundOptions::default().with_threads(1);
+    let serial = GroundOptions::default().with_parallelism(1);
     let mut rows = Vec::new();
     for (name, scales, build) in workloads {
         let max_n = *scales.last().expect("workloads have scales");
@@ -179,7 +179,7 @@ fn run_grounding(smoke: bool) -> Vec<GroundRow> {
             // read against the `cpus` claim, as BENCH_pdp.json does).
             if n == max_n {
                 let pooled = GroundOptions::default()
-                    .with_threads(4)
+                    .with_parallelism(4)
                     .with_parallel_grain(16);
                 let (micros, (g, stats)) = time_best_of(3, || {
                     ground_with_stats(&p, pooled).expect("workload grounds")
@@ -225,8 +225,8 @@ fn run_solving(smoke: bool) -> Vec<SolveRow> {
         // absorb one-time costs and make larger scales read *faster* than
         // smaller ones.
         let (ground_micros, g) = time_best_of(3, || {
-            let (g, _) =
-                ground_with_stats(&p, GroundOptions::default().with_threads(1)).expect("grounds");
+            let (g, _) = ground_with_stats(&p, GroundOptions::default().with_parallelism(1))
+                .expect("grounds");
             g
         });
         let (solve_micros, r) = time_best_of(3, || solver.solve(&g));

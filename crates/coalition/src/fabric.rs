@@ -582,7 +582,7 @@ mod tests {
         let good_epoch = plane.good_epoch();
         let req = Request::new().subject("clearance", "high");
         // permit + deny rules under deny-overrides → Deny.
-        assert_eq!(plane.decide(&req), Decision::Deny);
+        assert_eq!(plane.decide(&req).decision(), Decision::Deny);
 
         // A refresh that blows its budget must not disturb serving.
         plane

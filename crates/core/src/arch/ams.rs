@@ -497,7 +497,7 @@ mod tests {
         let req = Request::new().subject("clearance", "high");
         let d0 = ams.decide(&req);
         // Both permit and deny rules exist → deny-overrides → Deny.
-        assert_eq!(d0, Decision::Deny);
+        assert_eq!(d0.decision(), Decision::Deny);
         assert!(d0.error.is_none());
 
         // Feedback: under lockdown, permits are invalid.
@@ -564,7 +564,7 @@ mod tests {
         ams.refresh_policies().unwrap();
         let good_epoch = ams.current_snapshot().epoch();
         let req = Request::new().subject("clearance", "high");
-        assert_eq!(ams.decide(&req), Decision::Deny); // permit+deny combine
+        assert_eq!(ams.decide(&req).decision(), Decision::Deny); // permit+deny combine
 
         // A refresh that fails must leave the good snapshot serving.
         ams.set_run_budget(RunBudget::default().with_max_atoms(1));

@@ -413,9 +413,8 @@ impl PdpShared {
 /// itself, the enforcement the PEP derives from it, the upstream error the
 /// serving snapshot degrades for (if any), and cache/epoch diagnostics.
 ///
-/// Compares directly against a [`Decision`] so existing
-/// `assert_eq!(ams.decide(&req), Decision::Deny)`-style call sites keep
-/// working.
+/// Compare against a [`Decision`] through [`DecisionOutcome::decision`]
+/// (the field or the accessor): `assert_eq!(outcome.decision(), Decision::Deny)`.
 #[derive(Clone, Debug)]
 pub struct DecisionOutcome {
     /// The rendered decision.
@@ -430,15 +429,10 @@ pub struct DecisionOutcome {
     pub cached: bool,
 }
 
-impl PartialEq<Decision> for DecisionOutcome {
-    fn eq(&self, other: &Decision) -> bool {
-        self.decision == *other
-    }
-}
-
-impl PartialEq<DecisionOutcome> for Decision {
-    fn eq(&self, other: &DecisionOutcome) -> bool {
-        *self == other.decision
+impl DecisionOutcome {
+    /// The rendered [`Decision`], without the serving diagnostics.
+    pub fn decision(&self) -> Decision {
+        self.decision
     }
 }
 
@@ -1105,11 +1099,11 @@ mod tests {
     }
 
     #[test]
-    fn outcome_compares_with_decision() {
+    fn outcome_exposes_decision_accessor() {
         let handle = PdpHandle::new();
         let outcome = handle.decide(&Request::new());
-        assert_eq!(outcome, Decision::NotApplicable);
-        assert_eq!(Decision::NotApplicable, outcome);
+        assert_eq!(outcome.decision(), Decision::NotApplicable);
+        assert_eq!(outcome.decision(), outcome.decision);
         assert_eq!(outcome.enforcement, Some(Enforcement::Escalated));
     }
 

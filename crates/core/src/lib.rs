@@ -39,3 +39,5 @@
 pub mod arch;
 pub mod explain;
 pub mod scenarios;
+
+pub use agenp_asp::Parallelism;

@@ -171,7 +171,7 @@ impl Asg {
             GroundOptions {
                 max_atoms: budget.max_atoms,
                 deadline: budget.deadline,
-                threads: budget.ground_threads,
+                parallelism: budget.effective_parallelism(),
                 ..GroundOptions::default()
             },
         )

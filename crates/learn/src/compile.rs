@@ -13,7 +13,7 @@ use crate::example::Example;
 use crate::space::Candidate;
 use agenp_asp::{
     ground_with_stats, Atom, Bindings, CmpOp, GroundError, GroundMode, GroundOptions, GroundStats,
-    IncrementalGrounder, Literal, Program, Rule, Solver, Symbol, Trace,
+    IncrementalGrounder, Literal, Parallelism, Program, Rule, Solver, Symbol, Trace,
 };
 use agenp_grammar::{Asg, EarleyParser, ParseOptions, ParseTree, ProdId};
 use std::collections::HashMap;
@@ -225,17 +225,24 @@ pub struct CompileOptions {
     /// learner then re-grounds base + hypothesis from scratch per
     /// evaluation.
     pub naive_ground: bool,
-    /// Grounder thread count for base saturation and delta evaluation
-    /// (`0` = auto; see `GroundOptions::threads`).
+    /// Grounder worker-thread policy for base saturation and delta
+    /// evaluation (see [`Parallelism`] for the resolution order).
+    pub parallelism: Parallelism,
+    /// Legacy grounder thread count. `0` (the default) defers to
+    /// [`CompileOptions::parallelism`]; a nonzero value acts as
+    /// [`Parallelism::Fixed`] for one release while call sites migrate.
+    #[deprecated(note = "use `parallelism` / `with_parallelism` instead")]
     pub ground_threads: usize,
 }
 
 impl Default for CompileOptions {
     fn default() -> CompileOptions {
+        #[allow(deprecated)]
         CompileOptions {
             max_trees: 16,
             max_worlds: 64,
             naive_ground: false,
+            parallelism: Parallelism::Auto,
             ground_threads: 0,
         }
     }
@@ -261,9 +268,27 @@ impl CompileOptions {
     }
 
     /// Sets the grounder thread count (`0` = auto).
+    #[deprecated(note = "use `with_parallelism(Parallelism::fixed(n))` instead")]
     pub fn with_ground_threads(mut self, ground_threads: usize) -> CompileOptions {
-        self.ground_threads = ground_threads;
+        #[allow(deprecated)]
+        {
+            self.ground_threads = ground_threads;
+        }
         self
+    }
+
+    /// Sets the unified grounder worker-thread policy.
+    pub fn with_parallelism(mut self, parallelism: impl Into<Parallelism>) -> CompileOptions {
+        self.parallelism = parallelism.into();
+        self
+    }
+
+    /// The effective parallelism policy: the deprecated `ground_threads`
+    /// field (when explicitly nonzero) folded into
+    /// [`CompileOptions::parallelism`].
+    pub fn effective_parallelism(&self) -> Parallelism {
+        #[allow(deprecated)]
+        self.parallelism.or_legacy(self.ground_threads)
     }
 }
 
@@ -360,7 +385,7 @@ pub fn compile_example(
         // Ground the base once. The incremental grounder saturates it and
         // keeps the state around so candidate hypotheses can later be
         // grounded as deltas without redoing this work.
-        let gopts = GroundOptions::default().with_threads(opts.ground_threads);
+        let gopts = GroundOptions::default().with_parallelism(opts.effective_parallelism());
         let (g, grounder) = if opts.naive_ground {
             let (g, st) = ground_with_stats(&base, gopts.with_mode(GroundMode::Naive))?;
             ground_stats.absorb(st);

@@ -28,6 +28,36 @@ fn arb_request() -> impl Strategy<Value = Request> {
     })
 }
 
+/// Requests drawn from a deliberately collision-prone pool: a tiny set of
+/// attribute names (so two independent draws often agree), string values
+/// whose `Display` form matches ints and bools, and adjacent name/value
+/// splits of the same concatenated text.
+fn arb_adversarial_request() -> impl Strategy<Value = Request> {
+    let category = prop_oneof![
+        Just(Category::Subject),
+        Just(Category::Resource),
+        Just(Category::Action),
+    ];
+    let name = prop_oneof![Just("n"), Just("a"), Just("ab"), Just("3"), Just("")];
+    let value = prop_oneof![
+        Just(AttrValue::Str("3".into())),
+        Just(AttrValue::Str("true".into())),
+        Just(AttrValue::Str(String::new())),
+        Just(AttrValue::Str("bc".into())),
+        Just(AttrValue::Str("c".into())),
+        Just(AttrValue::Int(3)),
+        Just(AttrValue::Int(-3)),
+        Just(AttrValue::Bool(true)),
+    ];
+    proptest::collection::vec((category, name, value), 0..4).prop_map(|attrs| {
+        let mut req = Request::new();
+        for (c, n, v) in attrs {
+            req = req.with(c, n, v);
+        }
+        req
+    })
+}
+
 fn arb_rule() -> impl Strategy<Value = PolicyRule> {
     let effect = prop_oneof![Just(Effect::Permit), Just(Effect::Deny)];
     let cond =
@@ -144,6 +174,26 @@ proptest! {
             prop_assert!(fires(&c.permit_rule.1, Decision::Permit));
             prop_assert!(fires(&c.deny_rule.1, Decision::Deny));
         }
+    }
+
+    /// `canonical_key` is injective: two requests share a key if and only
+    /// if they are equal. The attribute pool is adversarial — names and
+    /// string values that collide at the `Display` level with ints and
+    /// bools (`"3"` vs `3`, `"true"` vs `true`), empty strings, and
+    /// name/value splits like `("ab", "c")` vs `("a", "bc")` that defeat
+    /// naive concatenation.
+    #[test]
+    fn canonical_key_is_injective(
+        a in arb_adversarial_request(),
+        b in arb_adversarial_request(),
+    ) {
+        prop_assert_eq!(
+            a.canonical_key() == b.canonical_key(),
+            a == b,
+            "key/equality disagree for {} vs {}",
+            a,
+            b
+        );
     }
 
     /// Minimization never changes decisions on the assessed space.

@@ -1,0 +1,65 @@
+//! Property tests over the generators themselves: the safety and
+//! stratification guarantees the reference evaluator's completeness rests
+//! on, and injectivity of `Request::canonical_key` on generated requests —
+//! the invariant that keeps both the shared sharded cache and the
+//! per-thread pin caches from serving one request another request's
+//! decision.
+
+use agenp_refsem::gen;
+use agenp_refsem::reference;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every generated program is safe and stratified — the contract the
+    /// naive reference evaluator's completeness depends on.
+    #[test]
+    fn generated_programs_are_safe_and_stratified(seed in 0u64..1_000_000) {
+        let mut rng = gen::rng_for(seed);
+        let program = gen::stratified_program(&mut rng);
+        prop_assert!(
+            program.unsafe_rule().is_none(),
+            "seed={seed}: unsafe rule in\n{program}"
+        );
+        prop_assert!(
+            reference::stratify(&program).is_some(),
+            "seed={seed}: unstratifiable program\n{program}"
+        );
+    }
+
+    /// `canonical_key` is injective on generated requests: two generated
+    /// requests share a key only when they are equal attribute-for-
+    /// attribute. The generator's value pools deliberately collide at the
+    /// Display level (`"3"` vs `3`, `"true"` vs `true`), so a lossy
+    /// encoding would fail here.
+    #[test]
+    fn canonical_key_is_injective_on_generated_requests(seed in 0u64..1_000_000) {
+        let mut rng = gen::rng_for(seed);
+        let a = gen::request(&mut rng);
+        let b = gen::request(&mut rng);
+        if a.canonical_key() == b.canonical_key() {
+            let a_attrs: Vec<_> = a.iter().map(|(c, n, v)| (c, n.to_owned(), v.clone())).collect();
+            let b_attrs: Vec<_> = b.iter().map(|(c, n, v)| (c, n.to_owned(), v.clone())).collect();
+            prop_assert_eq!(a_attrs, b_attrs, "seed={}: key collision", seed);
+        }
+    }
+
+    /// Request streams really do contain duplicates (so the cache and
+    /// batch-dedup paths the differential suite claims to cover are
+    /// actually exercised) and every duplicate is a genuine equal request.
+    #[test]
+    fn request_streams_duplicate_by_equality(seed in 0u64..1_000_000) {
+        let mut rng = gen::rng_for(seed);
+        let stream = gen::request_stream(&mut rng, 12);
+        prop_assert_eq!(stream.len(), 12);
+        for (i, a) in stream.iter().enumerate() {
+            for b in &stream[i + 1..] {
+                let same_key = a.canonical_key() == b.canonical_key();
+                let same_attrs = a.iter().count() == b.iter().count()
+                    && a.iter().zip(b.iter()).all(|(x, y)| x == y);
+                prop_assert_eq!(same_key, same_attrs, "seed={}", seed);
+            }
+        }
+    }
+}

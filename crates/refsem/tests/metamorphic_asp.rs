@@ -1,0 +1,14 @@
+//! Metamorphic suite over the ASP substrate: rule permutation, inert-rule
+//! insertion, and bijective predicate renaming must leave answer sets
+//! unchanged (renaming: changed by exactly the bijection).
+
+use agenp_refsem::run_metamorphic_asp_case;
+
+#[test]
+fn asp_transformations_preserve_answer_sets() {
+    for seed in 0..256u64 {
+        if let Err(msg) = run_metamorphic_asp_case(seed) {
+            panic!("{msg}");
+        }
+    }
+}

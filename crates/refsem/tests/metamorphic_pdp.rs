@@ -1,0 +1,15 @@
+//! Metamorphic suite over the serving tier, proven through both `decide`
+//! and `decide_batch` (handle and pin): inert policy rules and request
+//! reordering preserve decisions under every combining algorithm; policy
+//! and rule permutation preserve them under the order-insensitive ones.
+
+use agenp_refsem::run_metamorphic_pdp_case;
+
+#[test]
+fn pdp_transformations_preserve_decisions_through_all_paths() {
+    for seed in 0..512u64 {
+        if let Err(msg) = run_metamorphic_pdp_case(seed) {
+            panic!("{msg}");
+        }
+    }
+}

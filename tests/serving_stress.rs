@@ -86,7 +86,7 @@ fn no_stale_decision_survives_a_mid_stream_gpm_swap() {
 
     let matching = Request::new().subject("clearance", "high");
     let other = Request::new().subject("clearance", "low");
-    assert_eq!(ams.decide(&matching), Decision::Permit);
+    assert_eq!(ams.decide(&matching).decision(), Decision::Permit);
 
     const WORKERS: usize = 4;
     const MAX_ITERS: usize = 200_000;

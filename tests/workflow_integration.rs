@@ -95,12 +95,12 @@ fn ams_loop_with_canonical_policies() {
     assert_eq!(accepted.len(), 2);
     assert!(accepted.iter().all(|s| s.starts_with("permit")));
     let req = Request::new().subject("clearance", "high");
-    assert_eq!(ams.decide(&req), Decision::Permit);
+    assert_eq!(ams.decide(&req).decision(), Decision::Permit);
 
     // Alert context: regenerate → only denies.
     ams.set_context(alert);
     ams.refresh_policies().unwrap();
-    assert_eq!(ams.decide(&req), Decision::Deny);
+    assert_eq!(ams.decide(&req).decision(), Decision::Deny);
 
     // The representations repository recorded both versions.
     assert_eq!(ams.representations().len(), 2);
@@ -219,7 +219,7 @@ fn goal_violations_trigger_adaptation() {
     // everything: the availability goal is missed.
     let req_high = Request::new().subject("clearance", "high");
     for _ in 0..8 {
-        assert_eq!(ams.decide(&req_high), Decision::Deny);
+        assert_eq!(ams.decide(&req_high).decision(), Decision::Deny);
     }
     assert!(!ams.goal_violations().is_empty());
 
@@ -247,7 +247,7 @@ fn goal_violations_trigger_adaptation() {
 
     // Decisions now permit high clearance; the goal recovers.
     for _ in 0..8 {
-        assert_eq!(ams.decide(&req_high), Decision::Permit);
+        assert_eq!(ams.decide(&req_high).decision(), Decision::Permit);
     }
     assert!(ams.goal_violations().is_empty());
     // On-goal: no further adaptation.
@@ -286,7 +286,7 @@ fn scenario_translator_populates_the_policy_repo() {
     // All four tasks are acceptable in the calm context → four permit rules.
     assert_eq!(ams.policies().policies()[0].rules.len(), 4);
     let d = ams.decide(&Request::new().action("task", "park"));
-    assert_eq!(d, Decision::Permit);
+    assert_eq!(d.decision(), Decision::Permit);
     // A restrictive context regenerates a smaller repository.
     let stormy = cav::CavContext {
         loa: 5,
@@ -301,7 +301,7 @@ fn scenario_translator_populates_the_policy_repo() {
     let remaining = ams.policies().policies()[0].rules.len();
     assert!((1..=2).contains(&remaining), "remaining rules: {remaining}");
     let d2 = ams.decide(&Request::new().action("task", "park"));
-    assert_ne!(d2, Decision::Permit);
+    assert_ne!(d2.decision(), Decision::Permit);
     let d3 = ams.decide(&Request::new().action("task", "lane_keep"));
-    assert_eq!(d3, Decision::Permit);
+    assert_eq!(d3.decision(), Decision::Permit);
 }
