@@ -1,0 +1,407 @@
+//! The adaptation plane proper: owns the decision log, the miner, and
+//! the learning inputs, and turns one `run_round` call into
+//! drain → mine → relearn → regenerate → publish.
+//!
+//! `run_round` is synchronous and deterministic — the background
+//! [`Relearner`](crate::Relearner) is a thin worker thread around it, so
+//! everything interesting is testable without threads.
+//!
+//! Failure semantics are serve-last-good by construction: the serving
+//! snapshot is only touched by the final `publish`, which runs only
+//! after learning *and* regeneration both succeeded. A failed round
+//! (unsatisfiable feedback, exhausted budget) leaves the serving tier
+//! exactly as it was — relearning never interrupts serving.
+
+use crate::log::DecisionLog;
+use crate::miner::{MineStats, Miner};
+use agenp_asp::{Program, RunBudget};
+use agenp_core::arch::{
+    AmsError, CanonicalTranslator, DecisionSnapshot, Feedback, Padap, PdpHandle, PolicyTranslator,
+    Prep,
+};
+use agenp_grammar::Asg;
+use agenp_learn::{HypothesisSpace, LearnOptions, Learner};
+use agenp_policy::{CombiningAlg, Policy, PolicyRule};
+use std::sync::Arc;
+
+/// The outcome of one adaptation round.
+#[derive(Debug)]
+pub enum RoundOutcome {
+    /// Not enough evidence to learn from; nothing changed.
+    Skipped {
+        /// Examples buffered so far (all rounds).
+        buffered: usize,
+        /// The configured threshold that was not met.
+        needed: usize,
+        /// This round's mining accounting.
+        stats: MineStats,
+    },
+    /// A refined policy set was published.
+    Published(RoundReport),
+    /// Learning or regeneration failed; the serving snapshot was left
+    /// untouched (serve-last-good).
+    Failed(AmsError),
+}
+
+impl RoundOutcome {
+    /// The published report, if this round published.
+    pub fn published(&self) -> Option<&RoundReport> {
+        match self {
+            RoundOutcome::Published(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// What a successful round did.
+#[derive(Clone, Debug)]
+pub struct RoundReport {
+    /// The epoch the refined snapshot was published at.
+    pub epoch: u64,
+    /// Examples the learner saw (accumulated across rounds).
+    pub examples_used: usize,
+    /// Constraints in the winning hypothesis.
+    pub constraints_learned: usize,
+    /// Enforceable rules in the regenerated policy.
+    pub rules_generated: usize,
+    /// This round's mining accounting.
+    pub stats: MineStats,
+}
+
+/// The adaptation plane for one party.
+///
+/// Construct with the same PBMS characterization an
+/// [`Ams`](agenp_core::arch::Ams) gets (initial GPM + hypothesis space),
+/// attach the serving handle decisions should republish through, and
+/// feed the [`DecisionLog`] from the enforcement point.
+#[derive(Debug)]
+pub struct AdaptPlane {
+    name: String,
+    initial_gpm: Asg,
+    space: HypothesisSpace,
+    context: Program,
+    combining: CombiningAlg,
+    min_examples: usize,
+    budget: RunBudget,
+    miner: Miner,
+    log: Arc<DecisionLog>,
+    serving: PdpHandle,
+    padap: Padap,
+    prep: Prep,
+    translator: Box<dyn PolicyTranslator>,
+    feedback: Vec<Feedback>,
+    rounds: u64,
+}
+
+impl AdaptPlane {
+    /// A plane for `name`, learning within `space` from `initial_gpm`,
+    /// publishing through a fresh [`PdpHandle`] (replace with
+    /// [`AdaptPlane::attach`]). Defaults: incremental learner, log
+    /// capacity 4096, `min_examples` 1, deny-overrides.
+    pub fn new(name: &str, initial_gpm: Asg, space: HypothesisSpace) -> AdaptPlane {
+        let mut padap = Padap::new();
+        padap.incremental = true;
+        AdaptPlane {
+            name: name.to_owned(),
+            initial_gpm,
+            space,
+            context: Program::new(),
+            combining: CombiningAlg::DenyOverrides,
+            min_examples: 1,
+            budget: RunBudget::default(),
+            miner: Miner::new(),
+            log: Arc::new(DecisionLog::new(4096)),
+            serving: PdpHandle::new(),
+            padap,
+            prep: Prep::new(),
+            translator: Box::new(CanonicalTranslator),
+            feedback: Vec::new(),
+            rounds: 0,
+        }
+    }
+
+    /// Publishes refined snapshots through `serving` (normally
+    /// [`Ams::serving_handle`](agenp_core::arch::Ams::serving_handle) or
+    /// a clone shared with the decision workload).
+    pub fn attach(mut self, serving: PdpHandle) -> AdaptPlane {
+        self.serving = serving;
+        self
+    }
+
+    /// Applies a [`RunBudget`] to the learner and the regeneration step.
+    pub fn with_budget(mut self, budget: RunBudget) -> AdaptPlane {
+        self.budget = budget;
+        self.prep.budget = budget;
+        self.padap.set_learner(Learner::with_options(
+            LearnOptions::default()
+                .with_deadline(budget.deadline)
+                .with_max_nodes(budget.max_nodes),
+        ));
+        self
+    }
+
+    /// Sets the context mined examples (and regeneration) run under.
+    pub fn with_context(mut self, context: Program) -> AdaptPlane {
+        self.context = context;
+        self
+    }
+
+    /// Requires at least `n` buffered examples before a round learns.
+    pub fn with_min_examples(mut self, n: usize) -> AdaptPlane {
+        self.min_examples = n.max(1);
+        self
+    }
+
+    /// Replaces the miner (support thresholds etc.).
+    pub fn with_miner(mut self, miner: Miner) -> AdaptPlane {
+        self.miner = miner;
+        self
+    }
+
+    /// Bounds the decision log at `capacity` records.
+    pub fn with_log_capacity(mut self, capacity: usize) -> AdaptPlane {
+        self.log = Arc::new(DecisionLog::new(capacity));
+        self
+    }
+
+    /// The decision log enforcement points should record into.
+    pub fn log(&self) -> Arc<DecisionLog> {
+        self.log.clone()
+    }
+
+    /// The serving handle refined snapshots publish through.
+    pub fn handle(&self) -> PdpHandle {
+        self.serving.clone()
+    }
+
+    /// Examples accumulated so far.
+    pub fn buffered_examples(&self) -> usize {
+        self.feedback.len()
+    }
+
+    /// Rounds run (skipped, failed, or published).
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Generates the initial policy set from the *unrefined* GPM and
+    /// publishes it, so the attached handle starts serving live policies
+    /// before any adaptation has happened.
+    ///
+    /// # Errors
+    ///
+    /// [`AmsError::Generation`] on grounding/budget failures.
+    pub fn publish_initial(&mut self) -> Result<u64, AmsError> {
+        let gpm = self.initial_gpm.clone();
+        self.regenerate_and_publish(&gpm)
+    }
+
+    /// One adaptation round: drain the log, mine it, and — once enough
+    /// evidence has accumulated — relearn the GPM from the initial
+    /// grammar plus *all* mined feedback, regenerate policies, and
+    /// publish them. Never blocks or perturbs serving; see the module
+    /// docs for the failure contract.
+    pub fn run_round(&mut self) -> RoundOutcome {
+        self.rounds += 1;
+        let records = self.log.drain();
+        let batch = self.miner.mine(&records, &self.context);
+        let stats = batch.stats;
+        self.feedback.extend(batch.feedback);
+        if self.feedback.len() < self.min_examples {
+            agenp_obs::registry().counter("adapt.rounds.skipped").incr();
+            return RoundOutcome::Skipped {
+                buffered: self.feedback.len(),
+                needed: self.min_examples,
+                stats,
+            };
+        }
+        let adaptation = {
+            let mut span = agenp_obs::span!("adapt.relearn", examples = self.feedback.len());
+            match self
+                .padap
+                .adapt(&self.initial_gpm, &self.space, &self.feedback)
+            {
+                Ok(a) => {
+                    span.record("constraints", a.hypothesis.rules.len());
+                    a
+                }
+                Err(e) => {
+                    span.record("error", true);
+                    agenp_obs::registry().counter("adapt.rounds.failed").incr();
+                    return RoundOutcome::Failed(AmsError::Learning(e));
+                }
+            }
+        };
+        match self.regenerate_and_publish(&adaptation.gpm) {
+            Ok(epoch) => {
+                agenp_obs::registry()
+                    .counter("adapt.rounds.published")
+                    .incr();
+                RoundOutcome::Published(RoundReport {
+                    epoch,
+                    examples_used: adaptation.examples_used,
+                    constraints_learned: adaptation.hypothesis.rules.len(),
+                    rules_generated: self
+                        .serving
+                        .snapshot()
+                        .policies()
+                        .iter()
+                        .map(|p| p.rules.len())
+                        .sum(),
+                    stats,
+                })
+            }
+            Err(e) => {
+                agenp_obs::registry().counter("adapt.rounds.failed").incr();
+                RoundOutcome::Failed(e)
+            }
+        }
+    }
+
+    /// PReP step over `gpm`, then an atomic snapshot publish.
+    fn regenerate_and_publish(&mut self, gpm: &Asg) -> Result<u64, AmsError> {
+        let strings = self.prep.generate(gpm, &self.context)?;
+        let rules: Vec<PolicyRule> = strings
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                self.translator
+                    .translate(s, &format!("{}-a{}", self.name, i))
+            })
+            .collect();
+        let policy = Policy {
+            id: format!("{}-adapted", self.name),
+            rules,
+            combining: self.combining,
+            obligations: Vec::new(),
+        };
+        let mut span = agenp_obs::span!("adapt.publish", rules = policy.rules.len());
+        let epoch = self.serving.publish(
+            DecisionSnapshot::new(vec![policy], self.combining)
+                .with_gpm(gpm.clone())
+                .with_context(self.context.clone()),
+        );
+        span.record("epoch", epoch as usize);
+        Ok(epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agenp_grammar::ProdId;
+    use agenp_policy::{Decision, Request};
+
+    /// The AMS test fixture's gate grammar: permit/deny on clearance,
+    /// with hypothesis-space constraints keying on a `lockdown` context.
+    fn gate() -> (Asg, HypothesisSpace) {
+        let g: Asg = r#"
+            policy -> effect "if" "subject" "clearance" "=" level
+            effect -> "permit" { e(permit). }
+            effect -> "deny"   { e(deny). }
+            level -> "low"  { lvl(low). }
+            level -> "high" { lvl(high). }
+        "#
+        .parse()
+        .unwrap();
+        let space = HypothesisSpace::from_texts(&[
+            (ProdId::from_index(1), ":- lockdown."),
+            (ProdId::from_index(2), ":- not lockdown."),
+        ]);
+        (g, space)
+    }
+
+    #[test]
+    fn initial_publish_serves_the_unrefined_language() {
+        let (g, space) = gate();
+        let mut plane = AdaptPlane::new("p", g, space);
+        let epoch = plane.publish_initial().unwrap();
+        let handle = plane.handle();
+        let req = Request::new().subject("clearance", "high");
+        let outcome = handle.decide(&req);
+        assert_eq!(outcome.epoch, epoch);
+        // permit + deny rules both generated → deny-overrides → Deny.
+        assert_eq!(outcome.decision, Decision::Deny);
+    }
+
+    #[test]
+    fn round_without_evidence_skips_and_serving_is_untouched() {
+        let (g, space) = gate();
+        let mut plane = AdaptPlane::new("p", g, space).with_min_examples(2);
+        let before = plane.publish_initial().unwrap();
+        let outcome = plane.run_round();
+        assert!(matches!(
+            outcome,
+            RoundOutcome::Skipped {
+                buffered: 0,
+                needed: 2,
+                ..
+            }
+        ));
+        assert_eq!(plane.handle().snapshot().epoch(), before);
+    }
+
+    #[test]
+    fn mined_denials_relearn_the_gpm_and_republish() {
+        let (g, space) = gate();
+        let lockdown: Program = "lockdown.".parse().unwrap();
+        let mut plane = AdaptPlane::new("p", g, space).with_context(lockdown);
+        let first = plane.publish_initial().unwrap();
+        let handle = plane.handle();
+        let log = plane.log();
+
+        // The enforcement point observed denials of both permitting
+        // strings (an operator overrode them under lockdown).
+        for clearance in ["high", "low"] {
+            let req = Request::new().subject("clearance", clearance);
+            let mut outcome = handle.decide(&req);
+            outcome.decision = Decision::Deny; // operator override
+            log.record(&req, &outcome);
+        }
+        let outcome = plane.run_round();
+        let report = outcome.published().expect("round should publish");
+        assert_eq!(report.epoch, first + 1, "publish bumps the epoch");
+        assert_eq!(report.examples_used, 2);
+        assert!(report.constraints_learned > 0);
+        // Under lockdown the refined GPM generates only deny strings.
+        let refined = handle.snapshot();
+        assert_eq!(refined.epoch(), report.epoch);
+        assert!(refined
+            .policies()
+            .iter()
+            .flat_map(|p| p.rules.iter())
+            .all(|r| r.effect == agenp_policy::Effect::Deny));
+        let req = Request::new().subject("clearance", "high");
+        assert_eq!(handle.decide(&req).decision, Decision::Deny);
+    }
+
+    #[test]
+    fn failed_rounds_leave_the_snapshot_alone() {
+        let (g, space) = gate();
+        let lockdown: Program = "lockdown.".parse().unwrap();
+        let mut plane = AdaptPlane::new("p", g, space).with_context(lockdown.clone());
+        let epoch = plane.publish_initial().unwrap();
+        let handle = plane.handle();
+        // Contradictory evidence: the same string both valid and invalid
+        // in the same context — no hypothesis satisfies it. (Mining
+        // dedups per-request, so inject straight into the buffer.)
+        let req = Request::new().subject("clearance", "high");
+        plane.feedback.push(Feedback::valid(
+            "permit if subject clearance = low",
+            lockdown.clone(),
+        ));
+        plane.feedback.push(Feedback::invalid(
+            "permit if subject clearance = low",
+            lockdown,
+        ));
+        let outcome = plane.run_round();
+        assert!(matches!(
+            outcome,
+            RoundOutcome::Failed(AmsError::Learning(_))
+        ));
+        // Serving still answers from the last good snapshot.
+        let served = handle.decide(&req);
+        assert!(served.epoch >= epoch);
+        assert!(served.error.is_none());
+    }
+}

@@ -93,23 +93,16 @@ pub struct RunBudget {
     /// Grounder worker-thread policy (see [`Parallelism`] for the
     /// resolution order).
     pub parallelism: Parallelism,
-    /// Legacy grounder thread count. `0` (the default) defers to
-    /// [`RunBudget::parallelism`]; a nonzero value acts as
-    /// [`Parallelism::Fixed`] for one release while call sites migrate.
-    #[deprecated(note = "use `parallelism` / `with_parallelism` instead")]
-    pub ground_threads: usize,
 }
 
 impl Default for RunBudget {
     fn default() -> RunBudget {
-        #[allow(deprecated)]
         RunBudget {
             deadline: Deadline::none(),
             max_steps: u64::MAX,
             max_atoms: 4_000_000,
             max_nodes: 2_000_000,
             parallelism: Parallelism::Auto,
-            ground_threads: 0,
         }
     }
 }
@@ -153,28 +146,15 @@ impl RunBudget {
         self
     }
 
-    /// Sets the grounder thread count (`0` = auto).
-    #[deprecated(note = "use `with_parallelism(Parallelism::fixed(n))` instead")]
-    pub fn with_ground_threads(mut self, ground_threads: usize) -> RunBudget {
-        #[allow(deprecated)]
-        {
-            self.ground_threads = ground_threads;
-        }
-        self
-    }
-
     /// Sets the unified grounder worker-thread policy.
     pub fn with_parallelism(mut self, parallelism: impl Into<Parallelism>) -> RunBudget {
         self.parallelism = parallelism.into();
         self
     }
 
-    /// The effective parallelism policy: the deprecated `ground_threads`
-    /// field (when explicitly nonzero) folded into
-    /// [`RunBudget::parallelism`].
+    /// The parallelism policy this budget applies to grounding.
     pub fn effective_parallelism(&self) -> Parallelism {
-        #[allow(deprecated)]
-        self.parallelism.or_legacy(self.ground_threads)
+        self.parallelism
     }
 }
 

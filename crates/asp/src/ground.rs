@@ -313,11 +313,6 @@ pub struct GroundOptions {
     /// count of `1` pins the grounder to the calling thread and spawns
     /// nothing. Output is byte-identical for every thread count.
     pub parallelism: Parallelism,
-    /// Legacy worker-thread count. `0` (the default) defers to
-    /// [`GroundOptions::parallelism`]; a nonzero value acts as
-    /// [`Parallelism::Fixed`] for one release while call sites migrate.
-    #[deprecated(note = "use `parallelism` / `with_parallelism` instead")]
-    pub threads: usize,
     /// Work-unit chunk size: a pass's first-join candidate windows are
     /// split into chunks of at most this many candidates, and the pass only
     /// moves to the pool when its total candidate work reaches this size
@@ -327,14 +322,12 @@ pub struct GroundOptions {
 
 impl Default for GroundOptions {
     fn default() -> GroundOptions {
-        #[allow(deprecated)]
         GroundOptions {
             max_atoms: 4_000_000,
             simplify: true,
             deadline: Deadline::none(),
             mode: GroundMode::SemiNaive,
             parallelism: Parallelism::Auto,
-            threads: 0,
             parallel_grain: 256,
         }
     }
@@ -365,16 +358,6 @@ impl GroundOptions {
         self
     }
 
-    /// Sets the worker thread count (`0` = automatic).
-    #[deprecated(note = "use `with_parallelism(Parallelism::fixed(n))` instead")]
-    pub fn with_threads(mut self, threads: usize) -> GroundOptions {
-        #[allow(deprecated)]
-        {
-            self.threads = threads;
-        }
-        self
-    }
-
     /// Sets the unified worker-thread policy.
     pub fn with_parallelism(mut self, parallelism: impl Into<Parallelism>) -> GroundOptions {
         self.parallelism = parallelism.into();
@@ -387,11 +370,9 @@ impl GroundOptions {
         self
     }
 
-    /// The effective parallelism policy: the deprecated `threads` field
-    /// (when explicitly nonzero) folded into [`GroundOptions::parallelism`].
+    /// The parallelism policy these options apply.
     pub fn effective_parallelism(&self) -> Parallelism {
-        #[allow(deprecated)]
-        self.parallelism.or_legacy(self.threads)
+        self.parallelism
     }
 
     /// The thread count a run with these options uses (see

@@ -12,9 +12,9 @@
 //!    variable when set to a positive integer (read once per process);
 //! 3. otherwise [`std::thread::available_parallelism`] (falling back to 1).
 //!
-//! The deprecated `usize` fields remain as shims for one release: a nonzero
-//! legacy value behaves exactly like `Parallelism::Fixed`, so existing
-//! configuration keeps working while call sites migrate.
+//! The legacy `usize` fields and their one-release `or_legacy` migration
+//! shims are gone; `Parallelism` (with `From<usize>` keeping `0 = auto`
+//! ergonomics) is the only knob.
 
 use std::fmt;
 use std::sync::OnceLock;
@@ -66,18 +66,6 @@ impl Parallelism {
         match self {
             Parallelism::Fixed(n) => n.max(1),
             Parallelism::Auto => auto_threads(),
-        }
-    }
-
-    /// Folds a legacy `usize` knob into a `Parallelism`: a nonzero legacy
-    /// value acts as [`Parallelism::Fixed`] (the deprecated field was set
-    /// explicitly, so it keeps winning for one release), zero defers to
-    /// `self`.
-    pub fn or_legacy(self, legacy_threads: usize) -> Parallelism {
-        if legacy_threads > 0 {
-            Parallelism::Fixed(legacy_threads)
-        } else {
-            self
         }
     }
 }
@@ -132,13 +120,6 @@ mod tests {
     fn auto_resolves_to_at_least_one() {
         assert!(Parallelism::Auto.resolve() >= 1);
         assert!(Parallelism::default().is_auto());
-    }
-
-    #[test]
-    fn legacy_fold_prefers_nonzero_legacy() {
-        assert_eq!(Parallelism::Auto.or_legacy(2), Parallelism::Fixed(2));
-        assert_eq!(Parallelism::Fixed(8).or_legacy(0), Parallelism::Fixed(8));
-        assert_eq!(Parallelism::Auto.or_legacy(0), Parallelism::Auto);
     }
 
     #[test]

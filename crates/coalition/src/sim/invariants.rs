@@ -10,8 +10,9 @@
 //!   `Deny` and carry the degradation error on every decision.
 //! * **Decision parity** — a healthy party serving version `v` must
 //!   render exactly what [`coalition_policies`]`(v)` evaluates to for the
-//!   request (memoized per `(version, request)`), and must never be
-//!   ahead of the repository head.
+//!   request (memoized per `(version, request)`) — the **full** decision
+//!   effects: decision, obligations, and penalty, not just permit/deny —
+//!   and must never be ahead of the repository head.
 //!
 //! Scheduled checks (bounded reconvergence after heal, final
 //! convergence) report through the same [`InvariantChecker`]. Violations
@@ -20,7 +21,7 @@
 
 use super::scenario::coalition_policies;
 use agenp_core::arch::DecisionOutcome;
-use agenp_policy::{evaluate_policies, CombiningAlg, Decision, Request};
+use agenp_policy::{evaluate_policies_effects, CombiningAlg, Decision, DecisionEffects, Request};
 use std::collections::HashMap;
 
 /// Violations kept with full detail (the count is always exact).
@@ -34,8 +35,8 @@ pub struct Violation {
     /// The party involved, if party-specific.
     pub party: Option<usize>,
     /// Stable violation kind: `stale-epoch`, `deny-by-default`,
-    /// `decision-parity`, `version-ahead`, `reconvergence`,
-    /// `final-convergence`.
+    /// `decision-parity`, `refsem-parity`, `version-ahead`,
+    /// `reconvergence`, `final-convergence`.
     pub kind: &'static str,
     /// Human-readable detail.
     pub detail: String,
@@ -44,7 +45,7 @@ pub struct Violation {
 /// Checks every decision and scheduled assertion in a chaos run.
 #[derive(Debug, Default)]
 pub struct InvariantChecker {
-    expected: HashMap<(u64, usize), Decision>,
+    expected: HashMap<(u64, usize), DecisionEffects>,
     recorded: Vec<Violation>,
     total: u64,
 }
@@ -55,11 +56,11 @@ impl InvariantChecker {
         InvariantChecker::default()
     }
 
-    /// The expected decision for workload request `idx` under coalition
-    /// policy version `version` (memoized pure evaluation).
-    pub fn expected(&mut self, version: u64, idx: usize, request: &Request) -> Decision {
-        *self.expected.entry((version, idx)).or_insert_with(|| {
-            evaluate_policies(
+    /// The expected decision effects for workload request `idx` under
+    /// coalition policy version `version` (memoized pure evaluation).
+    pub fn expected(&mut self, version: u64, idx: usize, request: &Request) -> &DecisionEffects {
+        self.expected.entry((version, idx)).or_insert_with(|| {
+            evaluate_policies_effects(
                 &coalition_policies(version),
                 CombiningAlg::DenyOverrides,
                 request,
@@ -131,17 +132,16 @@ impl InvariantChecker {
                         format!("serving v{version} but repository head is v{head}"),
                     );
                 }
-                let want = self.expected(version, idx, request);
-                if outcome.error.is_some() || outcome.decision != want {
+                let want = self.expected(version, idx, request).clone();
+                if outcome.error.is_some() || outcome.effects() != want {
                     self.report(
                         tick,
                         Some(party),
                         "decision-parity",
                         format!(
-                            "v{version} request {idx}: got {:?} (error: {}), expected {:?}",
-                            outcome.decision,
+                            "v{version} request {idx}: got {:?} (error: {}), expected {want:?}",
+                            outcome.effects(),
                             outcome.error.is_some(),
-                            want
                         ),
                     );
                 }

@@ -43,7 +43,7 @@ pub use scheduler::{Event, EventQueue, Message, NodeId, Payload};
 
 use crate::resilience::{ChaosInjector, FaultInjector, FaultPlan};
 use agenp_core::arch::{AmsError, DegradedMode};
-use agenp_policy::{Decision, Request};
+use agenp_policy::{CombiningAlg, Decision, DecisionEffects, Request};
 use rng::SimRng;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -56,6 +56,14 @@ const STREAM_WORKLOAD: u64 = 0xB3;
 
 const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+// Sampled spot-checking of served decisions against the independent
+// `agenp_refsem` reference evaluator: every Nth healthy decision, up to a
+// per-run budget. Both knobs are counter-driven — no RNG draws and no
+// extra events — so folding the differential check into a run leaves the
+// `(tick, event)` trace, and therefore `trace_hash`, byte-identical.
+const REFSEM_SPOT_EVERY: u64 = 7;
+const REFSEM_SPOT_BUDGET: u64 = 256;
 
 /// Monotone counters for one simulation run. Two runs of the same
 /// `(seed, scenario)` produce equal stats — the determinism regression
@@ -109,6 +117,9 @@ pub struct SimStats {
     pub convergence_checks: u64,
     /// Reconvergence checks skipped because another partition was active.
     pub convergence_skipped: u64,
+    /// Healthy decisions spot-checked against the `agenp_refsem`
+    /// reference evaluator (sampled, budget-bounded).
+    pub refsem_spot_checks: u64,
 }
 
 /// The result of one simulation run.
@@ -136,10 +147,11 @@ pub struct SimReport {
     /// The full trace lines, when recording was requested (tests and
     /// post-mortems; off by default — hashing is always on).
     pub trace: Option<Vec<String>>,
-    /// Healthily-served decisions keyed by `(version, workload index)` —
-    /// the corpus a chaos run's decisions are compared against when this
-    /// run is the never-faulted reference.
-    pub served: HashMap<(u64, usize), Decision>,
+    /// Healthily-served decision effects (decision, obligations, penalty)
+    /// keyed by `(version, workload index)` — the corpus a chaos run's
+    /// decisions are compared against when this run is the never-faulted
+    /// reference.
+    pub served: HashMap<(u64, usize), DecisionEffects>,
     /// Decisions that disagreed with the supplied reference corpus.
     pub reference_mismatches: u64,
     /// Wall-clock time of the run (measured around the event loop; not
@@ -180,7 +192,7 @@ pub fn run_scenario_with(
     seed: u64,
     scenario: &Scenario,
     config: RunConfig,
-    reference: Option<&HashMap<(u64, usize), Decision>>,
+    reference: Option<&HashMap<(u64, usize), DecisionEffects>>,
 ) -> SimReport {
     let mut sim = Simulation::new(seed, scenario, config, reference);
     sim.schedule_initial();
@@ -206,8 +218,8 @@ struct Simulation<'a> {
     workload: Vec<Request>,
     trace_hash: u64,
     trace: Option<Vec<String>>,
-    served: HashMap<(u64, usize), Decision>,
-    reference: Option<&'a HashMap<(u64, usize), Decision>>,
+    served: HashMap<(u64, usize), DecisionEffects>,
+    reference: Option<&'a HashMap<(u64, usize), DecisionEffects>>,
     reference_mismatches: u64,
 }
 
@@ -216,7 +228,7 @@ impl<'a> Simulation<'a> {
         seed: u64,
         scenario: &'a Scenario,
         config: RunConfig,
-        reference: Option<&'a HashMap<(u64, usize), Decision>>,
+        reference: Option<&'a HashMap<(u64, usize), DecisionEffects>>,
     ) -> Simulation<'a> {
         let parties = (0..scenario.parties)
             .map(|i| {
@@ -596,9 +608,10 @@ impl<'a> Simulation<'a> {
                         self.stats.stale_serves += 1;
                     }
                     if outcome.error.is_none() {
+                        let effects = outcome.effects();
                         if let Some(reference) = self.reference {
-                            if let Some(&want) = reference.get(&(version, idx)) {
-                                if want != outcome.decision {
+                            if let Some(want) = reference.get(&(version, idx)) {
+                                if *want != effects {
                                     self.reference_mismatches += 1;
                                     self.checker.report(
                                         tick,
@@ -606,14 +619,38 @@ impl<'a> Simulation<'a> {
                                         "decision-parity",
                                         format!(
                                             "reference run disagrees at v{version} request \
-                                             {idx}: {:?} vs {want:?}",
-                                            outcome.decision
+                                             {idx}: {effects:?} vs {want:?}"
                                         ),
                                     );
                                 }
                             }
                         }
-                        self.served.insert((version, idx), outcome.decision);
+                        // Differential spot-check against the independent
+                        // refsem reference evaluator: sampled on the
+                        // decision counter and budget-bounded, with no RNG
+                        // draws, so replay stays byte-identical.
+                        if self.stats.decisions.is_multiple_of(REFSEM_SPOT_EVERY)
+                            && self.stats.refsem_spot_checks < REFSEM_SPOT_BUDGET
+                        {
+                            self.stats.refsem_spot_checks += 1;
+                            let want = agenp_refsem::reference::effects_reference(
+                                &coalition_policies(version),
+                                CombiningAlg::DenyOverrides,
+                                &self.workload[idx],
+                            );
+                            if effects != want {
+                                self.checker.report(
+                                    tick,
+                                    Some(party),
+                                    "refsem-parity",
+                                    format!(
+                                        "refsem reference disagrees at v{version} request \
+                                         {idx}: {effects:?} vs {want:?}"
+                                    ),
+                                );
+                            }
+                        }
+                        self.served.insert((version, idx), effects);
                     }
                 }
             }

@@ -9,7 +9,7 @@
 //! rather than probabilistic.
 
 use crate::resilience::{ChaosPlan, CrashWave, DegradedWave, PartitionSpec};
-use agenp_policy::{Category, CombiningAlg, Cond, Effect, Policy, PolicyRule, Request};
+use agenp_policy::{Category, CombiningAlg, Cond, Effect, Obligation, Policy, PolicyRule, Request};
 
 /// Slack ticks added on top of the analytic reconvergence bound.
 const BOUND_SLACK: u64 = 16;
@@ -20,18 +20,30 @@ const BOUND_SLACK: u64 = 16;
 /// `operator` is permitted only on odd versions and `analyst` only on
 /// versions not divisible by three — so a stale snapshot renders visibly
 /// different decisions, which is what the stale-epoch and parity
-/// invariants key on.
+/// invariants key on. Decisions are obligation-bearing: guest denials
+/// carry a version-observable audit obligation and penalty annotation,
+/// auditor permits carry an access-log obligation, so the parity checks
+/// cover the full decision effects rather than bare permit/deny.
 pub fn coalition_policies(version: u64) -> Vec<Policy> {
     let mut rules = vec![
         PolicyRule::new(
             "deny-guest",
             Effect::Deny,
             Cond::eq(Category::Subject, "role", "guest"),
-        ),
+        )
+        .with_obligation(
+            Effect::Deny,
+            Obligation::new("audit-denial", "notify-security", 16 + version),
+        )
+        .with_penalty(1 + (version % 4) as u32),
         PolicyRule::new(
             "permit-auditor",
             Effect::Permit,
             Cond::eq(Category::Subject, "role", "auditor"),
+        )
+        .with_obligation(
+            Effect::Permit,
+            Obligation::new("log-access", "audit-log", 10),
         ),
     ];
     if version % 2 == 1 {
@@ -52,6 +64,7 @@ pub fn coalition_policies(version: u64) -> Vec<Policy> {
         id: format!("coalition-v{version}"),
         rules,
         combining: CombiningAlg::DenyOverrides,
+        obligations: Vec::new(),
     }]
 }
 
@@ -342,6 +355,35 @@ mod tests {
                 Decision::Deny,
                 "guest at v{v}"
             );
+        }
+    }
+
+    #[test]
+    fn policy_effects_are_version_observable() {
+        use agenp_policy::evaluate_policies_effects;
+        let guest = Request::new()
+            .subject("role", "guest")
+            .action("kind", "write");
+        let auditor = Request::new()
+            .subject("role", "auditor")
+            .action("kind", "read");
+        for v in 0..8u64 {
+            let p = coalition_policies(v);
+            let fx = evaluate_policies_effects(&p, CombiningAlg::DenyOverrides, &guest);
+            assert_eq!(fx.decision, Decision::Deny, "guest at v{v}");
+            assert_eq!(fx.penalty, 1 + (v % 4) as u32, "guest penalty at v{v}");
+            assert_eq!(fx.obligations.len(), 1, "guest obligations at v{v}");
+            assert_eq!(fx.obligations[0].id, "audit-denial");
+            assert_eq!(
+                fx.obligations[0].deadline,
+                16 + v,
+                "deadline tracks version"
+            );
+            let fx = evaluate_policies_effects(&p, CombiningAlg::DenyOverrides, &auditor);
+            assert_eq!(fx.decision, Decision::Permit, "auditor at v{v}");
+            assert_eq!(fx.obligations.len(), 1);
+            assert_eq!(fx.obligations[0].id, "log-access");
+            assert_eq!(fx.penalty, 0);
         }
     }
 

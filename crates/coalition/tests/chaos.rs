@@ -122,6 +122,35 @@ fn chaos_decisions_match_the_never_faulted_reference() {
     }
 }
 
+/// The sampled refsem differential spot-check really runs inside chaos
+/// runs (it is not vacuously skipped) and never fires a `refsem-parity`
+/// violation — and folding it in leaves the trace hash byte-identical,
+/// so replayability survives the differential loop.
+#[test]
+fn refsem_spot_checks_run_and_agree_without_perturbing_replay() {
+    for scenario in Scenario::all(FLEET) {
+        let a = run_scenario(SEED, &scenario);
+        assert!(
+            a.stats.refsem_spot_checks > 0,
+            "{}: refsem spot-check never engaged",
+            scenario.name
+        );
+        assert!(
+            !a.violations.iter().any(|v| v.kind == "refsem-parity"),
+            "{}: refsem reference disagreed: {:?}",
+            scenario.name,
+            a.violations
+        );
+        let b = run_scenario(SEED, &scenario);
+        assert_eq!(a.trace_hash, b.trace_hash, "{}", scenario.name);
+        assert_eq!(
+            a.stats.refsem_spot_checks, b.stats.refsem_spot_checks,
+            "{}",
+            scenario.name
+        );
+    }
+}
+
 /// The crash-restart scenario must actually exercise the crash path —
 /// parties go down, come back with state loss, and re-adopt the head —
 /// and the partition storm must heal every partition it opens.

@@ -368,6 +368,7 @@ impl Ams {
             id: format!("{}-generated", self.name),
             rules,
             combining: CombiningAlg::DenyOverrides,
+            obligations: Vec::new(),
         }]);
         Ok(screened)
     }

@@ -126,6 +126,7 @@ impl Prep {
             id: policy_id.to_owned(),
             rules,
             combining,
+            obligations: Vec::new(),
         })
     }
 }

@@ -22,7 +22,10 @@
 use crate::arch::ams::AmsError;
 use agenp_asp::{Program, RunBudget};
 use agenp_grammar::Asg;
-use agenp_policy::{evaluate_policies, CombiningAlg, Decision, Enforcement, Pep, Policy, Request};
+use agenp_policy::{
+    evaluate_policies, evaluate_policies_effects, CombiningAlg, Decision, DecisionEffects,
+    Enforcement, Obligation, Pep, Policy, Request,
+};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -207,6 +210,18 @@ impl DecisionSnapshot {
         evaluate_policies(&self.policies, self.combining, request)
     }
 
+    /// Renders the full [`DecisionEffects`]: the same decision as
+    /// [`DecisionSnapshot::decide`] plus the obligations and penalty
+    /// annotation the policy set attaches to it. A degraded snapshot's
+    /// fail-safe Deny is bare — the policies are never evaluated, so no
+    /// annotation can attach.
+    pub fn decide_effects(&self, request: &Request) -> DecisionEffects {
+        if self.error.is_some() {
+            return DecisionEffects::bare(Decision::Deny);
+        }
+        evaluate_policies_effects(&self.policies, self.combining, request)
+    }
+
     /// Does the snapshot's GPM admit `policy` under the snapshot's
     /// context? The ASP solver is a small `Copy` configuration value, so
     /// membership checks run against the shared snapshot without cloning
@@ -261,10 +276,10 @@ impl SnapshotSwap {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 struct CacheEntry {
     epoch: u64,
-    decision: Decision,
+    effects: DecisionEffects,
 }
 
 /// A sharded request→decision memo, keyed by [`Request::canonical_key`]
@@ -306,16 +321,16 @@ impl DecisionCache {
         &self.shards[(h.finish() as usize) % CACHE_SHARDS]
     }
 
-    /// The decision cached for `key` under `epoch`, if any. An entry from
-    /// a different epoch counts as a miss and is evicted.
-    pub fn get(&self, key: &str, epoch: u64) -> Option<Decision> {
+    /// The decision effects cached for `key` under `epoch`, if any. An
+    /// entry from a different epoch counts as a miss and is evicted.
+    pub fn get(&self, key: &str, epoch: u64) -> Option<DecisionEffects> {
         let shard = self.shard(key);
         let stale = {
             let map = shard.read().expect("cache shard poisoned");
             match map.get(key) {
                 Some(e) if e.epoch == epoch => {
                     self.hits.incr();
-                    return Some(e.decision);
+                    return Some(e.effects.clone());
                 }
                 Some(_) => true,
                 None => false,
@@ -334,11 +349,11 @@ impl DecisionCache {
         None
     }
 
-    /// Caches `decision` for `key` under `epoch`, superseding any entry
+    /// Caches `effects` for `key` under `epoch`, superseding any entry
     /// from another epoch.
-    pub fn insert(&self, key: String, epoch: u64, decision: Decision) {
+    pub fn insert(&self, key: String, epoch: u64, effects: DecisionEffects) {
         let mut map = self.shard(&key).write().expect("cache shard poisoned");
-        map.insert(key, CacheEntry { epoch, decision });
+        map.insert(key, CacheEntry { epoch, effects });
     }
 
     /// Number of entries currently resident (all epochs).
@@ -396,11 +411,14 @@ impl PdpShared {
     fn outcome(
         &self,
         snapshot: &DecisionSnapshot,
-        decision: Decision,
+        effects: DecisionEffects,
         cached: bool,
     ) -> DecisionOutcome {
+        let decision = effects.decision;
         DecisionOutcome {
             decision,
+            obligations: effects.obligations,
+            penalty: effects.penalty,
             enforcement: Some(self.pep.enforce(decision)),
             error: snapshot.error.clone(),
             epoch: snapshot.epoch,
@@ -410,8 +428,9 @@ impl PdpShared {
 }
 
 /// The outcome of one decision through the serving tier: the decision
-/// itself, the enforcement the PEP derives from it, the upstream error the
-/// serving snapshot degrades for (if any), and cache/epoch diagnostics.
+/// itself, the obligations and penalty annotation it carries, the
+/// enforcement the PEP derives from it, the upstream error the serving
+/// snapshot degrades for (if any), and cache/epoch diagnostics.
 ///
 /// Compare against a [`Decision`] through [`DecisionOutcome::decision`]
 /// (the field or the accessor): `assert_eq!(outcome.decision(), Decision::Deny)`.
@@ -419,6 +438,12 @@ impl PdpShared {
 pub struct DecisionOutcome {
     /// The rendered decision.
     pub decision: Decision,
+    /// Obligations the decision issues (empty for indefinite or degraded
+    /// decisions); feed them to an `ObligationLedger` to track discharge.
+    pub obligations: Vec<Obligation>,
+    /// Worst sanction for acting against this decision (Deny only; 0
+    /// otherwise).
+    pub penalty: u32,
     /// The enforcement action derived by the PEP.
     pub enforcement: Option<Enforcement>,
     /// The upstream failure behind a degraded snapshot, if any.
@@ -433,6 +458,16 @@ impl DecisionOutcome {
     /// The rendered [`Decision`], without the serving diagnostics.
     pub fn decision(&self) -> Decision {
         self.decision
+    }
+
+    /// The decision plus its annotations as a [`DecisionEffects`] — the
+    /// value a `ComplianceEvaluator` or `ObligationLedger` consumes.
+    pub fn effects(&self) -> DecisionEffects {
+        DecisionEffects {
+            decision: self.decision,
+            obligations: self.obligations.clone(),
+            penalty: self.penalty,
+        }
     }
 }
 
@@ -556,12 +591,14 @@ impl PdpHandle {
     fn decide_with(&self, snapshot: &DecisionSnapshot, request: &Request) -> DecisionOutcome {
         self.inner.decisions.incr();
         let key = request.canonical_key();
-        if let Some(decision) = self.inner.cache.get(&key, snapshot.epoch) {
-            return self.inner.outcome(snapshot, decision, true);
+        if let Some(effects) = self.inner.cache.get(&key, snapshot.epoch) {
+            return self.inner.outcome(snapshot, effects, true);
         }
-        let decision = snapshot.decide(request);
-        self.inner.cache.insert(key, snapshot.epoch, decision);
-        self.inner.outcome(snapshot, decision, false)
+        let effects = snapshot.decide_effects(request);
+        self.inner
+            .cache
+            .insert(key, snapshot.epoch, effects.clone());
+        self.inner.outcome(snapshot, effects, false)
     }
 
     /// Renders decisions for a whole slice of requests against **one**
@@ -606,19 +643,21 @@ impl PdpHandle {
         let mut i = 0;
         while i < order.len() {
             let (key, first_idx) = (&order[i].0, order[i].1);
-            let (decision, first_cached) = match self.inner.cache.get(key, snapshot.epoch) {
-                Some(d) => (d, true),
+            let (effects, first_cached) = match self.inner.cache.get(key, snapshot.epoch) {
+                Some(fx) => (fx, true),
                 None => {
-                    let d = snapshot.decide(&requests[first_idx]);
-                    self.inner.cache.insert(key.clone(), snapshot.epoch, d);
-                    (d, false)
+                    let fx = snapshot.decide_effects(&requests[first_idx]);
+                    self.inner
+                        .cache
+                        .insert(key.clone(), snapshot.epoch, fx.clone());
+                    (fx, false)
                 }
             };
             let mut j = i;
             while j < order.len() && order[j].0 == *key {
                 out[order[j].1] = Some(self.inner.outcome(
                     snapshot,
-                    decision,
+                    effects.clone(),
                     j != i || first_cached,
                 ));
                 j += 1;
@@ -699,8 +738,8 @@ impl PdpHandle {
 pub struct PdpPin {
     snapshot: Arc<DecisionSnapshot>,
     handle: PdpHandle,
-    /// Private request→decision memo, valid only for `local_epoch`.
-    local: HashMap<String, Decision>,
+    /// Private request→decision-effects memo, valid only for `local_epoch`.
+    local: HashMap<String, DecisionEffects>,
     /// The snapshot epoch `local` was filled under.
     local_epoch: u64,
 }
@@ -752,16 +791,16 @@ impl PdpPin {
         let shared = &self.handle.inner;
         shared.decisions.incr();
         let key = request.canonical_key();
-        if let Some(&decision) = self.local.get(&key) {
+        if let Some(effects) = self.local.get(&key) {
             shared.cache.hits.incr();
-            return shared.outcome(&self.snapshot, decision, true);
+            return shared.outcome(&self.snapshot, effects.clone(), true);
         }
-        let decision = self.snapshot.decide(request);
+        let effects = self.snapshot.decide_effects(request);
         shared.cache.misses.incr();
         if self.local.len() < PIN_CACHE_CAP {
-            self.local.insert(key, decision);
+            self.local.insert(key, effects.clone());
         }
-        shared.outcome(&self.snapshot, decision, false)
+        shared.outcome(&self.snapshot, effects, false)
     }
 
     /// The batched path against the private cache.
@@ -778,24 +817,24 @@ impl PdpPin {
         while i < order.len() {
             let (key, first_idx) = (&order[i].0, order[i].1);
             let shared = &self.handle.inner;
-            let (decision, first_cached) = match self.local.get(key) {
-                Some(&d) => {
+            let (effects, first_cached) = match self.local.get(key) {
+                Some(fx) => {
                     shared.cache.hits.incr();
-                    (d, true)
+                    (fx.clone(), true)
                 }
                 None => {
-                    let d = self.snapshot.decide(&requests[first_idx]);
+                    let fx = self.snapshot.decide_effects(&requests[first_idx]);
                     shared.cache.misses.incr();
                     if self.local.len() < PIN_CACHE_CAP {
-                        self.local.insert(key.clone(), d);
+                        self.local.insert(key.clone(), fx.clone());
                     }
-                    (d, false)
+                    (fx, false)
                 }
             };
             let mut j = i;
             while j < order.len() && order[j].0 == *key {
                 out[order[j].1] =
-                    Some(shared.outcome(&self.snapshot, decision, j != i || first_cached));
+                    Some(shared.outcome(&self.snapshot, effects.clone(), j != i || first_cached));
                 j += 1;
             }
             shared.cache.hits.add((j - i - 1) as u64);
@@ -1187,6 +1226,80 @@ mod tests {
         // 2 distinct keys over 20 requests: duplicates were answered once.
         let stats = handle.stats();
         assert_eq!(stats.cache_hits + stats.cache_misses, stats.decisions);
+    }
+
+    #[test]
+    fn obligations_round_trip_all_four_paths_and_caches() {
+        use agenp_policy::Obligation;
+        let policies = vec![Policy::new(
+            "p",
+            vec![
+                PolicyRule::new(
+                    "allow-dba",
+                    Effect::Permit,
+                    Cond::eq(Category::Subject, "role", "dba"),
+                )
+                .with_obligation(
+                    Effect::Permit,
+                    Obligation::new("audit", "audit-log", 10).with_penalty(2),
+                ),
+                PolicyRule::new(
+                    "deny-guest",
+                    Effect::Deny,
+                    Cond::eq(Category::Subject, "role", "guest"),
+                )
+                .with_penalty(7),
+            ],
+        )];
+        let handle = PdpHandle::new();
+        handle.publish(DecisionSnapshot::new(policies, CombiningAlg::DenyOverrides));
+        let dba = Request::new().subject("role", "dba");
+        let guest = Request::new().subject("role", "guest");
+        let check = |o: &DecisionOutcome, cached: bool, what: &str| {
+            assert_eq!(o.cached, cached, "{what}");
+            match o.decision {
+                Decision::Permit => {
+                    assert_eq!(o.obligations.len(), 1, "{what}");
+                    assert_eq!(o.obligations[0].id, "audit", "{what}");
+                    assert_eq!(o.obligations[0].deadline, 10, "{what}");
+                    assert_eq!(o.penalty, 0, "{what}");
+                }
+                Decision::Deny => {
+                    assert!(o.obligations.is_empty(), "{what}");
+                    assert_eq!(o.penalty, 7, "{what}");
+                }
+                other => panic!("{what}: unexpected {other}"),
+            }
+        };
+        // Handle decide: cold then cached.
+        check(&handle.decide(&dba), false, "handle cold");
+        check(&handle.decide(&dba), true, "handle warm");
+        // Handle batch (guest is cold, dba cached, duplicate is a hit).
+        let batch = handle.decide_batch(&[guest.clone(), dba.clone(), guest.clone()]);
+        check(&batch[0], false, "batch cold");
+        check(&batch[1], true, "batch from shared cache");
+        check(&batch[2], true, "batch duplicate");
+        // Pin decide + pin batch through the private cache.
+        let mut pin = handle.pin();
+        check(&pin.decide(&dba), false, "pin cold");
+        check(&pin.decide(&dba), true, "pin warm");
+        let pinned = pin.decide_batch(&[dba.clone(), guest.clone()]);
+        check(&pinned[0], true, "pin batch warm");
+        check(&pinned[1], false, "pin batch cold");
+        // effects() reconstructs the ledger-facing value.
+        let fx = handle.decide(&guest).effects();
+        assert_eq!(fx.decision, Decision::Deny);
+        assert_eq!(fx.penalty, 7);
+        // Degraded snapshots deny bare: no annotations leak from stale
+        // policies.
+        handle.publish(
+            DecisionSnapshot::new(Vec::new(), CombiningAlg::DenyOverrides)
+                .degraded(AmsError::Unavailable("repo offline".into())),
+        );
+        let degraded = handle.decide(&guest);
+        assert_eq!(degraded.decision, Decision::Deny);
+        assert!(degraded.obligations.is_empty());
+        assert_eq!(degraded.penalty, 0);
     }
 
     #[test]

@@ -127,6 +127,7 @@ pub fn ground_truth_policy() -> Policy {
             PolicyRule::unconditional("default-deny", Effect::Deny),
         ],
         combining: CombiningAlg::PermitOverrides,
+        obligations: Vec::new(),
     }
 }
 
@@ -334,6 +335,7 @@ pub fn learned_policy(rules: &[(ProdId, Rule)]) -> Policy {
         id: "learned".into(),
         rules: out,
         combining: CombiningAlg::PermitOverrides,
+        obligations: Vec::new(),
     }
 }
 

@@ -228,22 +228,15 @@ pub struct CompileOptions {
     /// Grounder worker-thread policy for base saturation and delta
     /// evaluation (see [`Parallelism`] for the resolution order).
     pub parallelism: Parallelism,
-    /// Legacy grounder thread count. `0` (the default) defers to
-    /// [`CompileOptions::parallelism`]; a nonzero value acts as
-    /// [`Parallelism::Fixed`] for one release while call sites migrate.
-    #[deprecated(note = "use `parallelism` / `with_parallelism` instead")]
-    pub ground_threads: usize,
 }
 
 impl Default for CompileOptions {
     fn default() -> CompileOptions {
-        #[allow(deprecated)]
         CompileOptions {
             max_trees: 16,
             max_worlds: 64,
             naive_ground: false,
             parallelism: Parallelism::Auto,
-            ground_threads: 0,
         }
     }
 }
@@ -267,28 +260,15 @@ impl CompileOptions {
         self
     }
 
-    /// Sets the grounder thread count (`0` = auto).
-    #[deprecated(note = "use `with_parallelism(Parallelism::fixed(n))` instead")]
-    pub fn with_ground_threads(mut self, ground_threads: usize) -> CompileOptions {
-        #[allow(deprecated)]
-        {
-            self.ground_threads = ground_threads;
-        }
-        self
-    }
-
     /// Sets the unified grounder worker-thread policy.
     pub fn with_parallelism(mut self, parallelism: impl Into<Parallelism>) -> CompileOptions {
         self.parallelism = parallelism.into();
         self
     }
 
-    /// The effective parallelism policy: the deprecated `ground_threads`
-    /// field (when explicitly nonzero) folded into
-    /// [`CompileOptions::parallelism`].
+    /// The parallelism policy these options apply.
     pub fn effective_parallelism(&self) -> Parallelism {
-        #[allow(deprecated)]
-        self.parallelism.or_legacy(self.ground_threads)
+        self.parallelism
     }
 }
 

@@ -11,12 +11,15 @@
 //!  "environment": {"emergency": false}}
 //! ```
 //!
-//! An outcome carries the decision, the PEP enforcement, the serving
-//! epoch, cache provenance, and degradation status:
+//! An outcome carries the decision, its obligations and penalty
+//! annotation, the PEP enforcement, the serving epoch, cache provenance,
+//! and degradation status:
 //!
 //! ```json
-//! {"decision": "Permit", "enforcement": "Granted", "epoch": 7,
-//!  "cached": false, "degraded": false}
+//! {"decision": "Permit", "enforcement": "Granted",
+//!  "obligations": [{"id": "audit", "action": "audit-log",
+//!                   "deadline": 10, "penalty": 2}],
+//!  "penalty": 0, "epoch": 7, "cached": false, "degraded": false}
 //! ```
 
 use crate::json::{self, Json};
@@ -101,13 +104,30 @@ pub fn outcome_to_json(outcome: &DecisionOutcome) -> String {
     let mut out = String::with_capacity(96);
     let _ = write!(
         out,
-        "{{\"decision\": \"{}\", \"enforcement\": {}, \"epoch\": {}, \
-         \"cached\": {}, \"degraded\": {}}}",
+        "{{\"decision\": \"{}\", \"enforcement\": {}, \"obligations\": [",
         outcome.decision,
         match &outcome.enforcement {
             Some(e) => format!("\"{e}\""),
             None => "null".to_string(),
         },
+    );
+    for (i, ob) in outcome.obligations.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{\"id\": {}, \"action\": {}, \"deadline\": {}, \"penalty\": {}}}",
+            json::escaped(&ob.id),
+            json::escaped(&ob.action),
+            ob.deadline,
+            ob.penalty
+        );
+    }
+    let _ = write!(
+        out,
+        "], \"penalty\": {}, \"epoch\": {}, \"cached\": {}, \"degraded\": {}}}",
+        outcome.penalty,
         outcome.epoch,
         outcome.cached,
         outcome.error.is_some()
@@ -167,6 +187,58 @@ mod tests {
         assert!(request_from_json(&json::parse(&encoded).unwrap())
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn outcome_json_carries_obligations_and_penalty() {
+        use agenp_policy::{Decision, Enforcement, Obligation};
+        let outcome = DecisionOutcome {
+            decision: Decision::Permit,
+            obligations: vec![
+                Obligation::new("audit", "audit-log", 10).with_penalty(2),
+                Obligation::new("notify", "notify-owner", 5),
+            ],
+            penalty: 0,
+            enforcement: Some(Enforcement::Granted),
+            error: None,
+            epoch: 7,
+            cached: false,
+        };
+        let encoded = outcome_to_json(&outcome);
+        let v = json::parse(&encoded).unwrap();
+        let obj = v.as_obj().unwrap();
+        let obligations = obj
+            .iter()
+            .find(|(k, _)| k == "obligations")
+            .and_then(|(_, v)| v.as_arr())
+            .unwrap();
+        assert_eq!(obligations.len(), 2);
+        let first = obligations[0].as_obj().unwrap();
+        let field = |name: &str| {
+            first
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(field("id"), Some(Json::Str("audit".into())));
+        assert_eq!(field("action"), Some(Json::Str("audit-log".into())));
+        assert_eq!(field("deadline"), Some(Json::Int(10)));
+        assert_eq!(field("penalty"), Some(Json::Int(2)));
+        assert!(encoded.contains("\"penalty\": 0, \"epoch\": 7"));
+        // An annotation-free outcome keeps the fields, empty/zero.
+        let bare = DecisionOutcome {
+            decision: Decision::Deny,
+            obligations: vec![],
+            penalty: 4,
+            enforcement: Some(Enforcement::Blocked),
+            error: None,
+            epoch: 7,
+            cached: true,
+        };
+        let bare_json = outcome_to_json(&bare);
+        assert!(bare_json.contains("\"obligations\": []"));
+        assert!(bare_json.contains("\"penalty\": 4"));
+        json::parse(&bare_json).unwrap();
     }
 
     #[test]

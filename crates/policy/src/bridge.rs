@@ -11,9 +11,20 @@
 //! deny if resource sensitivity >= 3
 //! permit always
 //! ```
+//!
+//! A rule may carry annotation trailers after its condition: zero or more
+//! `obligation ID within TICKS penalty N` clauses (issued on the rule's own
+//! effect; the id doubles as the PEP action), then at most one rule-level
+//! `penalty N` sanction:
+//!
+//! ```text
+//! permit if subject role = dba obligation audit-log within 10 penalty 2
+//! deny if resource sensitivity >= 3 penalty 7
+//! ```
 
 use crate::attr::{AttrValue, Category, Request};
 use crate::model::{Cond, CondOp, Effect, PolicyRule};
+use crate::obligation::Obligation;
 use agenp_asp::{Atom, Program, Rule as AspRule, Symbol, Term};
 use std::fmt;
 
@@ -43,6 +54,31 @@ pub fn attr_value_to_term(v: &AttrValue) -> Term {
     }
 }
 
+/// Encodes an obligation as an ASP fact:
+/// `obligation(id, action, deadline, penalty)`.
+pub fn obligation_to_atom(ob: &Obligation) -> Atom {
+    Atom::new(
+        Symbol::new("obligation"),
+        vec![
+            Term::Sym(Symbol::new(&ob.id)),
+            Term::Sym(Symbol::new(&ob.action)),
+            Term::Int(ob.deadline as i64),
+            Term::Int(i64::from(ob.penalty)),
+        ],
+    )
+}
+
+/// Encodes a decision's obligations as an ASP context program — the symbolic
+/// form the adaptation loop's examples and the refinement literature
+/// (`obligation/4` facts) work over.
+pub fn obligations_to_program(obligations: &[Obligation]) -> Program {
+    let mut p = Program::new();
+    for ob in obligations {
+        p.push(AspRule::fact(obligation_to_atom(ob)));
+    }
+    p
+}
+
 /// Errors from parsing the canonical textual policy form.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct PolicyTextError {
@@ -68,7 +104,10 @@ impl std::error::Error for PolicyTextError {}
 ///
 /// # Errors
 ///
-/// Fails on `Or`/`Not`/`In` conditions, which have no canonical-form syntax.
+/// Fails on `Or`/`Not`/`In` conditions, which have no canonical-form syntax,
+/// and on obligation specs the textual trailer cannot express (an `on`
+/// effect differing from the rule's own, or an action differing from the
+/// id — the trailer's single identifier is both).
 pub fn rule_to_text(rule: &PolicyRule) -> Result<String, PolicyTextError> {
     let mut out = rule.effect.to_string();
     match &rule.condition {
@@ -79,6 +118,27 @@ pub fn rule_to_text(rule: &PolicyRule) -> Result<String, PolicyTextError> {
             flatten_conjunction(c, &mut parts)?;
             out.push_str(&parts.join(" and "));
         }
+    }
+    for spec in &rule.obligations {
+        if spec.on != rule.effect {
+            return Err(PolicyTextError::new(format!(
+                "obligation `{}` fires on {}, not the rule's own effect; no textual form",
+                spec.obligation.id, spec.on
+            )));
+        }
+        if spec.obligation.action != spec.obligation.id {
+            return Err(PolicyTextError::new(format!(
+                "obligation `{}` has a distinct action `{}`; no textual form",
+                spec.obligation.id, spec.obligation.action
+            )));
+        }
+        out.push_str(&format!(
+            " obligation {} within {} penalty {}",
+            spec.obligation.id, spec.obligation.deadline, spec.obligation.penalty
+        ));
+    }
+    if let Some(p) = rule.penalty {
+        out.push_str(&format!(" penalty {p}"));
     }
     Ok(out)
 }
@@ -129,84 +189,131 @@ pub fn rule_from_text(id: &str, text: &str) -> Result<PolicyRule, PolicyTextErro
             )))
         }
     };
-    match it.next() {
-        Some(&"always") => {
-            if it.next().is_some() {
-                return Err(PolicyTextError::new("trailing tokens after `always`"));
+    let condition = match it.next() {
+        Some(&"always") => None,
+        Some(&"if") => {
+            let mut conds = Vec::new();
+            loop {
+                let category = match it.next() {
+                    Some(&"subject") => Category::Subject,
+                    Some(&"resource") => Category::Resource,
+                    Some(&"action") => Category::Action,
+                    Some(&"environment") => Category::Environment,
+                    other => {
+                        return Err(PolicyTextError::new(format!(
+                            "expected category, got {other:?}"
+                        )))
+                    }
+                };
+                let attr = it
+                    .next()
+                    .ok_or_else(|| PolicyTextError::new("expected attribute name"))?
+                    .to_string();
+                let op = match it.next() {
+                    Some(&"=") => CondOp::Eq,
+                    Some(&"!=") => CondOp::Ne,
+                    Some(&"<") => CondOp::Lt,
+                    Some(&"<=") => CondOp::Le,
+                    Some(&">") => CondOp::Gt,
+                    Some(&">=") => CondOp::Ge,
+                    other => {
+                        return Err(PolicyTextError::new(format!(
+                            "expected operator, got {other:?}"
+                        )))
+                    }
+                };
+                let raw = it
+                    .next()
+                    .ok_or_else(|| PolicyTextError::new("expected value"))?;
+                let value = parse_value(raw);
+                conds.push(Cond::Cmp {
+                    category,
+                    attr,
+                    op,
+                    value,
+                });
+                match it.peek() {
+                    Some(&&"and") => {
+                        it.next();
+                        continue;
+                    }
+                    _ => break,
+                }
             }
-            return Ok(PolicyRule {
-                id: id.to_owned(),
-                effect,
-                condition: None,
-            });
+            Some(if conds.len() == 1 {
+                conds.pop().unwrap()
+            } else {
+                Cond::And(conds)
+            })
         }
-        Some(&"if") => {}
         other => {
             return Err(PolicyTextError::new(format!(
                 "expected `if`/`always`, got {other:?}"
             )))
         }
-    }
-    let mut conds = Vec::new();
+    };
+    let mut rule = PolicyRule {
+        id: id.to_owned(),
+        effect,
+        condition,
+        obligations: Vec::new(),
+        penalty: None,
+    };
+    // Annotation trailers: `obligation ID within N penalty N`*, then at
+    // most one rule-level `penalty N` (must come last).
     loop {
-        let category = match it.next() {
-            Some(&"subject") => Category::Subject,
-            Some(&"resource") => Category::Resource,
-            Some(&"action") => Category::Action,
-            Some(&"environment") => Category::Environment,
-            other => {
-                return Err(PolicyTextError::new(format!(
-                    "expected category, got {other:?}"
-                )))
-            }
-        };
-        let attr = it
-            .next()
-            .ok_or_else(|| PolicyTextError::new("expected attribute name"))?
-            .to_string();
-        let op = match it.next() {
-            Some(&"=") => CondOp::Eq,
-            Some(&"!=") => CondOp::Ne,
-            Some(&"<") => CondOp::Lt,
-            Some(&"<=") => CondOp::Le,
-            Some(&">") => CondOp::Gt,
-            Some(&">=") => CondOp::Ge,
-            other => {
-                return Err(PolicyTextError::new(format!(
-                    "expected operator, got {other:?}"
-                )))
-            }
-        };
-        let raw = it
-            .next()
-            .ok_or_else(|| PolicyTextError::new("expected value"))?;
-        let value = parse_value(raw);
-        conds.push(Cond::Cmp {
-            category,
-            attr,
-            op,
-            value,
-        });
         match it.next() {
             None => break,
-            Some(&"and") => continue,
-            other => {
+            Some(&"obligation") => {
+                let ob_id = it
+                    .next()
+                    .ok_or_else(|| PolicyTextError::new("expected obligation id"))?
+                    .to_string();
+                expect_keyword(it.next(), "within")?;
+                let deadline = parse_u64(it.next(), "obligation deadline")?;
+                expect_keyword(it.next(), "penalty")?;
+                let penalty = parse_u32(it.next(), "obligation penalty")?;
+                rule = rule.with_obligation(
+                    effect,
+                    Obligation::new(&ob_id, &ob_id, deadline).with_penalty(penalty),
+                );
+            }
+            Some(&"penalty") => {
+                rule.penalty = Some(parse_u32(it.next(), "rule penalty")?);
+                if let Some(extra) = it.next() {
+                    return Err(PolicyTextError::new(format!(
+                        "trailing token {extra:?} after rule penalty"
+                    )));
+                }
+                break;
+            }
+            Some(other) => {
                 return Err(PolicyTextError::new(format!(
-                    "expected `and`, got {other:?}"
+                    "expected `obligation`/`penalty`, got {other:?}"
                 )))
             }
         }
     }
-    let condition = if conds.len() == 1 {
-        conds.pop().unwrap()
-    } else {
-        Cond::And(conds)
-    };
-    Ok(PolicyRule {
-        id: id.to_owned(),
-        effect,
-        condition: Some(condition),
-    })
+    Ok(rule)
+}
+
+fn expect_keyword(tok: Option<&&str>, want: &str) -> Result<(), PolicyTextError> {
+    match tok {
+        Some(t) if *t == want => Ok(()),
+        other => Err(PolicyTextError::new(format!(
+            "expected `{want}`, got {other:?}"
+        ))),
+    }
+}
+
+fn parse_u64(tok: Option<&&str>, what: &str) -> Result<u64, PolicyTextError> {
+    tok.and_then(|t| t.parse().ok())
+        .ok_or_else(|| PolicyTextError::new(format!("expected {what} (unsigned), got {tok:?}")))
+}
+
+fn parse_u32(tok: Option<&&str>, what: &str) -> Result<u32, PolicyTextError> {
+    tok.and_then(|t| t.parse().ok())
+        .ok_or_else(|| PolicyTextError::new(format!("expected {what} (unsigned), got {tok:?}")))
 }
 
 /// Parses a token into an [`AttrValue`] (integer, boolean, or string).
@@ -267,6 +374,66 @@ mod tests {
         let back = rule_from_text("r1", &text).unwrap();
         assert_eq!(back.effect, rule.effect);
         assert_eq!(rule_to_text(&back).unwrap(), text);
+    }
+
+    #[test]
+    fn annotation_trailers_round_trip() {
+        let texts = [
+            "permit if subject role = dba obligation audit-log within 10 penalty 2",
+            "deny if resource sensitivity >= 3 penalty 7",
+            "permit always obligation notify within 5 penalty 0",
+            "deny always obligation a within 1 penalty 2 obligation b within 3 penalty 4 penalty 9",
+        ];
+        for t in texts {
+            let rule = rule_from_text("r", t).unwrap();
+            assert_eq!(rule_to_text(&rule).unwrap(), t);
+        }
+        let rule = rule_from_text(
+            "r",
+            "permit if subject role = dba obligation audit within 10 penalty 2",
+        )
+        .unwrap();
+        assert_eq!(rule.obligations.len(), 1);
+        assert_eq!(rule.obligations[0].on, Effect::Permit);
+        assert_eq!(rule.obligations[0].obligation.id, "audit");
+        assert_eq!(rule.obligations[0].obligation.action, "audit");
+        assert_eq!(rule.obligations[0].obligation.deadline, 10);
+        assert_eq!(rule.obligations[0].obligation.penalty, 2);
+        assert_eq!(rule.penalty, None);
+        let sanction = rule_from_text("r", "deny always penalty 7").unwrap();
+        assert_eq!(sanction.penalty, Some(7));
+    }
+
+    #[test]
+    fn annotation_trailer_errors() {
+        // Rule penalty must come last.
+        assert!(
+            rule_from_text("r", "deny always penalty 7 obligation a within 1 penalty 2").is_err()
+        );
+        assert!(rule_from_text("r", "permit always obligation a within penalty 2").is_err());
+        assert!(rule_from_text("r", "permit always obligation a within 3").is_err());
+        assert!(rule_from_text("r", "permit always penalty many").is_err());
+        // Specs the trailer cannot express fail to render.
+        let cross = PolicyRule::unconditional("r", Effect::Permit)
+            .with_obligation(Effect::Deny, Obligation::new("a", "a", 1));
+        assert!(rule_to_text(&cross).is_err());
+        let renamed = PolicyRule::unconditional("r", Effect::Permit)
+            .with_obligation(Effect::Permit, Obligation::new("a", "other-action", 1));
+        assert!(rule_to_text(&renamed).is_err());
+    }
+
+    #[test]
+    fn obligation_asp_encoding() {
+        let obs = [
+            Obligation::new("audit", "audit-log", 10).with_penalty(2),
+            Obligation::new("notify", "notify-owner", 5),
+        ];
+        let p = obligations_to_program(&obs);
+        let text = p.to_string();
+        // Hyphenated actions are not bare ASP constants, so they quote.
+        assert!(text.contains(r#"obligation(audit, "audit-log", 10, 2)."#));
+        assert!(text.contains(r#"obligation(notify, "notify-owner", 5, 0)."#));
+        assert_eq!(p.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,376 @@
+//! PEP-side obligation tracking and penalty-aware compliance.
+//!
+//! [`ObligationLedger`] records every obligation a decision issued, tracks
+//! discharge against logical-time deadlines, and accrues breach penalties
+//! on expiry. [`ComplianceEvaluator`] is the agent-facing half: before
+//! acting, an agent weighs the utility of the action against the sanction
+//! for defying a Deny and the breach exposure of the obligations a Permit
+//! carries, per "Autonomous Agents and Policy Compliance: A Framework for
+//! Reasoning About Penalties".
+//!
+//! The ledger runs on a caller-advanced logical clock (no wall-clock
+//! reads), so it is deterministic inside the chaos simulation and the
+//! relearn-while-serving bench.
+
+use crate::model::Decision;
+use crate::obligation::{DecisionEffects, Obligation};
+use std::fmt;
+
+/// Lifecycle of one ledger entry.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ObligationStatus {
+    /// Issued, not yet discharged, deadline not passed.
+    Pending,
+    /// Performed before the deadline.
+    Discharged,
+    /// Deadline passed undischarged; penalty accrued.
+    Expired,
+}
+
+impl fmt::Display for ObligationStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ObligationStatus::Pending => "pending",
+            ObligationStatus::Discharged => "discharged",
+            ObligationStatus::Expired => "expired",
+        })
+    }
+}
+
+/// One tracked obligation instance.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LedgerEntry {
+    /// The obligation as issued.
+    pub obligation: Obligation,
+    /// Logical tick the decision issued it.
+    pub issued_at: u64,
+    /// Tick by which it must be discharged (`issued_at + deadline`,
+    /// saturating).
+    pub due_at: u64,
+    /// Current status.
+    pub status: ObligationStatus,
+}
+
+/// The PEP's obligation book: issue, discharge, expire, and the running
+/// penalty total.
+#[derive(Clone, Debug, Default)]
+pub struct ObligationLedger {
+    entries: Vec<LedgerEntry>,
+    now: u64,
+    penalties_accrued: u64,
+    discharged: u64,
+    expired: u64,
+}
+
+impl ObligationLedger {
+    /// An empty ledger at tick 0.
+    pub fn new() -> ObligationLedger {
+        ObligationLedger::default()
+    }
+
+    /// The ledger's current logical tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Records every obligation of a decision at the current tick.
+    /// Duplicate ids are tracked as separate instances: each decision that
+    /// issues an obligation creates a fresh duty.
+    pub fn record(&mut self, effects: &DecisionEffects) {
+        for ob in &effects.obligations {
+            self.entries.push(LedgerEntry {
+                obligation: ob.clone(),
+                issued_at: self.now,
+                due_at: self.now.saturating_add(ob.deadline),
+                status: ObligationStatus::Pending,
+            });
+        }
+        if agenp_obs::enabled() && !effects.obligations.is_empty() {
+            agenp_obs::registry()
+                .counter("policy.ledger.issued")
+                .add(effects.obligations.len() as u64);
+        }
+    }
+
+    /// Discharges the oldest pending instance of `id`; true if one existed.
+    pub fn discharge(&mut self, id: &str) -> bool {
+        let entry = self
+            .entries
+            .iter_mut()
+            .find(|e| e.status == ObligationStatus::Pending && e.obligation.id == id);
+        match entry {
+            Some(e) => {
+                e.status = ObligationStatus::Discharged;
+                self.discharged += 1;
+                if agenp_obs::enabled() {
+                    agenp_obs::registry()
+                        .counter("policy.ledger.discharged")
+                        .incr();
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Advances the logical clock, expiring every pending entry whose
+    /// deadline has passed and accruing its penalty. Returns the number of
+    /// entries that expired. The clock never moves backwards.
+    pub fn advance(&mut self, to: u64) -> usize {
+        self.now = self.now.max(to);
+        let mut newly_expired = 0;
+        for e in &mut self.entries {
+            if e.status == ObligationStatus::Pending && e.due_at < self.now {
+                e.status = ObligationStatus::Expired;
+                self.penalties_accrued += u64::from(e.obligation.penalty);
+                newly_expired += 1;
+            }
+        }
+        self.expired += newly_expired as u64;
+        if agenp_obs::enabled() && newly_expired > 0 {
+            agenp_obs::registry()
+                .counter("policy.ledger.expired")
+                .add(newly_expired as u64);
+        }
+        newly_expired
+    }
+
+    /// Entries still pending, oldest first.
+    pub fn pending(&self) -> impl Iterator<Item = &LedgerEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.status == ObligationStatus::Pending)
+    }
+
+    /// All entries, issue order.
+    pub fn entries(&self) -> &[LedgerEntry] {
+        &self.entries
+    }
+
+    /// Total penalty accrued from expired obligations.
+    pub fn penalties_accrued(&self) -> u64 {
+        self.penalties_accrued
+    }
+
+    /// Count of discharged entries.
+    pub fn discharged_count(&self) -> u64 {
+        self.discharged
+    }
+
+    /// Count of expired entries.
+    pub fn expired_count(&self) -> u64 {
+        self.expired
+    }
+
+    /// Drops discharged and expired entries, keeping the ledger bounded
+    /// under sustained traffic (counters are unaffected).
+    pub fn compact(&mut self) {
+        self.entries
+            .retain(|e| e.status == ObligationStatus::Pending);
+    }
+}
+
+/// What the compliance evaluator advises an agent to do.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ComplianceAdvice {
+    /// Act: the decision permits it. Carries the obligations the agent
+    /// must then discharge.
+    Proceed(Vec<Obligation>),
+    /// Do not act: the decision denies it and the sanction outweighs the
+    /// utility (or the evaluator is strict).
+    Refrain {
+        /// The sanction that deterred the action.
+        penalty: u32,
+    },
+    /// Act despite a Deny: the utility exceeds the scaled sanction. The
+    /// agent knowingly accepts `penalty`.
+    Defy {
+        /// The sanction the agent accepts by acting.
+        penalty: u32,
+    },
+    /// No definite decision: deny-biased refusal pending escalation.
+    Escalate,
+}
+
+/// Penalty-aware compliance: weighs action utility against sanctions.
+///
+/// `risk_aversion` scales every sanction before comparison: an agent with
+/// risk aversion 2 treats a penalty of 5 as a cost of 10. `strict` agents
+/// never defy — a Deny always refrains regardless of utility.
+#[derive(Clone, Copy, Debug)]
+pub struct ComplianceEvaluator {
+    /// Multiplier applied to sanctions before weighing them (≥ 1 is
+    /// cautious; 0 ignores penalties entirely).
+    pub risk_aversion: u32,
+    /// If true, a Deny is always complied with.
+    pub strict: bool,
+}
+
+impl Default for ComplianceEvaluator {
+    fn default() -> ComplianceEvaluator {
+        ComplianceEvaluator {
+            risk_aversion: 1,
+            strict: false,
+        }
+    }
+}
+
+impl ComplianceEvaluator {
+    /// A strict evaluator (never defies).
+    pub fn strict() -> ComplianceEvaluator {
+        ComplianceEvaluator {
+            risk_aversion: 1,
+            strict: true,
+        }
+    }
+
+    /// Advises on acting given the decision's effects and the agent's
+    /// utility for performing the action.
+    pub fn advise(&self, effects: &DecisionEffects, utility: u64) -> ComplianceAdvice {
+        match effects.decision {
+            Decision::Permit => ComplianceAdvice::Proceed(effects.obligations.clone()),
+            Decision::Deny => {
+                let cost = u64::from(effects.penalty) * u64::from(self.risk_aversion);
+                if !self.strict && utility > cost && effects.penalty > 0 {
+                    ComplianceAdvice::Defy {
+                        penalty: effects.penalty,
+                    }
+                } else {
+                    ComplianceAdvice::Refrain {
+                        penalty: effects.penalty,
+                    }
+                }
+            }
+            Decision::NotApplicable | Decision::Indeterminate => ComplianceAdvice::Escalate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Decision;
+
+    fn ob(id: &str, deadline: u64, penalty: u32) -> Obligation {
+        Obligation::new(id, "act", deadline).with_penalty(penalty)
+    }
+
+    fn permit_with(obs: Vec<Obligation>) -> DecisionEffects {
+        DecisionEffects {
+            decision: Decision::Permit,
+            obligations: obs,
+            penalty: 0,
+        }
+    }
+
+    #[test]
+    fn ledger_discharge_before_deadline() {
+        let mut l = ObligationLedger::new();
+        l.record(&permit_with(vec![ob("audit", 5, 3)]));
+        assert_eq!(l.pending().count(), 1);
+        assert!(l.discharge("audit"));
+        assert!(!l.discharge("audit")); // nothing pending any more
+        assert_eq!(l.advance(100), 0);
+        assert_eq!(l.penalties_accrued(), 0);
+        assert_eq!(l.discharged_count(), 1);
+    }
+
+    #[test]
+    fn ledger_expiry_accrues_penalty() {
+        let mut l = ObligationLedger::new();
+        l.record(&permit_with(vec![ob("audit", 5, 3), ob("notify", 50, 7)]));
+        // Deadline is inclusive: due_at == now is still dischargeable.
+        assert_eq!(l.advance(5), 0);
+        assert_eq!(l.advance(6), 1);
+        assert_eq!(l.penalties_accrued(), 3);
+        assert_eq!(l.expired_count(), 1);
+        assert_eq!(l.pending().count(), 1);
+        assert!(l.discharge("notify"));
+        assert_eq!(l.advance(1_000), 0);
+        assert_eq!(l.penalties_accrued(), 3);
+    }
+
+    #[test]
+    fn ledger_tracks_duplicate_ids_as_instances() {
+        let mut l = ObligationLedger::new();
+        l.record(&permit_with(vec![ob("audit", 5, 1)]));
+        l.advance(2);
+        l.record(&permit_with(vec![ob("audit", 5, 1)]));
+        assert_eq!(l.pending().count(), 2);
+        assert!(l.discharge("audit")); // oldest instance first
+        assert_eq!(l.entries()[0].status, ObligationStatus::Discharged);
+        assert_eq!(l.entries()[1].status, ObligationStatus::Pending);
+        assert_eq!(l.entries()[1].issued_at, 2);
+    }
+
+    #[test]
+    fn ledger_clock_is_monotone_and_compacts() {
+        let mut l = ObligationLedger::new();
+        l.record(&permit_with(vec![ob("a", 1, 2)]));
+        l.advance(10);
+        l.advance(3); // ignored: never backwards
+        assert_eq!(l.now(), 10);
+        l.record(&permit_with(vec![ob("b", 100, 1)]));
+        l.compact();
+        assert_eq!(l.entries().len(), 1);
+        assert_eq!(l.entries()[0].obligation.id, "b");
+        assert_eq!(l.expired_count(), 1); // counters survive compaction
+    }
+
+    #[test]
+    fn compliance_permit_proceeds_with_obligations() {
+        let ev = ComplianceEvaluator::default();
+        let fx = permit_with(vec![ob("audit", 5, 3)]);
+        assert_eq!(
+            ev.advise(&fx, 10),
+            ComplianceAdvice::Proceed(vec![ob("audit", 5, 3)])
+        );
+    }
+
+    #[test]
+    fn compliance_weighs_penalty_against_utility() {
+        let deny = DecisionEffects {
+            decision: Decision::Deny,
+            obligations: vec![],
+            penalty: 5,
+        };
+        let ev = ComplianceEvaluator::default();
+        assert_eq!(
+            ev.advise(&deny, 4),
+            ComplianceAdvice::Refrain { penalty: 5 }
+        );
+        assert_eq!(ev.advise(&deny, 6), ComplianceAdvice::Defy { penalty: 5 });
+        // Risk aversion scales the sanction.
+        let cautious = ComplianceEvaluator {
+            risk_aversion: 3,
+            strict: false,
+        };
+        assert_eq!(
+            cautious.advise(&deny, 14),
+            ComplianceAdvice::Refrain { penalty: 5 }
+        );
+        // Strict agents never defy.
+        assert_eq!(
+            ComplianceEvaluator::strict().advise(&deny, 1_000),
+            ComplianceAdvice::Refrain { penalty: 5 }
+        );
+        // A zero-penalty Deny is still complied with: defiance is only
+        // rational against a quantified sanction.
+        let free = DecisionEffects::bare(Decision::Deny);
+        assert_eq!(
+            ev.advise(&free, 1_000),
+            ComplianceAdvice::Refrain { penalty: 0 }
+        );
+    }
+
+    #[test]
+    fn compliance_escalates_indefinite_decisions() {
+        let ev = ComplianceEvaluator::default();
+        for d in [Decision::NotApplicable, Decision::Indeterminate] {
+            assert_eq!(
+                ev.advise(&DecisionEffects::bare(d), 10),
+                ComplianceAdvice::Escalate
+            );
+        }
+    }
+}

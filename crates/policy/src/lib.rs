@@ -27,17 +27,23 @@
 
 mod attr;
 mod bridge;
+mod ledger;
 mod minimize;
 mod model;
+mod obligation;
 mod pdp;
 mod quality;
 
 pub use attr::{AttrValue, Category, Request};
 pub use bridge::{
-    attr_value_to_term, parse_value, request_to_context, rule_from_text, rule_to_text,
-    PolicyTextError,
+    attr_value_to_term, obligation_to_atom, obligations_to_program, parse_value,
+    request_to_context, rule_from_text, rule_to_text, PolicyTextError,
+};
+pub use ledger::{
+    ComplianceAdvice, ComplianceEvaluator, LedgerEntry, ObligationLedger, ObligationStatus,
 };
 pub use minimize::minimize_policies;
 pub use model::{CombiningAlg, Cond, CondOp, Decision, Effect, Policy, PolicyRule};
+pub use obligation::{evaluate_policies_effects, DecisionEffects, Obligation, ObligationSpec};
 pub use pdp::{evaluate_policies, DecisionRecord, Enforcement, Pdp, Pep, PolicyRepository};
 pub use quality::{Conflict, QualityChecker, QualityReport, ResolutionStrategy};

@@ -2,6 +2,7 @@
 //! with XACML-style combining algorithms.
 
 use crate::attr::{AttrValue, Category, Request};
+use crate::obligation::{Obligation, ObligationSpec};
 use std::fmt;
 
 /// The effect of a rule.
@@ -295,7 +296,9 @@ fn join(f: &mut fmt::Formatter<'_>, cs: &[Cond], sep: &str) -> fmt::Result {
     write!(f, ")")
 }
 
-/// A policy rule: an effect guarded by a condition.
+/// A policy rule: an effect guarded by a condition, optionally annotated
+/// with obligations and a penalty (see [`crate::evaluate_policies_effects`]
+/// for how annotations attach to decisions).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct PolicyRule {
     /// Identifier (unique within its policy).
@@ -304,6 +307,10 @@ pub struct PolicyRule {
     pub effect: Effect,
     /// Applicability condition; `None` means the rule always applies.
     pub condition: Option<Cond>,
+    /// Obligations issued when this rule contributes to the decision.
+    pub obligations: Vec<ObligationSpec>,
+    /// Sanction for acting against this rule's Deny, if quantified.
+    pub penalty: Option<u32>,
 }
 
 impl PolicyRule {
@@ -313,6 +320,8 @@ impl PolicyRule {
             id: id.to_owned(),
             effect,
             condition: Some(condition),
+            obligations: Vec::new(),
+            penalty: None,
         }
     }
 
@@ -322,7 +331,22 @@ impl PolicyRule {
             id: id.to_owned(),
             effect,
             condition: None,
+            obligations: Vec::new(),
+            penalty: None,
         }
+    }
+
+    /// Attaches an obligation fulfilled when the final decision matches
+    /// `on` (builder style).
+    pub fn with_obligation(mut self, on: Effect, obligation: Obligation) -> PolicyRule {
+        self.obligations.push(ObligationSpec::new(on, obligation));
+        self
+    }
+
+    /// Sets the penalty annotation (builder style).
+    pub fn with_penalty(mut self, penalty: u32) -> PolicyRule {
+        self.penalty = Some(penalty);
+        self
     }
 
     /// Evaluates the rule: its effect if the condition holds,
@@ -342,9 +366,16 @@ impl PolicyRule {
 impl fmt::Display for PolicyRule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.condition {
-            Some(c) => write!(f, "[{}] {} if {}", self.id, self.effect, c),
-            None => write!(f, "[{}] {}", self.id, self.effect),
+            Some(c) => write!(f, "[{}] {} if {}", self.id, self.effect, c)?,
+            None => write!(f, "[{}] {}", self.id, self.effect)?,
         }
+        for spec in &self.obligations {
+            write!(f, " (on {}: {})", spec.on, spec.obligation)?;
+        }
+        if let Some(p) = self.penalty {
+            write!(f, " penalty {p}")?;
+        }
+        Ok(())
     }
 }
 
@@ -417,7 +448,8 @@ impl CombiningAlg {
     }
 }
 
-/// A policy: rules plus a combining algorithm.
+/// A policy: rules plus a combining algorithm, optionally annotated with
+/// policy-level obligations.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Policy {
     /// Identifier.
@@ -426,6 +458,8 @@ pub struct Policy {
     pub rules: Vec<PolicyRule>,
     /// How rule decisions are combined.
     pub combining: CombiningAlg,
+    /// Obligations issued when this policy contributes to the decision.
+    pub obligations: Vec<ObligationSpec>,
 }
 
 impl Policy {
@@ -435,12 +469,20 @@ impl Policy {
             id: id.to_owned(),
             rules,
             combining: CombiningAlg::DenyOverrides,
+            obligations: Vec::new(),
         }
     }
 
     /// Sets the combining algorithm.
     pub fn with_combining(mut self, alg: CombiningAlg) -> Policy {
         self.combining = alg;
+        self
+    }
+
+    /// Attaches a policy-level obligation fulfilled when the final decision
+    /// matches `on` (builder style).
+    pub fn with_obligation(mut self, on: Effect, obligation: Obligation) -> Policy {
+        self.obligations.push(ObligationSpec::new(on, obligation));
         self
     }
 

@@ -19,7 +19,8 @@
 use agenp_asp::{Atom, CmpOp, Literal, Program, Rule, Symbol, Term};
 use agenp_grammar::{nt, t, Asg, CfgBuilder};
 use agenp_policy::{
-    AttrValue, Category, CombiningAlg, Cond, CondOp, Effect, Policy, PolicyRule, Request,
+    AttrValue, Category, CombiningAlg, Cond, CondOp, Effect, Obligation, Policy, PolicyRule,
+    Request,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -403,8 +404,39 @@ pub fn order_insensitive_combining(rng: &mut StdRng) -> CombiningAlg {
     }
 }
 
+/// Obligation-id pool — deliberately tiny so generated policy sets reuse
+/// ids across rules and policies, exercising first-occurrence-wins
+/// deduplication in the collection semantics.
+const OBLIGATION_IDS: [&str; 3] = ["ob-audit", "ob-notify", "ob-log"];
+
+/// A random effect.
+pub fn effect(rng: &mut StdRng) -> Effect {
+    if rng.gen_bool(0.5) {
+        Effect::Permit
+    } else {
+        Effect::Deny
+    }
+}
+
+/// A random obligation from the small id pool. Deadlines and penalty
+/// payloads vary per draw, so when two specs share an id the dedup winner
+/// is observable in the collected obligation's fields.
+pub fn obligation(rng: &mut StdRng) -> Obligation {
+    let id = OBLIGATION_IDS[rng.gen_range(0..OBLIGATION_IDS.len())];
+    let ob = Obligation::new(id, &format!("{id}-act"), rng.gen_range(1..=16u64));
+    if rng.gen_bool(0.5) {
+        ob.with_penalty(rng.gen_range(1..=4u32))
+    } else {
+        ob
+    }
+}
+
 /// A random policy with `alg` combining and one to three rules (one may be
-/// unconditional).
+/// unconditional). Roughly a third of rules carry obligation specs — whose
+/// `on` effect may deliberately disagree with the rule's own effect, so the
+/// fulfill-on filter is exercised — a quarter carry penalty annotations
+/// (surfacing only on contributing `Deny` rules), and a fifth of policies
+/// carry a policy-level obligation.
 fn policy(rng: &mut StdRng, id: usize, alg: CombiningAlg) -> Policy {
     let rules = (0..rng.gen_range(1..=3))
         .map(|j| {
@@ -414,14 +446,28 @@ fn policy(rng: &mut StdRng, id: usize, alg: CombiningAlg) -> Policy {
             } else {
                 Effect::Deny
             };
-            if rng.gen_bool(0.15) {
+            let mut rule = if rng.gen_bool(0.15) {
                 PolicyRule::unconditional(&id, effect)
             } else {
                 PolicyRule::new(&id, effect, cond(rng, 2))
+            };
+            if rng.gen_bool(0.3) {
+                rule = rule.with_obligation(self::effect(rng), obligation(rng));
+                if rng.gen_bool(0.3) {
+                    rule = rule.with_obligation(self::effect(rng), obligation(rng));
+                }
             }
+            if rng.gen_bool(0.25) {
+                rule = rule.with_penalty(rng.gen_range(1..=9u32));
+            }
+            rule
         })
         .collect();
-    Policy::new(&format!("pol{id}"), rules).with_combining(alg)
+    let mut policy = Policy::new(&format!("pol{id}"), rules).with_combining(alg);
+    if rng.gen_bool(0.2) {
+        policy = policy.with_obligation(effect(rng), obligation(rng));
+    }
+    policy
 }
 
 /// A random policy set: one to three policies plus the top-level combining

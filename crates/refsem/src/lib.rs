@@ -24,8 +24,13 @@
 //!   renaming, rule permutation, inert-rule insertion, request reordering)
 //!   that must leave answer sets and decisions unchanged, and the seeded
 //!   differential case runners used by both the `tests/` suites and the
-//!   `fuzz` bench binary. Every failure message leads with the seed that
-//!   reproduces it.
+//!   `fuzz` bench binary. PDP cases compare the full
+//!   [`DecisionEffects`](agenp_policy::DecisionEffects) — decision,
+//!   obligations, penalty — through all four serving paths against
+//!   [`reference::effects_reference`]. Every failure message leads with
+//!   the seed that reproduces it, and mismatches are first
+//!   [`shrink`]-minimized to the smallest failing rule subset / policy
+//!   set / request stream.
 //!
 //! ```
 //! // Differential check on one seed: fast grounder+solver vs the naive
@@ -41,6 +46,7 @@ pub mod diff;
 pub mod gen;
 pub mod metamorphic;
 pub mod reference;
+pub mod shrink;
 
 pub use diff::{
     run_asg_case, run_asp_case, run_metamorphic_asp_case, run_metamorphic_pdp_case, run_pdp_case,

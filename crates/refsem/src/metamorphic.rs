@@ -123,6 +123,7 @@ pub fn permute_policy_rules(policies: &[Policy], rng: &mut StdRng) -> Vec<Policy
                 id: p.id.clone(),
                 rules,
                 combining: p.combining,
+                obligations: p.obligations.clone(),
             }
         })
         .collect()
@@ -150,6 +151,7 @@ pub fn insert_inert_policy_rules(policies: &[Policy], rng: &mut StdRng) -> Vec<P
                 id: p.id.clone(),
                 rules,
                 combining: p.combining,
+                obligations: p.obligations.clone(),
             }
         })
         .collect()

@@ -13,7 +13,9 @@
 //! which full-universe enumeration would miss) and no weak constraints.
 
 use agenp_asp::{Atom, Bindings, Literal, Program, Rule, Symbol, Term};
-use agenp_policy::{CombiningAlg, Cond, Decision, Policy, PolicyRule, Request};
+use agenp_policy::{
+    CombiningAlg, Cond, Decision, DecisionEffects, Obligation, Policy, PolicyRule, Request,
+};
 use std::collections::{BTreeSet, HashMap};
 
 /// A reference answer set: the rendered text of every ground atom in it.
@@ -453,6 +455,71 @@ pub fn decide_reference(
     combine(combining_alg, &per_policy)
 }
 
+/// The straight-line reference for obligation/penalty collection — the
+/// semantics of `agenp_policy::evaluate_policies_effects` restated over
+/// the reference primitives ([`eval_rule`], [`combine`]), sharing no code
+/// with the fast path and taking none of its shortcuts (no
+/// annotation-free fast-skip):
+///
+/// 1. The decision is exactly [`decide_reference`]; obligations never
+///    change it. Indefinite decisions carry nothing.
+/// 2. A policy contributes iff combining its materialized rule decisions
+///    yields the final decision; within a contributing policy a rule
+///    contributes iff its own reference evaluation equals the final
+///    decision.
+/// 3. Walk policies in order, policy-level specs before that policy's
+///    contributing rules' specs (rule order), keeping specs whose `on`
+///    effect matches the final effect, deduplicated by obligation id with
+///    the first occurrence winning.
+/// 4. The penalty is the maximum annotation over contributing `Deny`
+///    rules; zero for any non-`Deny` decision.
+pub fn effects_reference(
+    policies: &[Policy],
+    combining_alg: CombiningAlg,
+    request: &Request,
+) -> DecisionEffects {
+    let decision = decide_reference(policies, combining_alg, request);
+    let mut effects = DecisionEffects::bare(decision);
+    let Some(final_effect) = decision.effect() else {
+        return effects;
+    };
+    for policy in policies {
+        let rule_decisions: Vec<Decision> =
+            policy.rules.iter().map(|r| eval_rule(r, request)).collect();
+        if combine(policy.combining, &rule_decisions) != decision {
+            continue;
+        }
+        for spec in &policy.obligations {
+            if spec.on == final_effect {
+                push_unique(&mut effects.obligations, &spec.obligation);
+            }
+        }
+        for (rule, rule_decision) in policy.rules.iter().zip(&rule_decisions) {
+            if *rule_decision != decision {
+                continue;
+            }
+            for spec in &rule.obligations {
+                if spec.on == final_effect {
+                    push_unique(&mut effects.obligations, &spec.obligation);
+                }
+            }
+            if decision == Decision::Deny {
+                if let Some(p) = rule.penalty {
+                    effects.penalty = effects.penalty.max(p);
+                }
+            }
+        }
+    }
+    effects
+}
+
+/// First-occurrence-wins id dedup for obligation collection.
+fn push_unique(out: &mut Vec<Obligation>, ob: &Obligation) {
+    if !out.iter().any(|o| o.id == ob.id) {
+        out.push(ob.clone());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -523,6 +590,48 @@ mod tests {
             engaged >= 16,
             "brute force engaged on only {engaged}/64 seeds"
         );
+    }
+
+    #[test]
+    fn effects_reference_dedups_first_wins_and_takes_the_max_penalty() {
+        use agenp_policy::{Category, Effect};
+        let req = Request::new().subject("role", "dba");
+        let deny = |id: &str, deadline: u64, penalty: u32| {
+            PolicyRule::new(id, Effect::Deny, Cond::eq(Category::Subject, "role", "dba"))
+                .with_obligation(
+                    Effect::Deny,
+                    Obligation::new("audit", "audit-log", deadline),
+                )
+                .with_penalty(penalty)
+        };
+        let p = Policy::new("p", vec![deny("r0", 5, 2), deny("r1", 9, 7)]);
+        let fx = effects_reference(&[p], CombiningAlg::DenyOverrides, &req);
+        assert_eq!(fx.decision, Decision::Deny);
+        // Both rules contribute the same obligation id: the first wins,
+        // so the deadline is r0's, while the penalty is the max of both.
+        assert_eq!(
+            fx.obligations,
+            vec![Obligation::new("audit", "audit-log", 5)]
+        );
+        assert_eq!(fx.penalty, 7);
+    }
+
+    #[test]
+    fn effects_reference_matches_the_fast_evaluator_on_generated_sets() {
+        for seed in 0..96u64 {
+            let mut rng = crate::gen::rng_for(seed);
+            let (policies, combining) = crate::gen::policy_set(&mut rng);
+            for request in crate::gen::request_stream(&mut rng, 6) {
+                let reference = effects_reference(&policies, combining, &request);
+                let fast = agenp_policy::evaluate_policies_effects(&policies, combining, &request);
+                assert_eq!(
+                    reference,
+                    fast,
+                    "seed={seed} key={}",
+                    request.canonical_key()
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Delta-debugging shrinker for differential failures.
+//!
+//! A failing fuzz case regenerates from its seed, but the regenerated
+//! artifacts — a whole stratified program, a policy set, a dozen-request
+//! stream — are mostly irrelevant to the mismatch. [`shrink_items`]
+//! binary-searches a failing sequence down before the repro line is
+//! printed: it repeatedly tries dropping contiguous chunks (halves, then
+//! quarters, down to single elements), keeping any removal under which
+//! the failure persists, and finishes with single-element passes until a
+//! fixpoint. The result is 1-minimal: no single remaining element can be
+//! removed without losing the failure (unless the check budget ran out
+//! first).
+//!
+//! The shrinker only ever runs on the failure path, so its cost is paid
+//! exactly when a human is about to debug the case — and the budget keeps
+//! even a pathological predicate from stalling the harness.
+
+/// Upper bound on predicate invocations per [`shrink_items`] call. Each
+/// check can replay a full solver or serving-tier run; the bound keeps the
+/// failure path snappy while still minimizing every realistically sized
+/// generated case.
+const MAX_CHECKS: usize = 512;
+
+/// Shrinks `items` to a smaller sequence on which `still_fails` still
+/// returns `true`, assuming it returns `true` for `items` itself. Chunks
+/// of decreasing size are speculatively removed; a removal is kept iff the
+/// failure persists. Relative order of the survivors is preserved. If
+/// `still_fails(items)` is `false` the input comes back unchanged.
+pub fn shrink_items<T: Clone>(items: &[T], still_fails: &mut dyn FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut cur: Vec<T> = items.to_vec();
+    let mut checks = 0usize;
+    let mut chunk = (cur.len().div_ceil(2)).max(1);
+    loop {
+        let mut reduced = false;
+        let mut start = 0;
+        while start < cur.len() {
+            if checks >= MAX_CHECKS {
+                return cur;
+            }
+            let end = (start + chunk).min(cur.len());
+            let mut candidate = Vec::with_capacity(cur.len() - (end - start));
+            candidate.extend_from_slice(&cur[..start]);
+            candidate.extend_from_slice(&cur[end..]);
+            checks += 1;
+            if still_fails(&candidate) {
+                // Keep the removal and retest at the same offset: the
+                // next chunk has slid into this position.
+                cur = candidate;
+                reduced = true;
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 {
+            if !reduced {
+                return cur;
+            }
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_minimal_failing_pair() {
+        let items: Vec<u32> = (0..32).collect();
+        let mut fails = |s: &[u32]| s.contains(&3) && s.contains(&17);
+        assert_eq!(shrink_items(&items, &mut fails), vec![3, 17]);
+    }
+
+    #[test]
+    fn shrinks_to_a_single_culprit() {
+        let items: Vec<u32> = (0..100).collect();
+        let mut fails = |s: &[u32]| s.contains(&77);
+        assert_eq!(shrink_items(&items, &mut fails), vec![77]);
+    }
+
+    #[test]
+    fn vacuous_failures_shrink_to_empty() {
+        let items = vec![1, 2, 3];
+        let mut fails = |_: &[i32]| true;
+        assert_eq!(shrink_items(&items, &mut fails), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn non_failing_input_is_returned_unchanged() {
+        let items = vec![1, 2, 3];
+        let mut fails = |s: &[i32]| s.len() > 3;
+        assert_eq!(shrink_items(&items, &mut fails), items);
+    }
+
+    #[test]
+    fn result_is_one_minimal_and_order_preserving() {
+        let items: Vec<u32> = (0..24).collect();
+        // Fails iff at least three even numbers survive.
+        let mut fails = |s: &[u32]| s.iter().filter(|&&x| x % 2 == 0).count() >= 3;
+        let shrunk = shrink_items(&items, &mut fails);
+        assert_eq!(shrunk.len(), 3);
+        assert!(shrunk.iter().all(|&x| x % 2 == 0));
+        assert!(shrunk.windows(2).all(|w| w[0] < w[1]));
+        // 1-minimality: dropping any one element loses the failure.
+        for i in 0..shrunk.len() {
+            let mut fewer = shrunk.clone();
+            fewer.remove(i);
+            assert!(!fails(&fewer));
+        }
+    }
+}

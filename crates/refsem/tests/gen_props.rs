@@ -63,3 +63,42 @@ proptest! {
         }
     }
 }
+
+/// The obligation/penalty coverage claim is real, not vacuous: across a
+/// seed band, generated policy sets carry annotations and a healthy share
+/// of *served* decisions actually surface obligations and (on denials)
+/// penalties — otherwise the differential suite would be "covering" the
+/// new semantics on bare decisions only.
+#[test]
+fn generated_policy_sets_exercise_obligations_and_penalties() {
+    use agenp_policy::{evaluate_policies_effects, Decision};
+    let (mut annotated_sets, mut obligation_decisions, mut penalized_denials) = (0u32, 0u32, 0u32);
+    for seed in 0..256u64 {
+        let mut rng = gen::rng_for(seed);
+        let (policies, combining) = gen::policy_set(&mut rng);
+        if policies.iter().any(|p| p.has_annotations()) {
+            annotated_sets += 1;
+        }
+        for request in gen::request_stream(&mut rng, 8) {
+            let fx = evaluate_policies_effects(&policies, combining, &request);
+            if !fx.obligations.is_empty() {
+                obligation_decisions += 1;
+            }
+            if fx.decision == Decision::Deny && fx.penalty > 0 {
+                penalized_denials += 1;
+            }
+        }
+    }
+    assert!(
+        annotated_sets >= 128,
+        "only {annotated_sets}/256 generated sets carry annotations"
+    );
+    assert!(
+        obligation_decisions >= 64,
+        "only {obligation_decisions} decisions carried obligations"
+    );
+    assert!(
+        penalized_denials >= 32,
+        "only {penalized_denials} denials carried penalties"
+    );
+}
